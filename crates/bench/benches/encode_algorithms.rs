@@ -1,0 +1,44 @@
+//! Criterion bench for the Table II family: the three input-constraint
+//! encoding algorithms on representative machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_core::driver::{run, Algorithm};
+use nova_core::exact::{iexact_code, ExactOptions};
+use nova_core::extract_input_constraints;
+use nova_core::poset::InputGraph;
+
+fn machines() -> Vec<fsm::benchmarks::Benchmark> {
+    ["lion", "bbtas", "dk27", "shiftreg"]
+        .iter()
+        .map(|n| fsm::benchmarks::by_name(n).expect("embedded"))
+        .collect()
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_encoders");
+    for b in machines() {
+        for alg in [Algorithm::IHybrid, Algorithm::IGreedy] {
+            g.bench_with_input(BenchmarkId::new(alg.name(), b.name), &b, |bench, b| {
+                bench.iter(|| run(&b.fsm, alg, None))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_iexact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_iexact");
+    g.sample_size(10);
+    for b in machines() {
+        let ics = extract_input_constraints(&b.fsm);
+        let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
+        let ig = InputGraph::build(ics.num_states, &sets);
+        g.bench_with_input(BenchmarkId::new("iexact", b.name), &ig, |bench, ig| {
+            bench.iter(|| iexact_code(ig, ExactOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoders, bench_iexact);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for the espresso substrate itself: multiple-valued
+//! minimization of symbolic covers and kernel extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use espresso::factor::output_expr;
+use espresso::{complement, minimize, tautology, Cover};
+use fsm::symbolic_cover;
+
+fn bench_mv_minimize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("espresso_mv_minimize");
+    g.sample_size(10);
+    for name in ["lion", "bbtas", "dk27", "shiftreg", "train11"] {
+        let b = fsm::benchmarks::by_name(name).expect("embedded");
+        let sc = symbolic_cover(&b.fsm);
+        g.bench_with_input(BenchmarkId::new("minimize", name), &sc, |bench, sc| {
+            bench.iter(|| minimize(&sc.on, &sc.dc))
+        });
+    }
+    g.finish();
+}
+
+fn bench_unate_paradigm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("espresso_unate");
+    for name in ["bbtas", "dk27"] {
+        let b = fsm::benchmarks::by_name(name).expect("embedded");
+        let sc = symbolic_cover(&b.fsm);
+        g.bench_with_input(BenchmarkId::new("tautology", name), &sc.on, |bench, f| {
+            bench.iter(|| tautology(f))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("complement", name),
+            &sc.on,
+            |bench, f: &Cover| bench.iter(|| complement(f)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("espresso_kernels");
+    let b = fsm::benchmarks::by_name("bbtas").expect("embedded");
+    let r = nova_core::driver::run(&b.fsm, nova_core::Algorithm::IHybrid, None).expect("runs");
+    let pla = fsm::encode::encode(&b.fsm, &r.encoding);
+    let min = minimize(&pla.on, &pla.dc);
+    let expr = output_expr(&min, 0);
+    g.bench_function("kernels_bbtas_f0", |bench| bench.iter(|| expr.kernels()));
+    g.bench_function("quick_factor_bbtas_f0", |bench| {
+        bench.iter(|| espresso::factor::factored_literal_count(&expr))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mv_minimize,
+    bench_unate_paradigm,
+    bench_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! `espresso-min` — minimize a PLA file, like the classic `espresso`
+//! command.
+//!
+//! ```text
+//! espresso-min [-e] [-v] [FILE.pla]
+//!
+//!   -e   exact minimization (small instances; falls back to heuristic)
+//!   -v   verify the result against the input (prints a line to stderr)
+//! ```
+//!
+//! Reads stdin when no file is given; writes the minimized PLA to stdout.
+
+use espresso::pla::{parse_pla, write_pla};
+use espresso::{minimize, minimize_exact, verify_minimized, Cover, ExactLimits};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut exact = false;
+    let mut verify = false;
+    let mut file: Option<String> = None;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "-e" => exact = true,
+            "-v" => verify = true,
+            "-h" | "--help" => {
+                eprintln!("usage: espresso-min [-e] [-v] [FILE.pla]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("espresso-min: unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let text = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("espresso-min: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut t = String::new();
+            if std::io::stdin().read_to_string(&mut t).is_err() {
+                eprintln!("espresso-min: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            t
+        }
+    };
+
+    let pla = match parse_pla(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("espresso-min: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let m = if exact {
+        match minimize_exact(&pla.on, &pla.dc, ExactLimits::default()) {
+            Some(m) => m,
+            None => {
+                eprintln!("espresso-min: instance too large for exact mode; using heuristic");
+                minimize(&pla.on, &pla.dc)
+            }
+        }
+    } else {
+        minimize(&pla.on, &pla.dc)
+    };
+
+    if verify {
+        let ok = verify_minimized(&m, &pla.on, &pla.dc);
+        eprintln!(
+            "espresso-min: {} -> {} cubes, verification {}",
+            pla.on.len(),
+            m.len(),
+            if ok { "PASSED" } else { "FAILED" }
+        );
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    print!("{}", write_pla(&m, &Cover::empty(m.space().clone())));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,167 @@
+//! `nova` — command-line state assignment, mirroring the original tool's
+//! usage: read a KISS2 state transition table, encode the states, print the
+//! encoding, statistics, and (optionally) the minimized encoded PLA.
+//!
+//! ```text
+//! nova [-e ihybrid|igreedy|iexact|iohybrid|iovariant|kiss|mustang-p|mustang-n|onehot|random]
+//!      [-b BITS] [-m] [-p] [-s] [FILE.kiss2]
+//!
+//!   -e ALG   encoding algorithm (default ihybrid)
+//!   -b BITS  target code length (default: minimum)
+//!   -m       state-minimize the machine first
+//!   -p       print the minimized encoded PLA
+//!   -s       print machine statistics only
+//! ```
+//!
+//! Reads stdin when no file is given.
+
+use fsm::minimize_states::minimize_states;
+use fsm::Fsm;
+use nova_core::driver::{run, Algorithm};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [FILE.kiss2]\n\
+         ALG: ihybrid (default) | igreedy | iexact | iohybrid | iovariant |\n\
+              kiss | mustang-p | mustang-n | onehot"
+    );
+    std::process::exit(2);
+}
+
+fn parse_algorithm(s: &str) -> Algorithm {
+    match s {
+        "ihybrid" => Algorithm::IHybrid,
+        "igreedy" => Algorithm::IGreedy,
+        "iexact" => Algorithm::IExact,
+        "iohybrid" => Algorithm::IoHybrid,
+        "iovariant" => Algorithm::IoVariant,
+        "kiss" => Algorithm::Kiss,
+        "mustang-p" => Algorithm::MustangP,
+        "mustang-n" => Algorithm::MustangN,
+        "onehot" | "1-hot" => Algorithm::OneHot,
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut algorithm = Algorithm::IHybrid;
+    let mut bits: Option<u32> = None;
+    let mut state_minimize = false;
+    let mut print_pla = false;
+    let mut stats_only = false;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-e" => algorithm = parse_algorithm(&args.next().unwrap_or_else(|| usage())),
+            "-b" => {
+                bits = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "-m" => state_minimize = true,
+            "-p" => print_pla = true,
+            "-s" => stats_only = true,
+            "-h" | "--help" => usage(),
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let text = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("nova: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut t = String::new();
+            if std::io::stdin().read_to_string(&mut t).is_err() {
+                eprintln!("nova: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            t
+        }
+    };
+
+    let name = file
+        .as_deref()
+        .and_then(|p| p.rsplit('/').next())
+        .map(|p| p.trim_end_matches(".kiss2"))
+        .unwrap_or("stdin");
+    let mut machine = match Fsm::parse_kiss_named(name, &text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("nova: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if state_minimize {
+        let r = minimize_states(&machine);
+        if r.merged > 0 {
+            eprintln!("nova: state minimization removed {} states", r.merged);
+        }
+        machine = r.fsm;
+    }
+
+    println!(
+        "# {}: {} states, {} inputs, {} outputs, {} rows",
+        machine.name(),
+        machine.num_states(),
+        machine.num_inputs(),
+        machine.num_outputs(),
+        machine.num_transitions()
+    );
+    if stats_only {
+        let ics = nova_core::extract_input_constraints(&machine);
+        println!("# minimized symbolic cover: {} terms", ics.mv_cover_size);
+        for c in &ics.constraints {
+            println!(
+                "# constraint {} weight {}",
+                c.set.to_vector_string(machine.num_states()),
+                c.weight
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(result) = run(&machine, algorithm, bits) else {
+        eprintln!("nova: {} failed on this machine", algorithm.name());
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "# algorithm {}: {} bits, {} cubes, area {}, {} factored literals",
+        algorithm.name(),
+        result.bits,
+        result.cubes,
+        result.area,
+        result.literals
+    );
+    println!("# codes:");
+    for (s, sname) in machine.state_names().iter().enumerate() {
+        println!(
+            ".code {} {:0width$b}",
+            sname,
+            result.encoding.code(fsm::StateId(s)),
+            width = result.bits
+        );
+    }
+
+    if print_pla {
+        let mut pla = fsm::encode::encode(&machine, &result.encoding);
+        pla.on = espresso::minimize(&pla.on, &pla.dc);
+        print!(
+            "{}",
+            espresso::pla::write_pla(&pla.on, &espresso::Cover::empty(pla.on.space().clone()))
+        );
+    }
+    ExitCode::SUCCESS
+}

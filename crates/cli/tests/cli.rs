@@ -1,0 +1,131 @@
+//! End-to-end tests of the command-line tools (spawned as real processes).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const TOY_KISS: &str = "\
+.i 1
+.o 1
+.s 2
+0 a a 0
+1 a b 0
+- b a 1
+";
+
+const TOY_PLA: &str = "\
+.i 2
+.o 1
+11 1
+10 1
+01 1
+.e
+";
+
+fn run_with_stdin(bin: &str, args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn nova_encodes_from_stdin() {
+    let (stdout, _, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &[], TOY_KISS);
+    assert!(ok);
+    assert!(stdout.contains("algorithm ihybrid"));
+    assert!(stdout.contains(".code a"));
+    assert!(stdout.contains(".code b"));
+}
+
+#[test]
+fn nova_prints_pla_with_p() {
+    let (stdout, _, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-p"], TOY_KISS);
+    assert!(ok);
+    assert!(stdout.contains(".i 2"));
+    assert!(stdout.contains(".e"));
+}
+
+#[test]
+fn nova_stats_mode() {
+    let (stdout, _, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-s"], TOY_KISS);
+    assert!(ok);
+    assert!(stdout.contains("minimized symbolic cover"));
+}
+
+#[test]
+fn nova_all_algorithms_run() {
+    for alg in [
+        "ihybrid", "igreedy", "iexact", "iohybrid", "iovariant", "kiss", "mustang-p",
+        "mustang-n", "onehot",
+    ] {
+        let (stdout, stderr, ok) =
+            run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-e", alg], TOY_KISS);
+        assert!(ok, "{alg}: {stderr}");
+        assert!(stdout.contains(&format!("algorithm {alg}")) || alg == "onehot", "{alg}");
+    }
+}
+
+#[test]
+fn nova_rejects_bad_input() {
+    let (_, stderr, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &[], "not kiss at all");
+    assert!(!ok);
+    assert!(stderr.contains("nova:"));
+}
+
+#[test]
+fn nova_state_minimize_flag() {
+    let kiss = "\
+.i 1
+.o 1
+.s 3
+0 a b 0
+1 a c 0
+0 b a 1
+1 b b 0
+0 c a 1
+1 c c 0
+";
+    let (stdout, stderr, ok) =
+        run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-m"], kiss);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("removed 1 states"), "{stderr}");
+    assert!(stdout.contains("2 states"));
+}
+
+#[test]
+fn espresso_min_minimizes() {
+    let (stdout, _, ok) = run_with_stdin(env!("CARGO_BIN_EXE_espresso-min"), &["-v"], TOY_PLA);
+    assert!(ok);
+    assert!(stdout.contains(".p 2"), "{stdout}");
+}
+
+#[test]
+fn espresso_min_exact_mode() {
+    let (stdout, stderr, ok) =
+        run_with_stdin(env!("CARGO_BIN_EXE_espresso-min"), &["-e", "-v"], TOY_PLA);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("PASSED"));
+    assert!(stdout.contains(".p 2"));
+}
+
+#[test]
+fn espresso_min_rejects_bad_pla() {
+    let (_, stderr, ok) = run_with_stdin(env!("CARGO_BIN_EXE_espresso-min"), &[], "garbage");
+    assert!(!ok);
+    assert!(stderr.contains("espresso-min:"));
+}

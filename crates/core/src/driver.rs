@@ -1,0 +1,296 @@
+//! The top-level NOVA driver: run a state-assignment algorithm on a machine,
+//! encode, minimize with ESPRESSO and report the paper's metrics
+//! (#bits, #cubes, PLA area, factored literals).
+
+use crate::constraint::{extract_input_constraints, InputConstraints};
+use crate::greedy::igreedy_code;
+use crate::hybrid::{ihybrid_code, kiss_code, HybridOptions};
+use crate::iohybrid::{iohybrid_code, iovariant_code};
+use crate::mustang::{mustang_code, MustangMode};
+use crate::symbolic_min::symbolic_minimize;
+use crate::{exact, poset};
+use espresso::factor::cover_factored_literals;
+use espresso::minimize;
+use fsm::encode::encode;
+use fsm::generator::SplitMix64;
+use fsm::{Encoding, Fsm};
+
+/// The state-assignment algorithms of the paper plus its baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// `iexact_code` (Section III).
+    IExact,
+    /// `ihybrid_code` at minimum code length (Section IV).
+    IHybrid,
+    /// `igreedy_code` (Section V).
+    IGreedy,
+    /// Symbolic minimization + `iohybrid_code` (Section VI).
+    IoHybrid,
+    /// The `iovariant_code` variant (Section VI-6.2.2).
+    IoVariant,
+    /// The KISS baseline: all input constraints satisfied.
+    Kiss,
+    /// MUSTANG fanout-oriented (`-p`).
+    MustangP,
+    /// MUSTANG fanin-oriented (`-n`).
+    MustangN,
+    /// 1-hot encoding.
+    OneHot,
+}
+
+impl Algorithm {
+    /// Short display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::IExact => "iexact",
+            Algorithm::IHybrid => "ihybrid",
+            Algorithm::IGreedy => "igreedy",
+            Algorithm::IoHybrid => "iohybrid",
+            Algorithm::IoVariant => "iovariant",
+            Algorithm::Kiss => "kiss",
+            Algorithm::MustangP => "mustang-p",
+            Algorithm::MustangN => "mustang-n",
+            Algorithm::OneHot => "1-hot",
+        }
+    }
+}
+
+/// The paper's per-run metrics.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Code length used.
+    pub bits: usize,
+    /// Product terms after ESPRESSO minimization of the encoded cover.
+    pub cubes: usize,
+    /// PLA area per the paper's formula.
+    pub area: u64,
+    /// Factored-form literal count (the MIS-II stand-in of Table VII).
+    pub literals: usize,
+    /// The encoding that produced these numbers.
+    pub encoding: Encoding,
+}
+
+/// Encodes `fsm` with `enc`, minimizes, and reports the metrics.
+///
+/// # Panics
+///
+/// Panics if the encoding does not match the machine's state count.
+pub fn evaluate(fsm: &Fsm, enc: &Encoding) -> EvalResult {
+    let pla = encode(fsm, enc);
+    let min = minimize(&pla.on, &pla.dc);
+    EvalResult {
+        bits: enc.bits(),
+        cubes: min.len(),
+        area: pla.area_for(min.len()),
+        literals: cover_factored_literals(&min),
+        encoding: enc.clone(),
+    }
+}
+
+/// Runs `algorithm` on `fsm` and evaluates the resulting encoding.
+/// `target_bits` overrides the code length for the algorithms that accept
+/// one. Returns `None` when the algorithm fails (only `IExact`, whose search
+/// is budgeted, or machines too large for `u64` codes).
+pub fn run(fsm: &Fsm, algorithm: Algorithm, target_bits: Option<u32>) -> Option<EvalResult> {
+    let enc = match algorithm {
+        Algorithm::IExact => {
+            let ics = extract_input_constraints(fsm);
+            let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
+            let ig = poset::InputGraph::build(ics.num_states, &sets);
+            let embedding = exact::iexact_code(&ig, exact::ExactOptions::default())?;
+            if embedding.bits > 63 {
+                return None;
+            }
+            Encoding::new(embedding.bits as usize, embedding.codes).ok()?
+        }
+        Algorithm::IHybrid => {
+            let ics = extract_input_constraints(fsm);
+            ihybrid_code(&ics, target_bits, HybridOptions::default()).encoding
+        }
+        Algorithm::IGreedy => {
+            let ics = extract_input_constraints(fsm);
+            igreedy_code(&ics, target_bits).encoding
+        }
+        Algorithm::IoHybrid => {
+            let sym = symbolic_minimize(fsm);
+            iohybrid_code(&sym, target_bits, HybridOptions::default())
+                .hybrid
+                .encoding
+        }
+        Algorithm::IoVariant => {
+            let sym = symbolic_minimize(fsm);
+            iovariant_code(&sym, target_bits, HybridOptions::default())
+                .hybrid
+                .encoding
+        }
+        Algorithm::Kiss => {
+            let ics = extract_input_constraints(fsm);
+            kiss_code(&ics, HybridOptions::default()).encoding
+        }
+        Algorithm::MustangP => mustang_code(fsm, MustangMode::Fanout),
+        Algorithm::MustangN => mustang_code(fsm, MustangMode::Fanin),
+        Algorithm::OneHot => {
+            if fsm.num_states() > 63 {
+                return None;
+            }
+            Encoding::one_hot(fsm.num_states())
+        }
+    };
+    Some(evaluate(fsm, &enc))
+}
+
+/// Statistics of the random-assignment baseline.
+#[derive(Debug, Clone)]
+pub struct RandomStats {
+    /// Best (minimum) area over the trials.
+    pub best_area: u64,
+    /// Average area over the trials.
+    pub avg_area: u64,
+    /// Best factored literal count over the trials.
+    pub best_literals: usize,
+    /// The best trial's full result.
+    pub best: EvalResult,
+    /// Number of trials run.
+    pub trials: usize,
+}
+
+/// A random minimum-length encoding drawn from `rng`.
+pub fn random_encoding(n: usize, rng: &mut SplitMix64) -> Encoding {
+    let bits = exact::min_code_length(n);
+    let mut pool: Vec<u64> = (0..1u64 << bits).collect();
+    // Fisher-Yates prefix shuffle.
+    for i in 0..n {
+        let j = i + rng.below(pool.len() - i);
+        pool.swap(i, j);
+    }
+    Encoding::new(bits as usize, pool[..n].to_vec()).expect("shuffled codes are distinct")
+}
+
+/// The paper's random baseline: `#states + #symbolic inputs` trials (we have
+/// no symbolic inputs in the benchmark suite, so `#states` trials) of random
+/// minimum-length assignments; best and average areas reported.
+///
+/// # Panics
+///
+/// Panics if the machine has more than 63 states or `trials == 0`.
+pub fn random_baseline(fsm: &Fsm, trials: usize, seed: u64) -> RandomStats {
+    assert!(trials > 0);
+    let n = fsm.num_states();
+    assert!(fsm.min_bits() <= 63);
+    let mut rng = SplitMix64::new(seed);
+    let mut best: Option<EvalResult> = None;
+    let mut total_area = 0u64;
+    let mut best_literals = usize::MAX;
+    for _ in 0..trials {
+        let enc = random_encoding(n, &mut rng);
+        let r = evaluate(fsm, &enc);
+        total_area += r.area;
+        best_literals = best_literals.min(r.literals);
+        if best.as_ref().is_none_or(|b| r.area < b.area) {
+            best = Some(r);
+        }
+    }
+    let best = best.expect("trials > 0");
+    RandomStats {
+        best_area: best.area,
+        avg_area: total_area / trials as u64,
+        best_literals,
+        best,
+        trials,
+    }
+}
+
+/// Convenience: the `InputConstraints` of a machine (re-exported path used
+/// by benches and examples).
+pub fn input_constraints(fsm: &Fsm) -> InputConstraints {
+    extract_input_constraints(fsm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Fsm {
+        fsm::benchmarks::by_name("bbtas").unwrap().fsm
+    }
+
+    #[test]
+    fn evaluate_reports_consistent_area() {
+        let m = toy();
+        let e = Encoding::new(3, (0..6).collect()).unwrap();
+        let r = evaluate(&m, &e);
+        assert_eq!(
+            r.area,
+            fsm::area::pla_area(m.num_inputs(), 3, m.num_outputs(), r.cubes)
+        );
+        assert!(r.cubes > 0);
+    }
+
+    #[test]
+    fn all_algorithms_run_on_bbtas() {
+        let m = toy();
+        for alg in [
+            Algorithm::IHybrid,
+            Algorithm::IGreedy,
+            Algorithm::IoHybrid,
+            Algorithm::Kiss,
+            Algorithm::MustangP,
+            Algorithm::MustangN,
+            Algorithm::OneHot,
+        ] {
+            let r = run(&m, alg, None).unwrap_or_else(|| panic!("{} failed", alg.name()));
+            assert!(r.cubes > 0, "{}", alg.name());
+            assert!(r.area > 0, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn iexact_runs_on_small_machine() {
+        let m = fsm::benchmarks::by_name("lion").unwrap().fsm;
+        let r = run(&m, Algorithm::IExact, None);
+        // lion is tiny; the exact search must finish.
+        let r = r.expect("iexact on lion");
+        assert!(r.bits >= 2);
+    }
+
+    #[test]
+    fn one_hot_uses_n_bits() {
+        let m = toy();
+        let r = run(&m, Algorithm::OneHot, None).unwrap();
+        assert_eq!(r.bits, 6);
+    }
+
+    #[test]
+    fn random_baseline_statistics() {
+        let m = toy();
+        let stats = random_baseline(&m, 6, 0xfeed);
+        assert!(stats.best_area <= stats.avg_area);
+        assert_eq!(stats.trials, 6);
+    }
+
+    #[test]
+    fn random_encoding_is_valid_and_seeded() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let ea = random_encoding(6, &mut a);
+        let eb = random_encoding(6, &mut b);
+        assert_eq!(ea, eb);
+        let mut codes = ea.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 6);
+    }
+
+    #[test]
+    fn ihybrid_beats_or_matches_random_on_average() {
+        let m = toy();
+        let hybrid = run(&m, Algorithm::IHybrid, None).unwrap();
+        let rand = random_baseline(&m, 6, 42);
+        assert!(
+            hybrid.area <= rand.avg_area,
+            "ihybrid {} vs random avg {}",
+            hybrid.area,
+            rand.avg_area
+        );
+    }
+}

@@ -1,0 +1,945 @@
+//! `iexact_code` (Section III): exact face hypercube embedding by answering
+//! SUBPOSET EQUIVALENCE for increasing cube dimensions, plus the bounded
+//! variant `semiexact_code` (Section IV-4.1) at the core of `ihybrid_code`.
+
+use crate::constraint::StateSet;
+use crate::face::{faces_of_level, Face};
+use crate::poset::{Category, InputGraph};
+use fsm::StateId;
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+/// Options controlling the exact search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactOptions {
+    /// Budget on candidate face verifications across the whole run
+    /// (`None` = unlimited). The paper's `max_work` "magic number".
+    pub max_work: Option<u64>,
+    /// Restrict category-1 constraints to minimum-dimension faces
+    /// (the `semiexact_code` restriction; skips the primary-level-vector
+    /// enumeration entirely).
+    pub min_dimension_faces_only: bool,
+    /// Upper bound on the cube dimension tried (defaults to 16; the paper's
+    /// trivial bound `#S` is impractical for face enumeration).
+    pub max_k: u32,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            max_work: Some(2_000_000),
+            min_dimension_faces_only: false,
+            max_k: 16,
+        }
+    }
+}
+
+/// A successful embedding: codes for every state plus the face of every
+/// constraint node of the input graph.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Code length.
+    pub bits: u32,
+    /// Code per state (indexed by state id).
+    pub codes: Vec<u64>,
+    /// Face assigned to every constraint of the input poset.
+    pub faces: BTreeMap<StateSet, Face>,
+}
+
+/// Result of one `pos_equiv` run.
+#[derive(Debug, Clone)]
+pub enum PosEquiv {
+    /// A satisfying assignment exists (and is returned).
+    Found(Embedding),
+    /// The search space was exhausted: no assignment for this (k, dimvect).
+    Exhausted,
+    /// The work budget ran out before an answer was established.
+    Aborted,
+}
+
+/// `mincube_dim` (Section 3.3.2): a lower bound on the embedding dimension
+/// from the three counting arguments.
+pub fn mincube_dim(ig: &InputGraph) -> u32 {
+    let n = ig.num_states();
+    let mut k = min_code_length(n);
+    k = count_cond1(ig, k);
+    k = count_cond2(ig, k);
+    k = count_cond3(ig, k);
+    k
+}
+
+/// Minimum code length for `n` distinct codes.
+pub fn min_code_length(n: usize) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+/// Number of faces of the k-cube with level ≥ `level`.
+fn faces_at_least(k: u32, level: u32) -> u64 {
+    (level..=k)
+        .map(|l| binomial(k as u64, l as u64).saturating_mul(1u64 << (k - l).min(63)))
+        .fold(0u64, u64::saturating_add)
+}
+
+/// First counting argument: enough faces of every cardinality class.
+fn count_cond1(ig: &InputGraph, mut k: u32) -> u32 {
+    loop {
+        let ok = (0..=k).all(|level| {
+            let needing = (0..ig.len()).filter(|&i| ig.min_level(i) >= level).count() as u64;
+            needing <= faces_at_least(k, level)
+        });
+        if ok {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Second counting argument: a face of level ℓ has `k − ℓ` minimal including
+/// faces, which must accommodate all of the constraint's fathers.
+fn count_cond2(ig: &InputGraph, mut k: u32) -> u32 {
+    for i in 0..ig.len() {
+        if i == ig.universe() {
+            continue;
+        }
+        let need = ig.fathers(i).len() as u32 + ig.min_level(i);
+        k = k.max(need);
+    }
+    k
+}
+
+/// Third counting argument (Section 3.3.2.2): virtual states introduced by
+/// uneven constraints must fit in the spare vertices, assuming the densest
+/// packing (at most `min_cube` identifications per virtual state).
+fn count_cond3(ig: &InputGraph, mut k: u32) -> u32 {
+    let n = ig.num_states() as u64;
+    let uneven: Vec<u64> = (0..ig.len())
+        .filter(|&i| i != ig.universe())
+        .map(|i| {
+            let c = ig.set(i).len() as u64;
+            (1u64 << ig.min_level(i)) - c
+        })
+        .filter(|&v| v > 0)
+        .collect();
+    if uneven.is_empty() {
+        return k;
+    }
+    loop {
+        let mut vrt = uneven.clone();
+        vrt.sort_unstable();
+        let mut iter_count: u64 = 0;
+        while vrt.iter().any(|&v| v > 0) {
+            let mut decreased = 0;
+            for v in vrt.iter_mut() {
+                if *v > 0 && decreased < k {
+                    *v -= 1;
+                    decreased += 1;
+                }
+            }
+            iter_count += 1;
+        }
+        let spare = (1u64 << k.min(63)).saturating_sub(n);
+        if spare >= iter_count {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Search state for `pos_equiv`.
+struct Search<'a> {
+    ig: &'a InputGraph,
+    k: u32,
+    /// Level chosen for each primary node (parallel to `primaries`).
+    primary_level: BTreeMap<usize, u32>,
+    faces: Vec<Option<Face>>,
+    used: HashSet<Face>,
+    /// Assignment order (selected nodes only; derived cat-2 nodes are
+    /// tracked in `derived_by`).
+    work: u64,
+    budget: Option<u64>,
+    aborted: bool,
+    last: Option<usize>,
+    /// Output covering constraints `(u, v)`: code(u) must bit-wise strictly
+    /// cover code(v) (used by `io_semiexact_code`).
+    covers: Vec<(usize, usize)>,
+    /// Node index of the singleton {s} for every state s.
+    singleton_of: Vec<usize>,
+}
+
+impl<'a> Search<'a> {
+    fn charge(&mut self) -> bool {
+        self.work += 1;
+        if let Some(b) = self.budget {
+            if self.work > b {
+                self.aborted = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Candidate levels for a selectable node, best (largest) first.
+    fn feasible_levels(&self, i: usize) -> Vec<u32> {
+        let min = self.ig.min_level(i);
+        match self.ig.category(i) {
+            Category::Primary => {
+                if self.ig.set(i).len() == 1 {
+                    vec![0]
+                } else {
+                    vec![self.primary_level[&i]]
+                }
+            }
+            Category::Single => {
+                let father = self.ig.fathers(i)[0];
+                match self.faces[father] {
+                    Some(ff) if ff.level() > 0 => {
+                        let top = ff.level() - 1;
+                        if top < min {
+                            Vec::new()
+                        } else if self.ig.set(i).len() == 1 {
+                            vec![0]
+                        } else {
+                            (min..=top).rev().collect()
+                        }
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Is node `i` selectable now (category 1, or category 3 with its father
+    /// already assigned)?
+    fn selectable(&self, i: usize) -> bool {
+        if self.faces[i].is_some() {
+            return false;
+        }
+        match self.ig.category(i) {
+            Category::Primary => true,
+            Category::Single => self.faces[self.ig.fathers(i)[0]].is_some(),
+            _ => false,
+        }
+    }
+
+    /// `next_to_code`: the 6-branch priority scheme of Section 3.4.1.
+    fn select_next(&self) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.ig.len()).filter(|&i| self.selectable(i)).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // A node with no feasible level is a dead end: pick it immediately
+        // to fail fast.
+        if let Some(&dead) = candidates
+            .iter()
+            .find(|&&i| self.feasible_levels(i).is_empty())
+        {
+            return Some(dead);
+        }
+        let last_level = self
+            .last
+            .and_then(|l| self.faces[l])
+            .map(|f| f.level())
+            .unwrap_or(self.k);
+        let shares = |i: usize| -> bool {
+            let Some(l) = self.last else { return false };
+            self.ig
+                .children(i)
+                .iter()
+                .any(|c| self.ig.children(l).contains(c))
+        };
+        let is_primary = |i: usize| self.ig.category(i) == Category::Primary;
+        let top_level = |i: usize| self.feasible_levels(i)[0];
+
+        // Branches 1-4: same level as the last assigned face.
+        let same: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.feasible_levels(i).contains(&last_level))
+            .collect();
+        for filt in [
+            Box::new(|i: usize| is_primary(i) && shares(i)) as Box<dyn Fn(usize) -> bool>,
+            Box::new(is_primary),
+            Box::new(shares),
+            Box::new(|_| true),
+        ] {
+            if let Some(&i) = same.iter().find(|&&i| filt(i)) {
+                return Some(i);
+            }
+        }
+        // Branches 5-6: maximum level below the last one.
+        let below: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| top_level(i) < last_level)
+            .collect();
+        for filt in [
+            Box::new(is_primary) as Box<dyn Fn(usize) -> bool>,
+            Box::new(|_| true),
+        ] {
+            if let Some(i) = below
+                .iter()
+                .copied()
+                .filter(|&i| filt(i))
+                .max_by_key(|&i| top_level(i))
+            {
+                return Some(i);
+            }
+        }
+        // Fallback: anything (e.g. levels above the last).
+        candidates.iter().copied().max_by_key(|&i| top_level(i))
+    }
+
+    /// `verify`: all pairwise conditions of Section 3.4.3 between the
+    /// proposed face for node `i` and every assigned face.
+    fn verify(&self, i: usize, face: Face) -> bool {
+        if self.used.contains(&face) {
+            return false;
+        }
+        let set = self.ig.set(i);
+        if (face.cardinality() as usize) < set.len() {
+            return false;
+        }
+        if set.len() == 1 && face.level() != 0 {
+            return false;
+        }
+        // Output covering relations: check pairs whose two codes are both
+        // determined (singleton faces at level 0).
+        if set.len() == 1 && !self.covers.is_empty() {
+            let s = set.iter().next().expect("singleton").0;
+            let code_of = |state: usize| -> Option<u64> {
+                if state == s {
+                    return Some(face.value_bits());
+                }
+                let node = self.singleton_of[state];
+                self.faces[node]
+                    .filter(|f| f.level() == 0)
+                    .map(|f| f.value_bits())
+            };
+            for &(u, v) in &self.covers {
+                if u != s && v != s {
+                    continue;
+                }
+                if let (Some(cu), Some(cv)) = (code_of(u), code_of(v)) {
+                    if cu | cv != cu || cu == cv {
+                        return false;
+                    }
+                }
+            }
+        }
+        for j in 0..self.ig.len() {
+            let Some(fj) = self.faces[j] else { continue };
+            if j == i {
+                continue;
+            }
+            let sj = self.ig.set(j);
+            if fj == face {
+                return false;
+            }
+            let set_in_sj = set.is_proper_subset_of(&sj);
+            let sj_in_set = sj.is_proper_subset_of(&set);
+            if fj.properly_contains(&face) && !set_in_sj {
+                return false;
+            }
+            if face.properly_contains(&fj) && !sj_in_set {
+                return false;
+            }
+            // Inclusion must be realized by the faces when it holds on sets
+            // *and* both are assigned... inclusion of sets only forces face
+            // inclusion for father/child chains, enforced below via fathers.
+            match face.intersection(&fj) {
+                Some(fi) => {
+                    let si = set.intersection(&sj);
+                    if si.is_empty() {
+                        return false; // spurious face intersection
+                    }
+                    if (fi.cardinality() as usize) < si.len() {
+                        return false;
+                    }
+                }
+                None => {
+                    if !set.intersection(&sj).is_empty() {
+                        return false; // required intersection impossible
+                    }
+                }
+            }
+        }
+        // Fathers must contain the face (when assigned).
+        for &fa in self.ig.fathers(i) {
+            if let Some(ff) = self.faces[fa] {
+                if !ff.properly_contains(&face) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Derives faces for category-2 nodes whose fathers are all assigned
+    /// (the `D(ic)` processing of `assign_face`). Returns the derived node
+    /// list on success (for undo), or `None` when some derivation is
+    /// inconsistent.
+    fn derive_ready_multis(&mut self) -> Option<Vec<usize>> {
+        let mut derived = Vec::new();
+        loop {
+            let mut progressed = false;
+            for i in 0..self.ig.len() {
+                if self.faces[i].is_some() || self.ig.category(i) != Category::Multi {
+                    continue;
+                }
+                let fathers = self.ig.fathers(i);
+                if !fathers.iter().all(|&f| self.faces[f].is_some()) {
+                    continue;
+                }
+                let mut acc = Face::full(self.k);
+                let mut ok = true;
+                for &f in fathers {
+                    match acc.intersection(&self.faces[f].expect("assigned")) {
+                        Some(x) => acc = x,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok || !self.verify(i, acc) {
+                    self.undo(&derived);
+                    return None;
+                }
+                self.faces[i] = Some(acc);
+                self.used.insert(acc);
+                derived.push(i);
+                progressed = true;
+            }
+            if !progressed {
+                return Some(derived);
+            }
+        }
+    }
+
+    fn undo(&mut self, nodes: &[usize]) {
+        for &i in nodes {
+            if let Some(f) = self.faces[i].take() {
+                self.used.remove(&f);
+            }
+        }
+    }
+
+    /// Full recursive search. Returns `true` when a complete valid
+    /// assignment has been reached (stored in `self.faces`).
+    fn extend(&mut self) -> bool {
+        let Some(node) = self.select_next() else {
+            return self.finalize();
+        };
+        let levels = self.feasible_levels(node);
+        let prev_last = self.last;
+        for level in levels {
+            let candidates: Vec<Face> = match self.ig.category(node) {
+                Category::Primary => faces_of_level(self.k, level).collect(),
+                Category::Single => {
+                    let ff = self.faces[self.ig.fathers(node)[0]].expect("father assigned");
+                    subfaces_of_level(&ff, level)
+                }
+                _ => unreachable!("only cat 1/3 nodes are selected"),
+            };
+            for face in candidates {
+                if !self.charge() {
+                    return false;
+                }
+                if !self.verify(node, face) {
+                    continue;
+                }
+                self.faces[node] = Some(face);
+                self.used.insert(face);
+                self.last = Some(node);
+                if let Some(derived) = self.derive_ready_multis() {
+                    if self.extend() {
+                        return true;
+                    }
+                    if self.aborted {
+                        return false;
+                    }
+                    self.undo(&derived);
+                }
+                if self.aborted {
+                    return false;
+                }
+                self.used.remove(&face);
+                self.faces[node] = None;
+                self.last = prev_last;
+            }
+        }
+        false
+    }
+
+    /// All selected and derived faces are in place: check global semantic
+    /// validity (every constraint's face contains all and only the codes of
+    /// its member states).
+    fn finalize(&mut self) -> bool {
+        // Any remaining cat-2 nodes must be derivable now.
+        let derived = match self.derive_ready_multis() {
+            Some(d) => d,
+            None => return false,
+        };
+        if self.faces.iter().any(Option::is_none) {
+            self.undo(&derived);
+            return false;
+        }
+        // Codes from singletons.
+        let n = self.ig.num_states();
+        let mut codes = vec![0u64; n];
+        for s in 0..n {
+            let i = self
+                .ig
+                .index_of(&StateSet::singleton(StateId(s)))
+                .expect("singleton node");
+            let f = self.faces[i].expect("assigned");
+            if f.level() != 0 {
+                self.undo(&derived);
+                return false;
+            }
+            codes[s] = f.vertices()[0];
+        }
+        // Output covering relations.
+        for &(u, v) in &self.covers {
+            if codes[u] | codes[v] != codes[u] || codes[u] == codes[v] {
+                self.undo(&derived);
+                return false;
+            }
+        }
+        // Global check.
+        for i in 0..self.ig.len() {
+            let face = self.faces[i].expect("assigned");
+            let set = self.ig.set(i);
+            for s in 0..n {
+                if face.contains_vertex(codes[s]) != set.contains(StateId(s)) {
+                    self.undo(&derived);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// All subfaces of `face` with the given level, deterministic order.
+fn subfaces_of_level(face: &Face, level: u32) -> Vec<Face> {
+    let k = face.k();
+    let free: Vec<u32> = (0..k).filter(|&i| !face_cares(face, i)).collect();
+    let extra = face.level() - level;
+    let mut out = Vec::new();
+    combinations(&free, extra as usize, &mut |chosen| {
+        // All value assignments of the newly fixed bits.
+        for combo in 0u64..1 << chosen.len() {
+            let mut mask = 0u64;
+            let mut value = 0u64;
+            for (j, &pos) in chosen.iter().enumerate() {
+                mask |= 1 << pos;
+                if combo >> j & 1 == 1 {
+                    value |= 1 << pos;
+                }
+            }
+            out.push(Face::new(
+                k,
+                face.mask_bits() | mask,
+                face.value_bits() | value,
+            ));
+        }
+    });
+    out
+}
+
+fn face_cares(face: &Face, bit: u32) -> bool {
+    face.mask_bits() >> bit & 1 == 1
+}
+
+fn combinations(items: &[u32], take: usize, f: &mut impl FnMut(&[u32])) {
+    fn rec(
+        items: &[u32],
+        take: usize,
+        start: usize,
+        cur: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]),
+    ) {
+        if cur.len() == take {
+            f(cur);
+            return;
+        }
+        for i in start..items.len() {
+            cur.push(items[i]);
+            rec(items, take, i + 1, cur, f);
+            cur.pop();
+        }
+    }
+    let mut cur = Vec::new();
+    rec(items, take, 0, &mut cur, f);
+}
+
+/// `pos_equiv` (Section 3.4): decides restricted SUBPOSET EQUIVALENCE for a
+/// fixed dimension `k` and primary level vector, by two-level backtracking.
+///
+/// `primary_levels` maps non-singleton primary node indices to their face
+/// level; missing entries default to the node's minimum feasible level.
+pub fn pos_equiv(
+    ig: &InputGraph,
+    k: u32,
+    primary_levels: &BTreeMap<usize, u32>,
+    budget: Option<u64>,
+) -> PosEquiv {
+    pos_equiv_covers(ig, k, primary_levels, &[], budget)
+}
+
+/// [`pos_equiv`] extended with output covering constraints `(u, v)`
+/// (state indices: code(u) must bit-wise strictly cover code(v)), the search
+/// core of `io_semiexact_code` (Section VI-6.2.1).
+pub fn pos_equiv_covers(
+    ig: &InputGraph,
+    k: u32,
+    primary_levels: &BTreeMap<usize, u32>,
+    covers: &[(usize, usize)],
+    budget: Option<u64>,
+) -> PosEquiv {
+    if (ig.num_states() as u64) > 1u64 << k.min(63) {
+        return PosEquiv::Exhausted;
+    }
+    let mut levels = BTreeMap::new();
+    for i in ig.primaries() {
+        if ig.set(i).len() > 1 {
+            let l = primary_levels
+                .get(&i)
+                .copied()
+                .unwrap_or_else(|| ig.min_level(i));
+            if l >= k {
+                return PosEquiv::Exhausted;
+            }
+            levels.insert(i, l);
+        }
+    }
+    let mut faces = vec![None; ig.len()];
+    faces[ig.universe()] = Some(Face::full(k));
+    let singleton_of: Vec<usize> = (0..ig.num_states())
+        .map(|s| {
+            ig.index_of(&StateSet::singleton(StateId(s)))
+                .expect("singleton node present")
+        })
+        .collect();
+    let mut search = Search {
+        ig,
+        k,
+        primary_level: levels,
+        faces,
+        used: HashSet::new(),
+        work: 0,
+        budget,
+        aborted: false,
+        last: None,
+        covers: covers.to_vec(),
+        singleton_of,
+    };
+    search.used.insert(Face::full(k));
+    if search.extend() {
+        let n = ig.num_states();
+        let mut codes = vec![0u64; n];
+        for s in 0..n {
+            let i = ig
+                .index_of(&StateSet::singleton(StateId(s)))
+                .expect("singleton");
+            codes[s] = search.faces[i].expect("assigned").vertices()[0];
+        }
+        let faces = (0..ig.len())
+            .map(|i| (ig.set(i), search.faces[i].expect("assigned")))
+            .collect();
+        PosEquiv::Found(Embedding {
+            bits: k,
+            codes,
+            faces,
+        })
+    } else if search.aborted {
+        PosEquiv::Aborted
+    } else {
+        PosEquiv::Exhausted
+    }
+}
+
+/// `iexact_code` (Section 3.3.1): exact input encoding. Tries increasing
+/// cube dimensions from [`mincube_dim`], enumerating primary level vectors
+/// lexicographically, until an embedding satisfying **all** input
+/// constraints is found.
+///
+/// Returns `None` when the work budget is exhausted or `max_k` is passed
+/// (the paper likewise reports failures for the hardest machines).
+pub fn iexact_code(ig: &InputGraph, opts: ExactOptions) -> Option<Embedding> {
+    let mut remaining = opts.max_work;
+    let start = mincube_dim(ig);
+    let primaries: Vec<usize> = ig
+        .primaries()
+        .into_iter()
+        .filter(|&i| ig.set(i).len() > 1)
+        .collect();
+    for k in start..=opts.max_k.min(ig.num_states() as u32) {
+        // Level ranges for the odometer.
+        let ranges: Vec<(u32, u32)> = primaries
+            .iter()
+            .map(|&i| {
+                let lo = ig.min_level(i);
+                let hi = if opts.min_dimension_faces_only {
+                    lo
+                } else {
+                    (k - 1).max(lo)
+                };
+                (lo, hi)
+            })
+            .collect();
+        let mut dimvect: Vec<u32> = ranges.iter().map(|r| r.0).collect();
+        loop {
+            let levels: BTreeMap<usize, u32> = primaries
+                .iter()
+                .copied()
+                .zip(dimvect.iter().copied())
+                .collect();
+            match pos_equiv(ig, k, &levels, remaining) {
+                PosEquiv::Found(e) => return Some(e),
+                PosEquiv::Aborted => return None,
+                PosEquiv::Exhausted => {}
+            }
+            if let Some(r) = remaining.as_mut() {
+                // Rough accounting: each pos_equiv call at least costs one
+                // unit; detailed work is tracked inside but not returned, so
+                // decay the budget geometrically to guarantee termination.
+                *r = r.saturating_sub(1 + *r / 64);
+                if *r == 0 {
+                    return None;
+                }
+            }
+            // Advance the odometer (lexicographic, Example 3.3.1.2).
+            let mut pos = dimvect.len();
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                if dimvect[pos] < ranges[pos].1 {
+                    dimvect[pos] += 1;
+                    for p in pos + 1..dimvect.len() {
+                        dimvect[p] = ranges[p].0;
+                    }
+                    break;
+                }
+                if pos == 0 {
+                    pos = usize::MAX;
+                    break;
+                }
+            }
+            if pos == usize::MAX || dimvect.is_empty() {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// `semiexact_code`: bounded search on a fixed dimension with
+/// minimum-dimension faces only (Section IV-4.1). Returns the embedding when
+/// all given constraints can be satisfied within the budget.
+pub fn semiexact_code(
+    num_states: usize,
+    constraints: &[StateSet],
+    k: u32,
+    max_work: u64,
+) -> Option<Embedding> {
+    io_semiexact_code(num_states, constraints, &[], k, max_work)
+}
+
+/// `io_semiexact_code` (Section VI-6.2.1): `semiexact_code` with an added
+/// mechanism rejecting face assignments that violate an active output
+/// covering relation.
+pub fn io_semiexact_code(
+    num_states: usize,
+    constraints: &[StateSet],
+    covers: &[(usize, usize)],
+    k: u32,
+    max_work: u64,
+) -> Option<Embedding> {
+    let ig = InputGraph::build(num_states, constraints);
+    let levels: BTreeMap<usize, u32> = ig
+        .primaries()
+        .into_iter()
+        .filter(|&i| ig.set(i).len() > 1)
+        .map(|i| (i, ig.min_level(i)))
+        .collect();
+    match pos_equiv_covers(&ig, k, &levels, covers, Some(max_work)) {
+        PosEquiv::Found(e) => Some(e),
+        _ => None,
+    }
+}
+
+/// Does `codes` satisfy constraint `set` (the spanned face contains no
+/// non-member code)?
+pub fn constraint_satisfied(set: &StateSet, codes: &[u64], bits: u32) -> bool {
+    let members: Vec<u64> = set.iter().map(|s| codes[s.0]).collect();
+    if members.is_empty() {
+        return true;
+    }
+    let span = Face::spanning(bits, &members);
+    codes
+        .iter()
+        .enumerate()
+        .all(|(s, &c)| set.contains(StateId(s)) || !span.contains_vertex(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_ic() -> Vec<StateSet> {
+        [
+            "1110000", "0111000", "0000111", "1000110", "0000011", "0011000",
+        ]
+        .iter()
+        .map(|s| StateSet::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn mincube_matches_example_3_3_2_2_1() {
+        let ig = InputGraph::build(7, &paper_ic());
+        assert_eq!(mincube_dim(&ig), 4);
+    }
+
+    #[test]
+    fn exact_solves_the_paper_instance_in_four_bits() {
+        let ig = InputGraph::build(7, &paper_ic());
+        let e = iexact_code(&ig, ExactOptions::default()).expect("solvable");
+        assert_eq!(e.bits, 4, "Example 3.1.1 solution uses k = 4");
+        // All constraints satisfied.
+        for ic in paper_ic() {
+            assert!(
+                constraint_satisfied(&ic, &e.codes, e.bits),
+                "unsatisfied {:?}",
+                ic
+            );
+        }
+        // Codes distinct.
+        let mut codes = e.codes.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 7);
+    }
+
+    #[test]
+    fn exact_trivial_instances() {
+        // No constraints: minimum length works immediately.
+        let ig = InputGraph::build(4, &[]);
+        let e = iexact_code(&ig, ExactOptions::default()).expect("trivial");
+        assert_eq!(e.bits, 2);
+    }
+
+    #[test]
+    fn exact_single_constraint() {
+        let ig = InputGraph::build(4, &[StateSet::parse("1100").unwrap()]);
+        let e = iexact_code(&ig, ExactOptions::default()).expect("solvable");
+        assert_eq!(e.bits, 2);
+        assert!(constraint_satisfied(
+            &StateSet::parse("1100").unwrap(),
+            &e.codes,
+            e.bits
+        ));
+    }
+
+    #[test]
+    fn exact_needs_extra_dimension_when_constraints_conflict() {
+        // A 5-cycle of pair constraints on 5 states: 2 bits cannot even hold
+        // 5 distinct codes, and an odd cycle of *edges* cannot embed in any
+        // hypercube, so at k = 3 the level enumeration must raise one pair
+        // to a level-2 face. Solvable (e.g. codes 000,100,110,111,001).
+        let ics = ["11000", "01100", "00110", "00011", "10001"]
+            .iter()
+            .map(|s| StateSet::parse(s).unwrap())
+            .collect::<Vec<_>>();
+        let ig = InputGraph::build(5, &ics);
+        let e = iexact_code(&ig, ExactOptions::default()).expect("solvable at k = 3");
+        assert_eq!(e.bits, 3);
+        for ic in &ics {
+            assert!(constraint_satisfied(ic, &e.codes, e.bits));
+        }
+    }
+
+    #[test]
+    fn triangle_constraints_have_no_subposet_embedding() {
+        // {0,1},{1,2},{0,2} pairwise intersect in singletons; in the
+        // subposet-equivalence framework the singleton faces are the exact
+        // intersections of their fathers' faces, which is geometrically
+        // impossible for a triangle at any dimension (the three difference
+        // masks cannot be pairwise disjoint around an odd closed chain).
+        // `iexact_code` must report failure rather than loop.
+        let ics = ["1100", "0110", "1010"]
+            .iter()
+            .map(|s| StateSet::parse(s).unwrap())
+            .collect::<Vec<_>>();
+        let ig = InputGraph::build(4, &ics);
+        let opts = ExactOptions {
+            max_k: 5,
+            ..ExactOptions::default()
+        };
+        assert!(iexact_code(&ig, opts).is_none());
+    }
+
+    #[test]
+    fn semiexact_respects_budget() {
+        let ig_constraints = paper_ic();
+        // Tiny budget: must abort (return None) rather than hang.
+        let r = semiexact_code(7, &ig_constraints, 4, 3);
+        assert!(r.is_none());
+        // Generous budget: solves.
+        let r = semiexact_code(7, &ig_constraints, 4, 2_000_000);
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn constraint_satisfaction_predicate() {
+        // codes: 0,1,2,3 in 2 bits; {0,1} spans face 0x -> contains 0,1 only.
+        let codes = vec![0b00, 0b01, 0b10, 0b11];
+        assert!(constraint_satisfied(
+            &StateSet::parse("1100").unwrap(),
+            &codes,
+            2
+        ));
+        // {0,3} spans xx -> contains everything: unsatisfied.
+        assert!(!constraint_satisfied(
+            &StateSet::parse("1001").unwrap(),
+            &codes,
+            2
+        ));
+    }
+
+    #[test]
+    fn embedding_faces_cover_exactly() {
+        let ig = InputGraph::build(7, &paper_ic());
+        let e = iexact_code(&ig, ExactOptions::default()).expect("solvable");
+        for (set, face) in &e.faces {
+            for s in 0..7 {
+                assert_eq!(
+                    face.contains_vertex(e.codes[s]),
+                    set.contains(StateId(s)),
+                    "face {face} vs state {s}"
+                );
+            }
+        }
+    }
+}

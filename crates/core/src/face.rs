@@ -1,0 +1,335 @@
+//! Faces of the Boolean k-cube: strings over `{0, 1, x}` and their algebra,
+//! the codomain of the face hypercube embedding.
+
+use std::fmt;
+
+/// A face (subcube) of the k-cube.
+///
+/// `mask` has a 1 in every *care* position; `value` holds the fixed bits
+/// (and is 0 outside the mask). The face's *level* is the number of `x`
+/// positions, `k - popcount(mask)`; its cardinality is `2^level`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Face {
+    k: u32,
+    mask: u64,
+    value: u64,
+}
+
+impl fmt::Debug for Face {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Face({self})")
+    }
+}
+
+impl fmt::Display for Face {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper notation: leftmost character is the most significant bit.
+        for i in (0..self.k).rev() {
+            let bit = 1u64 << i;
+            f.write_str(if self.mask & bit == 0 {
+                "x"
+            } else if self.value & bit != 0 {
+                "1"
+            } else {
+                "0"
+            })?;
+        }
+        Ok(())
+    }
+}
+
+fn full_mask(k: u32) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+impl Face {
+    /// A vertex of the k-cube (level 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds 63, or if `code` has bits above `k`.
+    pub fn vertex(k: u32, code: u64) -> Face {
+        assert!((1..=63).contains(&k), "cube dimension out of range");
+        assert_eq!(code & !full_mask(k), 0, "code wider than the cube");
+        Face {
+            k,
+            mask: full_mask(k),
+            value: code,
+        }
+    }
+
+    /// The full cube (level k, all `x`).
+    pub fn full(k: u32) -> Face {
+        assert!((1..=63).contains(&k));
+        Face {
+            k,
+            mask: 0,
+            value: 0,
+        }
+    }
+
+    /// Builds a face from explicit mask/value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range dimension or value bits outside the mask/cube.
+    pub fn new(k: u32, mask: u64, value: u64) -> Face {
+        assert!((1..=63).contains(&k));
+        assert_eq!(mask & !full_mask(k), 0, "mask wider than the cube");
+        assert_eq!(value & !mask, 0, "value bits outside the mask");
+        Face { k, mask, value }
+    }
+
+    /// Parses the paper's string notation, e.g. `"x0x0"` (leftmost = MSB).
+    ///
+    /// Returns `None` on bad characters or unsupported widths.
+    pub fn parse(s: &str) -> Option<Face> {
+        let k = s.len() as u32;
+        if k == 0 || k > 63 {
+            return None;
+        }
+        let mut mask = 0u64;
+        let mut value = 0u64;
+        for (i, c) in s.chars().enumerate() {
+            let bit = 1u64 << (k as usize - 1 - i);
+            match c {
+                'x' | 'X' | '-' => {}
+                '0' => mask |= bit,
+                '1' => {
+                    mask |= bit;
+                    value |= bit;
+                }
+                _ => return None,
+            }
+        }
+        Some(Face { k, mask, value })
+    }
+
+    /// Cube dimension.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The care mask (1 in every fixed position).
+    pub fn mask_bits(&self) -> u64 {
+        self.mask
+    }
+
+    /// The fixed values (0 outside the mask).
+    pub fn value_bits(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of `x` positions.
+    pub fn level(&self) -> u32 {
+        self.k - self.mask.count_ones()
+    }
+
+    /// Number of vertices, `2^level`.
+    pub fn cardinality(&self) -> u64 {
+        1u64 << self.level()
+    }
+
+    /// Does the face contain vertex `code`?
+    pub fn contains_vertex(&self, code: u64) -> bool {
+        code & self.mask == self.value
+    }
+
+    /// Do two faces share at least one vertex?
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions differ.
+    pub fn intersects(&self, other: &Face) -> bool {
+        assert_eq!(self.k, other.k, "faces of different cubes");
+        (self.value ^ other.value) & self.mask & other.mask == 0
+    }
+
+    /// The intersection face, when non-empty.
+    pub fn intersection(&self, other: &Face) -> Option<Face> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Face {
+            k: self.k,
+            mask: self.mask | other.mask,
+            value: self.value | other.value,
+        })
+    }
+
+    /// Set containment: `self ⊇ other`.
+    pub fn contains(&self, other: &Face) -> bool {
+        assert_eq!(self.k, other.k);
+        self.mask & !other.mask == 0 && other.value & self.mask == self.value
+    }
+
+    /// Strict containment.
+    pub fn properly_contains(&self, other: &Face) -> bool {
+        self != other && self.contains(other)
+    }
+
+    /// The vertices of the face in increasing code order.
+    pub fn vertices(&self) -> Vec<u64> {
+        let free: Vec<u32> = (0..self.k).filter(|&i| self.mask >> i & 1 == 0).collect();
+        let mut out = Vec::with_capacity(1 << free.len());
+        for combo in 0u64..1 << free.len() {
+            let mut code = self.value;
+            for (j, &pos) in free.iter().enumerate() {
+                if combo >> j & 1 == 1 {
+                    code |= 1 << pos;
+                }
+            }
+            out.push(code);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The smallest face containing all the given vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty or contains bits above `k`.
+    pub fn spanning(k: u32, codes: &[u64]) -> Face {
+        assert!(!codes.is_empty(), "spanning face of no vertices");
+        let first = codes[0];
+        let mut agree = full_mask(k);
+        for &c in codes {
+            assert_eq!(c & !full_mask(k), 0);
+            agree &= !(c ^ first);
+        }
+        Face {
+            k,
+            mask: agree,
+            value: first & agree,
+        }
+    }
+}
+
+/// Iterator over all faces of a given level of the k-cube, in a fixed
+/// deterministic order (mask combinations outer, values inner).
+pub fn faces_of_level(k: u32, level: u32) -> impl Iterator<Item = Face> {
+    assert!(level <= k);
+    let care = k - level;
+    masks_with_popcount(k, care)
+        .flat_map(move |mask| value_assignments(mask).map(move |value| Face { k, mask, value }))
+}
+
+/// All `k`-bit masks with exactly `ones` bits set, ascending.
+fn masks_with_popcount(k: u32, ones: u32) -> impl Iterator<Item = u64> {
+    let limit = 1u64 << k;
+    (0..limit).filter(move |m| m.count_ones() == ones)
+}
+
+/// All values within a mask (its subsets), ascending by packed index.
+fn value_assignments(mask: u64) -> impl Iterator<Item = u64> {
+    let bits: Vec<u32> = (0..64).filter(|&i| mask >> i & 1 == 1).collect();
+    (0u64..1 << bits.len()).map(move |combo| {
+        let mut v = 0;
+        for (j, &pos) in bits.iter().enumerate() {
+            if combo >> j & 1 == 1 {
+                v |= 1 << pos;
+            }
+        }
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["x0x0", "1xx0", "0000", "xxxx", "01x1"] {
+            assert_eq!(Face::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn paper_example_3_1_intersections() {
+        // From Example 3.1.1: f(1110000) = x0x0 intersects the singleton
+        // codes of states 1..3 and no others.
+        let face = Face::parse("x0x0").unwrap();
+        let codes = [
+            ("1000000", "0000"),
+            ("0100000", "1010"),
+            ("0010000", "1000"),
+            ("0001000", "1100"),
+            ("0000100", "0101"),
+            ("0000010", "0111"),
+            ("0000001", "1111"),
+        ];
+        for (i, (_, code)) in codes.iter().enumerate() {
+            let v = u64::from_str_radix(code, 2).unwrap();
+            assert_eq!(face.contains_vertex(v), i < 3, "state {i}");
+        }
+    }
+
+    #[test]
+    fn levels_and_cardinality() {
+        let f = Face::parse("x0x0").unwrap();
+        assert_eq!(f.level(), 2);
+        assert_eq!(f.cardinality(), 4);
+        assert_eq!(Face::vertex(4, 0b1010).level(), 0);
+        assert_eq!(Face::full(4).level(), 4);
+    }
+
+    #[test]
+    fn intersection_rules() {
+        let a = Face::parse("x0x0").unwrap();
+        let b = Face::parse("1xx0").unwrap();
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.to_string(), "10x0");
+        let c = Face::parse("x1x1").unwrap();
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn containment_rules() {
+        let big = Face::parse("x0x0").unwrap();
+        let small = Face::parse("10x0").unwrap();
+        assert!(big.contains(&small));
+        assert!(big.properly_contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+    }
+
+    #[test]
+    fn vertices_enumeration() {
+        let f = Face::parse("1x0x").unwrap();
+        assert_eq!(f.vertices(), vec![0b1000, 0b1001, 0b1100, 0b1101]);
+    }
+
+    #[test]
+    fn spanning_face() {
+        let f = Face::spanning(4, &[0b0000, 0b1010, 0b1000]);
+        // agree on bits 0 (all 0) and 2 (all 0): x0x0... bits: 0000,1010,1000
+        // bit0: 0,0,0 agree=0; bit1: 0,1,0 differ; bit2: 0,0,0 agree; bit3: 0,1,1 differ
+        assert_eq!(f.to_string(), "x0x0");
+    }
+
+    #[test]
+    fn face_counts_per_level() {
+        // k-cube has C(k, l) * 2^(k-l) faces of level l.
+        let count = faces_of_level(4, 2).count();
+        assert_eq!(count, 6 * 4);
+        let count0 = faces_of_level(3, 0).count();
+        assert_eq!(count0, 8);
+        let countk = faces_of_level(3, 3).count();
+        assert_eq!(countk, 1);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_unique() {
+        let all: Vec<Face> = faces_of_level(4, 1).collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

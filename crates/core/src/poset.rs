@@ -1,0 +1,292 @@
+//! The input poset / input graph `IG(V, E)` of Section 3.2: the closure of
+//! the input constraints under intersection, augmented with the singletons
+//! and the universe, with father/child (minimal superset / maximal subset)
+//! relations.
+
+use crate::constraint::StateSet;
+use fsm::StateId;
+use std::collections::BTreeMap;
+
+/// The paper's constraint categories (Section 3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// The universe constraint.
+    Universe,
+    /// Category 1 ("primary"): exactly one father and it is the universe.
+    Primary,
+    /// Category 2: more than one father (face = intersection of fathers').
+    Multi,
+    /// Category 3: one father that is not the universe (face inside it).
+    Single,
+}
+
+/// The input graph: nodes are constraints of `Closure∩[IC] ∪ S ∪ {universe}`,
+/// edges are the father/child relations of the Hasse diagram.
+#[derive(Debug, Clone)]
+pub struct InputGraph {
+    num_states: usize,
+    nodes: Vec<StateSet>,
+    index: BTreeMap<StateSet, usize>,
+    fathers: Vec<Vec<usize>>,
+    children: Vec<Vec<usize>>,
+    universe: usize,
+}
+
+impl InputGraph {
+    /// Builds the input graph from raw constraints over `num_states` states.
+    ///
+    /// Degenerate inputs (empty sets, duplicates) are tolerated; singletons
+    /// and the universe are always added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states` is 0 or exceeds 128.
+    pub fn build(num_states: usize, constraints: &[StateSet]) -> InputGraph {
+        assert!((1..=128).contains(&num_states));
+        let universe_set = StateSet::universe(num_states);
+
+        // Closure under pairwise intersection.
+        let mut nodes: Vec<StateSet> = Vec::new();
+        let mut seen: BTreeMap<StateSet, ()> = BTreeMap::new();
+        let push = |s: StateSet, nodes: &mut Vec<StateSet>, seen: &mut BTreeMap<StateSet, ()>| {
+            if !s.is_empty() && seen.insert(s, ()).is_none() {
+                nodes.push(s);
+            }
+        };
+        for &c in constraints {
+            push(c, &mut nodes, &mut seen);
+        }
+        let mut frontier = 0;
+        while frontier < nodes.len() {
+            let end = nodes.len();
+            for i in 0..end {
+                for j in frontier.max(i + 1)..end {
+                    let inter = nodes[i].intersection(&nodes[j]);
+                    push(inter, &mut nodes, &mut seen);
+                }
+            }
+            frontier = end;
+        }
+        for s in 0..num_states {
+            push(StateSet::singleton(StateId(s)), &mut nodes, &mut seen);
+        }
+        push(universe_set, &mut nodes, &mut seen);
+
+        // Sort: descending cardinality (universe first), then set order, so
+        // fathers precede children and iteration is deterministic.
+        nodes.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+        let index: BTreeMap<StateSet, usize> =
+            nodes.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        let universe = index[&universe_set];
+
+        // Fathers: minimal strict supersets among nodes.
+        let mut fathers = vec![Vec::new(); nodes.len()];
+        let mut children = vec![Vec::new(); nodes.len()];
+        for i in 0..nodes.len() {
+            let supersets: Vec<usize> = (0..nodes.len())
+                .filter(|&j| nodes[i].is_proper_subset_of(&nodes[j]))
+                .collect();
+            let minimal: Vec<usize> = supersets
+                .iter()
+                .copied()
+                .filter(|&j| {
+                    !supersets
+                        .iter()
+                        .any(|&l| l != j && nodes[l].is_proper_subset_of(&nodes[j]))
+                })
+                .collect();
+            for &j in &minimal {
+                fathers[i].push(j);
+                children[j].push(i);
+            }
+        }
+
+        InputGraph {
+            num_states,
+            nodes,
+            index,
+            fathers,
+            children,
+            universe,
+        }
+    }
+
+    /// Number of machine states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// All constraint nodes (universe first, descending cardinality).
+    pub fn nodes(&self) -> &[StateSet] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph is trivial (never: the universe always exists).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node index of a constraint set, if present.
+    pub fn index_of(&self, s: &StateSet) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// Index of the universe node.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The set at node `i`.
+    pub fn set(&self, i: usize) -> StateSet {
+        self.nodes[i]
+    }
+
+    /// Fathers (minimal strict supersets) of node `i`.
+    pub fn fathers(&self, i: usize) -> &[usize] {
+        &self.fathers[i]
+    }
+
+    /// Children (maximal strict subsets) of node `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// The paper's category of node `i`.
+    pub fn category(&self, i: usize) -> Category {
+        if i == self.universe {
+            Category::Universe
+        } else if self.fathers[i].len() > 1 {
+            Category::Multi
+        } else if self.fathers[i] == [self.universe] {
+            Category::Primary
+        } else {
+            Category::Single
+        }
+    }
+
+    /// Indices of the primary (category 1) nodes, in node order.
+    pub fn primaries(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.category(i) == Category::Primary)
+            .collect()
+    }
+
+    /// Minimum feasible face level for node `i`: `ceil(log2(|ic|))`.
+    pub fn min_level(&self, i: usize) -> u32 {
+        let c = self.nodes[i].len();
+        (usize::BITS - (c - 1).leading_zeros()).min(63)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_ic() -> Vec<StateSet> {
+        [
+            "1110000", "0111000", "0000111", "1000110", "0000011", "0011000",
+        ]
+        .iter()
+        .map(|s| StateSet::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn example_3_1_2_closure() {
+        // Closure∩[IC] from Example 3.1.2 (plus universe).
+        let ig = InputGraph::build(7, &paper_ic());
+        let expected = [
+            "1111111", "1110000", "0111000", "0000111", "1000110", "0000011", "0011000", "0110000",
+            "0000110", "1000000", "0100000", "0010000", "0001000", "0000100", "0000010", "0000001",
+        ];
+        assert_eq!(ig.len(), expected.len());
+        for e in expected {
+            let s = StateSet::parse(e).unwrap();
+            assert!(ig.index_of(&s).is_some(), "missing {e}");
+        }
+    }
+
+    #[test]
+    fn example_3_2_1_fathers() {
+        let ig = InputGraph::build(7, &paper_ic());
+        let f = |s: &str| -> Vec<StateSet> {
+            let i = ig.index_of(&StateSet::parse(s).unwrap()).unwrap();
+            let mut v: Vec<StateSet> = ig.fathers(i).iter().map(|&j| ig.set(j)).collect();
+            v.sort();
+            v
+        };
+        let sets = |names: &[&str]| -> Vec<StateSet> {
+            let mut v: Vec<StateSet> = names.iter().map(|n| StateSet::parse(n).unwrap()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(f("1111111"), sets(&[]));
+        assert_eq!(f("1110000"), sets(&["1111111"]));
+        assert_eq!(f("0011000"), sets(&["0111000"]));
+        assert_eq!(f("0110000"), sets(&["0111000", "1110000"]));
+        assert_eq!(f("0000011"), sets(&["0000111"]));
+        assert_eq!(f("0000110"), sets(&["0000111", "1000110"]));
+        assert_eq!(f("0010000"), sets(&["0011000", "0110000"]));
+        assert_eq!(f("0001000"), sets(&["0011000"]));
+        assert_eq!(f("0100000"), sets(&["0110000"]));
+        assert_eq!(f("0000010"), sets(&["0000011", "0000110"]));
+        assert_eq!(f("0000001"), sets(&["0000011"]));
+        // The paper's Example 3.2.1 prints F(0000100) = (1110000, 1000110),
+        // which is inconsistent with its own closure (state 5 is in neither
+        // 1110000 nor — minimally — 1000110, given 0000110 is also a node).
+        // The minimal strict superset of {5} in the closure is 0000110.
+        assert_eq!(f("0000100"), sets(&["0000110"]));
+    }
+
+    #[test]
+    fn example_3_3_1_1_categories() {
+        let ig = InputGraph::build(7, &paper_ic());
+        let cat = |s: &str| ig.category(ig.index_of(&StateSet::parse(s).unwrap()).unwrap());
+        for s in ["1110000", "0111000", "0000111", "1000110"] {
+            assert_eq!(cat(s), Category::Primary, "{s}");
+        }
+        for s in ["0000110", "0110000", "0010000", "0000010", "1000000"] {
+            assert_eq!(cat(s), Category::Multi, "{s}");
+        }
+        for s in [
+            "0011000", "0000011", "0001000", "0100000", "0000001", "0000100",
+        ] {
+            assert_eq!(cat(s), Category::Single, "{s}");
+        }
+    }
+
+    #[test]
+    fn min_levels() {
+        let ig = InputGraph::build(7, &paper_ic());
+        let lvl = |s: &str| ig.min_level(ig.index_of(&StateSet::parse(s).unwrap()).unwrap());
+        assert_eq!(lvl("1110000"), 2); // 3 states -> level 2
+        assert_eq!(lvl("0000011"), 1);
+        assert_eq!(lvl("1000000"), 0);
+        assert_eq!(lvl("1111111"), 3);
+    }
+
+    #[test]
+    fn fathers_precede_children_in_node_order() {
+        let ig = InputGraph::build(7, &paper_ic());
+        for i in 0..ig.len() {
+            for &fa in ig.fathers(i) {
+                assert!(fa < i, "father after child");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_constraint_list_still_has_singletons() {
+        let ig = InputGraph::build(3, &[]);
+        assert_eq!(ig.len(), 4); // universe + 3 singletons
+        for s in 0..3 {
+            let i = ig.index_of(&StateSet::singleton(StateId(s))).unwrap();
+            assert_eq!(ig.category(i), Category::Primary);
+        }
+    }
+}

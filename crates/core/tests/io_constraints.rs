@@ -1,0 +1,116 @@
+//! Integration tests of the covering-aware embedding (`io_semiexact_code`)
+//! and the interaction between input and output constraints.
+
+use fsm::StateId;
+use nova_core::constraint::StateSet;
+use nova_core::exact::{io_semiexact_code, semiexact_code};
+use nova_core::hybrid::HybridOptions;
+use nova_core::symbolic_min::OutputCluster;
+use nova_core::{iohybrid_code, iovariant_code, out_encoder, symbolic_minimize};
+
+fn covers_hold(codes: &[u64], covers: &[(usize, usize)]) -> bool {
+    covers
+        .iter()
+        .all(|&(u, v)| codes[u] | codes[v] == codes[u] && codes[u] != codes[v])
+}
+
+#[test]
+fn io_semiexact_honours_covering_pairs() {
+    // 4 states, 3 bits of room: force 0 ⊐ 1 and 2 ⊐ 3.
+    let covers = [(0, 1), (2, 3)];
+    let e = io_semiexact_code(4, &[], &covers, 3, 500_000).expect("satisfiable");
+    assert!(covers_hold(&e.codes, &covers), "codes {:?}", e.codes);
+}
+
+#[test]
+fn io_semiexact_combines_input_and_output_constraints() {
+    let ic = [StateSet::parse("1100").unwrap()];
+    let covers = [(3, 0)];
+    let e = io_semiexact_code(4, &ic, &covers, 3, 500_000).expect("satisfiable");
+    assert!(covers_hold(&e.codes, &covers));
+    assert!(nova_core::exact::constraint_satisfied(&ic[0], &e.codes, 3));
+}
+
+#[test]
+fn io_semiexact_rejects_contradictory_covers() {
+    // 0 must cover 1 and 1 must cover 0: impossible with distinct codes.
+    let covers = [(0, 1), (1, 0)];
+    assert!(io_semiexact_code(3, &[], &covers, 2, 200_000).is_none());
+}
+
+#[test]
+fn covering_chain_is_satisfiable_with_enough_bits() {
+    // 0 ⊐ 1 ⊐ 2 ⊐ 3 needs codes of strictly decreasing popcount: 3 bits
+    // suffice (111 ⊐ 110 ⊐ 100 ⊐ 000).
+    let covers = [(0, 1), (1, 2), (2, 3)];
+    let e = io_semiexact_code(4, &[], &covers, 3, 2_000_000).expect("satisfiable");
+    assert!(covers_hold(&e.codes, &covers), "codes {:?}", e.codes);
+    // ... and is impossible in 2 bits (a chain of 4 needs popcounts
+    // 3 > 2 > 1 > 0 or similar, exceeding 2-bit codes).
+    assert!(io_semiexact_code(4, &[], &covers, 2, 2_000_000).is_none());
+}
+
+#[test]
+fn plain_semiexact_is_io_semiexact_without_covers() {
+    let ic = [StateSet::parse("110000").unwrap(), StateSet::parse("001100").unwrap()];
+    let a = semiexact_code(6, &ic, 3, 100_000);
+    let b = io_semiexact_code(6, &ic, &[], 3, 100_000);
+    assert_eq!(a.map(|e| e.codes), b.map(|e| e.codes));
+}
+
+#[test]
+fn out_encoder_respects_transitive_dags() {
+    let clusters = vec![
+        OutputCluster {
+            next: StateId(0),
+            covers: vec![(StateId(1), StateId(0))],
+            weight: 1,
+        },
+        OutputCluster {
+            next: StateId(1),
+            covers: vec![(StateId(2), StateId(1))],
+            weight: 1,
+        },
+    ];
+    let enc = out_encoder(5, &clusters);
+    let codes = enc.codes();
+    // Transitivity: 2 covers 1 covers 0 ⇒ 2 covers 0.
+    assert_eq!(codes[2] | codes[0], codes[2]);
+    assert_eq!(codes[1] | codes[0], codes[1]);
+}
+
+#[test]
+fn iohybrid_reports_cluster_satisfaction_faithfully() {
+    for name in ["bbtas", "lion", "dk27", "train11"] {
+        let m = fsm::benchmarks::by_name(name).expect("embedded").fsm;
+        let sym = symbolic_minimize(&m);
+        for out in [
+            iohybrid_code(&sym, None, HybridOptions::default()),
+            iovariant_code(&sym, None, HybridOptions::default()),
+        ] {
+            let codes = out.hybrid.encoding.codes();
+            for c in &out.satisfied_clusters {
+                for (u, v) in &c.covers {
+                    assert_eq!(codes[u.0] | codes[v.0], codes[u.0], "{name}");
+                    assert_ne!(codes[u.0], codes[v.0], "{name}");
+                }
+            }
+            for c in &out.unsatisfied_clusters {
+                let broken = c.covers.iter().any(|(u, v)| {
+                    codes[u.0] | codes[v.0] != codes[u.0] || codes[u.0] == codes[v.0]
+                });
+                assert!(broken, "{name}: cluster reported unsatisfied but holds");
+            }
+        }
+    }
+}
+
+#[test]
+fn symbolic_min_weights_match_edges() {
+    let m = fsm::benchmarks::by_name("modulo12").expect("embedded").fsm;
+    let sym = symbolic_minimize(&m);
+    for c in &sym.oc_clusters {
+        assert!(c.weight >= 1);
+        assert!(!c.covers.is_empty(), "a weighted cluster must carry edges");
+    }
+}

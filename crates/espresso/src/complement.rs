@@ -1,0 +1,296 @@
+//! Complementation and sharp (set difference) of covers.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::space::CubeSpace;
+
+/// Complement of a single cube: one result cube per non-full variable,
+/// full everywhere except that variable, where it admits exactly the parts
+/// the input rejects (De Morgan on positional notation).
+pub fn complement_cube(space: &CubeSpace, c: &Cube) -> Vec<Cube> {
+    if c.is_empty(space) {
+        return vec![Cube::full(space)];
+    }
+    let mut out = Vec::new();
+    for v in space.vars() {
+        if c.var_is_full(space, v) {
+            continue;
+        }
+        let mut r = Cube::full(space);
+        for p in 0..space.parts(v) {
+            if c.has_part(space, v, p) {
+                r.clear_part(space, v, p);
+            }
+        }
+        out.push(r);
+    }
+    out
+}
+
+/// Complement of a cover via recursive Shannon expansion on the most binate
+/// variable, with unate base cases.
+///
+/// The result denotes exactly the minterms not covered by `f`.
+///
+/// # Examples
+///
+/// ```
+/// use espresso::{complement, tautology, Cover, CubeSpace};
+///
+/// let mut f = Cover::empty(CubeSpace::binary(2));
+/// f.push_parsed("10 11").unwrap(); // x
+/// let g = complement(&f);
+/// assert!(tautology(&f.union(&g)));
+/// ```
+pub fn complement(f: &Cover) -> Cover {
+    let cubes = comp_rec(f.space(), f.cubes().to_vec());
+    let mut out = Cover::from_cubes(f.space().clone(), cubes);
+    out.absorb();
+    out
+}
+
+fn comp_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> Vec<Cube> {
+    cubes.retain(|c| !c.is_empty(space));
+    if cubes.iter().any(|c| c.is_full(space)) {
+        return Vec::new();
+    }
+    if cubes.is_empty() {
+        return vec![Cube::full(space)];
+    }
+    if cubes.len() == 1 {
+        return complement_cube(space, &cubes[0]);
+    }
+
+    // Absorption keeps the recursion small.
+    let mut keep = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..cubes.len() {
+            if i != j
+                && keep[j]
+                && cubes[i].is_subset_of(&cubes[j])
+                && (cubes[i] != cubes[j] || i > j)
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut idx = 0;
+    cubes.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    if cubes.len() == 1 {
+        return complement_cube(space, &cubes[0]);
+    }
+
+    // Most binate variable.
+    let mut best: Option<(usize, usize, u32)> = None;
+    for v in space.vars() {
+        let count = cubes.iter().filter(|c| !c.var_is_full(space, v)).count();
+        if count == 0 {
+            continue;
+        }
+        let parts = space.parts(v);
+        let cand = (v, count, parts);
+        best = Some(match best {
+            None => cand,
+            Some(b) => {
+                if count > b.1 || (count == b.1 && parts < b.2) {
+                    cand
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    let v = best
+        .expect("non-universe multi-cube cover has an active variable")
+        .0;
+
+    // complement(F) = ⋃_p [ (v = p) ∧ complement(F cofactored at v = p) ]
+    let mut out: Vec<Cube> = Vec::new();
+    for p in 0..space.parts(v) {
+        let mut branch: Vec<Cube> = Vec::new();
+        for c in &cubes {
+            if c.has_part(space, v, p) {
+                let mut cf = c.clone();
+                cf.set_var_full(space, v);
+                branch.push(cf);
+            }
+        }
+        let comp = comp_rec(space, branch);
+        for mut c in comp {
+            // Restrict the branch complement to v = p.
+            c.clear_var(space, v);
+            c.set_part(space, v, p);
+            out.push(c);
+        }
+    }
+
+    // Merge sibling cubes that differ only in v (reduces blow-up from the
+    // value partition): two cubes identical outside v merge by OR-ing their
+    // v fields.
+    merge_on_var(space, v, &mut out);
+    out
+}
+
+fn merge_on_var(space: &CubeSpace, v: usize, cubes: &mut Vec<Cube>) {
+    let mut i = 0;
+    while i < cubes.len() {
+        let mut j = i + 1;
+        while j < cubes.len() {
+            if equal_outside_var(space, v, &cubes[i], &cubes[j]) {
+                let merged = cubes[i].or(&cubes[j]);
+                cubes[i] = merged;
+                cubes.swap_remove(j);
+            } else {
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn equal_outside_var(space: &CubeSpace, v: usize, a: &Cube, b: &Cube) -> bool {
+    let mask = space.mask(v);
+    a.words()
+        .iter()
+        .zip(b.words())
+        .zip(mask)
+        .all(|((x, y), m)| x & !m == y & !m)
+}
+
+/// Sharp of a cube by a cube: `a ∖ b` as a (non-disjoint) list of cubes.
+pub fn sharp_cube(space: &CubeSpace, a: &Cube, b: &Cube) -> Vec<Cube> {
+    if a.intersect(space, b).is_none() {
+        return vec![a.clone()];
+    }
+    if a.is_subset_of(b) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for v in space.vars() {
+        let mut r = a.clone();
+        r.clear_var(space, v);
+        let mut any = false;
+        for p in 0..space.parts(v) {
+            if a.has_part(space, v, p) && !b.has_part(space, v, p) {
+                r.set_part(space, v, p);
+                any = true;
+            }
+        }
+        if any {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Sharp of a cover by a cover: `f ∖ g` as a cover (exact set difference).
+pub fn sharp(f: &Cover, g: &Cover) -> Cover {
+    let space = f.space();
+    let mut current: Vec<Cube> = f.cubes().to_vec();
+    for b in g.iter() {
+        let mut next = Vec::new();
+        for a in &current {
+            next.extend(sharp_cube(space, a, b));
+        }
+        current = next;
+        // Periodic absorption keeps intermediate covers manageable.
+        if current.len() > 64 {
+            let mut c = Cover::from_cubes(space.clone(), std::mem::take(&mut current));
+            c.absorb();
+            current = c.into_iter().collect();
+        }
+    }
+    let mut out = Cover::from_cubes(space.clone(), current);
+    out.absorb();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tautology::{covers_equivalent, cube_in_cover, tautology};
+
+    fn cover(space: &CubeSpace, strs: &[&str]) -> Cover {
+        let mut f = Cover::empty(space.clone());
+        for s in strs {
+            f.push_parsed(s).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn complement_of_empty_is_universe() {
+        let sp = CubeSpace::binary(2);
+        let g = complement(&Cover::empty(sp.clone()));
+        assert_eq!(g.len(), 1);
+        assert!(g.cubes()[0].is_full(&sp));
+    }
+
+    #[test]
+    fn complement_of_universe_is_empty() {
+        let sp = CubeSpace::binary(2);
+        assert!(complement(&Cover::universe(sp)).is_empty());
+    }
+
+    #[test]
+    fn complement_partitions_space() {
+        let sp = CubeSpace::binary(3);
+        let f = cover(&sp, &["10 11 01", "11 10 10", "01 01 11"]);
+        let g = complement(&f);
+        // f ∪ f' is a tautology and f ∩ f' is empty.
+        assert!(tautology(&f.union(&g)));
+        for a in f.iter() {
+            for b in g.iter() {
+                assert!(a.intersect(&sp, b).is_none(), "complement overlaps f");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_multivalued() {
+        use crate::space::VarKind;
+        let sp = CubeSpace::new(&[4, 2], &[VarKind::Multi, VarKind::Binary]);
+        let f = cover(&sp, &["1100 11", "0010 10"]);
+        let g = complement(&f);
+        assert!(tautology(&f.union(&g)));
+        for b in g.iter() {
+            assert!(!cube_in_cover(&f, b));
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity() {
+        let sp = CubeSpace::binary(3);
+        let f = cover(&sp, &["10 11 01", "01 10 11"]);
+        let ff = complement(&complement(&f));
+        assert!(covers_equivalent(&f, &ff));
+    }
+
+    #[test]
+    fn sharp_is_set_difference() {
+        let sp = CubeSpace::binary(2);
+        let f = Cover::universe(sp.clone());
+        let g = cover(&sp, &["10 11"]); // x
+        let d = sharp(&f, &g); // should be x'
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.cubes()[0].display(&sp).to_string(), "01 11");
+    }
+
+    #[test]
+    fn sharp_equals_intersection_with_complement() {
+        let sp = CubeSpace::binary(3);
+        let f = cover(&sp, &["11 10 11", "10 11 01"]);
+        let g = cover(&sp, &["10 10 11"]);
+        let lhs = sharp(&f, &g);
+        let rhs = f.intersection(&complement(&g));
+        assert!(covers_equivalent(&lhs, &rhs));
+    }
+}

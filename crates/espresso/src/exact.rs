@@ -1,0 +1,267 @@
+//! Exact two-level minimization for small instances: all primes by iterated
+//! consensus, then a minimum cover by branch-and-bound (the Quine–McCluskey
+//! scheme generalized to multiple-valued covers).
+//!
+//! Exponential in the worst case — intended as a reference oracle for tests
+//! and for small hand-written functions, not for the benchmark pipeline.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::tautology::cube_in_cover;
+
+/// Limits for [`minimize_exact`]. The defaults keep the search comfortably
+/// interactive on functions with a few hundred primes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactLimits {
+    /// Give up when prime generation exceeds this count.
+    pub max_primes: usize,
+    /// Give up when the covering search exceeds this many branch nodes.
+    pub max_nodes: u64,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        ExactLimits {
+            max_primes: 2_000,
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// All prime implicants of `F ∪ D` by iterated consensus + absorption.
+///
+/// Returns `None` when the prime count exceeds `max_primes`.
+pub fn all_primes(f: &Cover, d: &Cover, max_primes: usize) -> Option<Vec<Cube>> {
+    let space = f.space().clone();
+    let mut cubes: Vec<Cube> = f.union(d).into_iter().collect();
+    // Absorption first.
+    let mut cover = Cover::from_cubes(space.clone(), cubes);
+    cover.absorb();
+    cubes = cover.into_iter().collect();
+
+    loop {
+        let mut added = false;
+        let len = cubes.len();
+        'outer: for i in 0..len {
+            for j in i + 1..len {
+                let Some(c) = cubes[i].consensus(&space, &cubes[j]) else {
+                    continue;
+                };
+                if c.is_empty(&space) {
+                    continue;
+                }
+                if cubes.iter().any(|x| c.is_subset_of(x)) {
+                    continue;
+                }
+                cubes.push(c);
+                added = true;
+                if cubes.len() > max_primes * 4 {
+                    break 'outer;
+                }
+            }
+        }
+        // Absorb after each round.
+        let mut cover = Cover::from_cubes(space.clone(), std::mem::take(&mut cubes));
+        cover.absorb();
+        cubes = cover.into_iter().collect();
+        if cubes.len() > max_primes {
+            return None;
+        }
+        if !added {
+            break;
+        }
+    }
+    Some(cubes)
+}
+
+/// Exact minimum cover of on-set `f` with don't-care set `d`.
+///
+/// Returns `None` when the instance exceeds `limits` (fall back to the
+/// heuristic [`crate::minimize()`] in that case).
+pub fn minimize_exact(f: &Cover, d: &Cover, limits: ExactLimits) -> Option<Cover> {
+    let space = f.space().clone();
+    if f.is_empty() {
+        return Some(Cover::empty(space));
+    }
+    let primes = all_primes(f, d, limits.max_primes)?;
+
+    // Covering objects are the on-set cubes themselves: a cube counts as
+    // covered when the union of chosen primes contains it (multi-cube
+    // containment), so no minterm or fragment enumeration is needed. The
+    // branch point is the first uncovered on-cube; the candidates are the
+    // primes intersecting it.
+    let mut on = f.clone();
+    on.absorb();
+
+    struct Search<'a> {
+        space: crate::space::CubeSpace,
+        primes: &'a [Cube],
+        on: &'a [Cube],
+        best: Option<Vec<usize>>,
+        nodes: u64,
+        max_nodes: u64,
+        aborted: bool,
+    }
+
+    impl Search<'_> {
+        fn covered(&self, cube: &Cube, chosen: &[usize]) -> bool {
+            let cover = Cover::from_cubes(
+                self.space.clone(),
+                chosen.iter().map(|&i| self.primes[i].clone()).collect(),
+            );
+            cube_in_cover(&cover, cube)
+        }
+
+        fn recurse(&mut self, chosen: &mut Vec<usize>) {
+            self.nodes += 1;
+            if self.nodes > self.max_nodes {
+                self.aborted = true;
+                return;
+            }
+            if let Some(b) = &self.best {
+                if chosen.len() + 1 > b.len() {
+                    return; // cannot improve
+                }
+            }
+            // First uncovered on-cube.
+            let next = self.on.iter().find(|c| !self.covered(c, chosen));
+            let Some(target) = next else {
+                if self.best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
+                    self.best = Some(chosen.clone());
+                }
+                return;
+            };
+            // Branch over primes intersecting the target (descending size,
+            // so good covers are found early for pruning).
+            let mut candidates: Vec<usize> = (0..self.primes.len())
+                .filter(|&i| !chosen.contains(&i))
+                .filter(|&i| self.primes[i].intersect(&self.space, target).is_some())
+                .collect();
+            candidates.sort_by_key(|&i| std::cmp::Reverse(self.primes[i].count_ones()));
+            for i in candidates {
+                chosen.push(i);
+                self.recurse(chosen);
+                chosen.pop();
+                if self.aborted {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        space: space.clone(),
+        primes: &primes,
+        on: on.cubes(),
+        best: None,
+        nodes: 0,
+        max_nodes: limits.max_nodes,
+        aborted: false,
+    };
+    let mut chosen = Vec::new();
+    search.recurse(&mut chosen);
+    if search.aborted {
+        return None;
+    }
+    let best = search.best?;
+    Some(Cover::from_cubes(
+        space,
+        best.into_iter().map(|i| primes[i].clone()).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize;
+    use crate::space::CubeSpace;
+    use crate::tautology::{covers_equivalent, verify_minimized};
+
+    fn cover(space: &CubeSpace, strs: &[&str]) -> Cover {
+        let mut f = Cover::empty(space.clone());
+        for s in strs {
+            f.push_parsed(s).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn primes_of_xor() {
+        let sp = CubeSpace::binary_with_output(2, 1);
+        let f = cover(&sp, &["10 01 1", "01 10 1"]);
+        let primes = all_primes(&f, &Cover::empty(sp), 100).unwrap();
+        // XOR has exactly its two minterms as primes.
+        assert_eq!(primes.len(), 2);
+    }
+
+    #[test]
+    fn primes_include_consensus_terms() {
+        // f = a'b' + ac': the consensus on `a` is b'c', a third prime.
+        let sp3 = CubeSpace::binary_with_output(3, 1);
+        let f = cover(&sp3, &["01 01 11 1", "10 11 01 1"]);
+        let primes = all_primes(&f, &Cover::empty(sp3.clone()), 100).unwrap();
+        assert_eq!(primes.len(), 3, "{primes:?}");
+        let consensus = Cube::parse(&sp3, "11 01 01 1").unwrap();
+        assert!(primes.contains(&consensus));
+    }
+
+    #[test]
+    fn exact_matches_known_minimum() {
+        let sp = CubeSpace::binary_with_output(3, 1);
+        // Majority(a,b,c): minimum is 3 cubes.
+        let f = cover(
+            &sp,
+            &["10 10 10 1", "10 10 01 1", "10 01 10 1", "01 10 10 1"],
+        );
+        // on-set given as: abc, abc', ab'c, a'bc (all pairs).
+        let m = minimize_exact(&f, &Cover::empty(sp.clone()), ExactLimits::default()).unwrap();
+        assert_eq!(m.len(), 3, "{m:?}");
+        assert!(covers_equivalent(&m, &f));
+    }
+
+    #[test]
+    fn exact_uses_dont_cares() {
+        let sp = CubeSpace::binary_with_output(2, 1);
+        let f = cover(&sp, &["10 10 1", "01 01 1"]);
+        let d = cover(&sp, &["10 01 1", "01 10 1"]);
+        let m = minimize_exact(&f, &d, ExactLimits::default()).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(verify_minimized(&m, &f, &d));
+    }
+
+    #[test]
+    fn exact_never_beats_heuristic_by_much_in_reverse() {
+        // The heuristic must be >= exact; check on a few fixed functions.
+        let sp = CubeSpace::binary_with_output(4, 1);
+        let funcs: [&[&str]; 3] = [
+            &["10 10 11 11 1", "11 10 10 11 1", "10 11 10 11 1"],
+            &["01 01 01 01 1", "10 10 10 10 1", "01 10 11 11 1"],
+            &["11 11 10 01 1", "10 01 11 11 1", "01 01 01 11 1", "11 10 01 10 1"],
+        ];
+        for rows in funcs {
+            let f = cover(&sp, rows);
+            let d = Cover::empty(sp.clone());
+            let exact = minimize_exact(&f, &d, ExactLimits::default()).unwrap();
+            let heur = minimize(&f, &d);
+            assert!(heur.len() >= exact.len());
+            assert!(heur.len() <= exact.len() + 1, "heuristic strayed: {} vs {}", heur.len(), exact.len());
+            assert!(covers_equivalent(&exact, &f));
+        }
+    }
+
+    #[test]
+    fn limits_cause_graceful_failure() {
+        let sp = CubeSpace::binary_with_output(4, 1);
+        let f = cover(&sp, &["10 10 11 11 1", "11 10 10 11 1", "10 11 10 11 1"]);
+        let d = Cover::empty(sp.clone());
+        assert!(minimize_exact(&f, &d, ExactLimits { max_primes: 1, max_nodes: 10 }).is_none());
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let sp = CubeSpace::binary_with_output(2, 1);
+        let f = Cover::empty(sp.clone());
+        let m = minimize_exact(&f, &Cover::empty(sp), ExactLimits::default()).unwrap();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! EXPAND: grow each cube of a cover into a prime implicant.
+//!
+//! A part may be raised in a cube exactly when the raised cube is still
+//! contained in `ON ∪ DC`. Because the current cover `F` together with the
+//! don't-care cover `D` denotes exactly `ON ∪ DC` throughout the ESPRESSO
+//! iteration, the validity oracle is the exact containment test
+//! [`cube_in_cover`]`(F ∪ D, raised)`.
+//!
+//! Raising is monotone (a raise rejected once can never become valid as the
+//! cube grows), so a single pass over the candidate parts per cube yields a
+//! prime.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::tautology::cube_in_cover;
+
+/// Expands every cube of `f` against the don't-care cover `d` into a prime,
+/// removing cubes that become covered by an expanded one.
+///
+/// Cubes are processed smallest-first (they benefit most), and parts are
+/// tried in descending column count over `f` (raising toward other cubes
+/// maximizes the chance of covering them).
+pub fn expand(f: &mut Cover, d: &Cover) {
+    let space = f.space().clone();
+    f.absorb();
+    let n = f.len();
+    if n == 0 {
+        return;
+    }
+
+    // Column counts: how many cubes of f admit each part.
+    let total_bits = space.total_bits() as usize;
+    let mut col = vec![0u32; total_bits];
+    for c in f.iter() {
+        for v in space.vars() {
+            for p in 0..space.parts(v) {
+                if c.has_part(&space, v, p) {
+                    col[space.bit(v, p) as usize] += 1;
+                }
+            }
+        }
+    }
+
+    // Process order: ascending size.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| f.cubes()[i].count_ones());
+
+    let mut covered = vec![false; n];
+    for &i in &order {
+        if covered[i] {
+            continue;
+        }
+        let mut c = f.cubes()[i].clone();
+        let oracle = oracle_without(f, d, i, &covered);
+
+        // Candidate parts: currently absent from c, in descending column count.
+        let mut cands: Vec<(usize, u32)> = Vec::new();
+        for v in space.vars() {
+            for p in 0..space.parts(v) {
+                if !c.has_part(&space, v, p) {
+                    cands.push((v, p));
+                }
+            }
+        }
+        cands.sort_by_key(|&(v, p)| std::cmp::Reverse(col[space.bit(v, p) as usize]));
+
+        for (v, p) in cands {
+            let mut t = c.clone();
+            t.set_part(&space, v, p);
+            // Quick accept: single-cube containment in f or d.
+            let ok = f
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && !covered[j] && t.is_subset_of(other))
+                || d.single_cube_contains(&t)
+                || cube_in_cover(&oracle, &t);
+            if ok {
+                c = t;
+            }
+        }
+
+        // Commit and mark covered cubes.
+        f.cubes_mut()[i] = c.clone();
+        for j in 0..n {
+            if j != i && !covered[j] && f.cubes()[j].is_subset_of(&c) {
+                covered[j] = true;
+            }
+        }
+    }
+
+    let mut idx = 0;
+    f.cubes_mut().retain(|_| {
+        let k = !covered[idx];
+        idx += 1;
+        k
+    });
+}
+
+/// `F ∪ D` as the expansion oracle. The cube being expanded stays in the
+/// oracle in its *current committed* form, which is correct: the oracle's
+/// denotation is exactly `ON ∪ DC` at all times.
+fn oracle_without(f: &Cover, d: &Cover, _i: usize, covered: &[bool]) -> Cover {
+    let mut cubes = Vec::with_capacity(f.len() + d.len());
+    for (j, c) in f.iter().enumerate() {
+        if !covered[j] {
+            cubes.push(c.clone());
+        }
+    }
+    cubes.extend(d.iter().cloned());
+    Cover::from_cubes(f.space().clone(), cubes)
+}
+
+/// Is `c` a prime implicant of the function denoted by `fd = F ∪ D`
+/// (no single part can be raised while staying inside `fd`)?
+pub fn is_prime(fd: &Cover, c: &Cube) -> bool {
+    let space = fd.space();
+    for v in space.vars() {
+        for p in 0..space.parts(v) {
+            if !c.has_part(space, v, p) {
+                let mut t = c.clone();
+                t.set_part(space, v, p);
+                if cube_in_cover(fd, &t) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::CubeSpace;
+    use crate::tautology::verify_minimized;
+
+    fn cover(space: &CubeSpace, strs: &[&str]) -> Cover {
+        let mut f = Cover::empty(space.clone());
+        for s in strs {
+            f.push_parsed(s).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn expand_merges_adjacent_minterms() {
+        let sp = CubeSpace::binary_with_output(2, 1);
+        // f = x'y' + x'y  should expand to x'
+        let mut f = cover(&sp, &["01 01 1", "01 10 1"]);
+        let orig = f.clone();
+        let d = Cover::empty(sp.clone());
+        expand(&mut f, &d);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.cubes()[0].display(&sp).to_string(), "01 11 1");
+        assert!(verify_minimized(&f, &orig, &d));
+    }
+
+    #[test]
+    fn expand_uses_dont_cares() {
+        let sp = CubeSpace::binary_with_output(2, 1);
+        let mut f = cover(&sp, &["10 10 1"]); // xy
+        let orig = f.clone();
+        let d = cover(&sp, &["10 01 1", "01 10 1"]); // xy' and x'y are DC
+        expand(&mut f, &d);
+        assert_eq!(f.len(), 1);
+        // The prime may absorb either DC direction; it must be a prime and
+        // stay within ON ∪ DC.
+        assert!(verify_minimized(&f, &orig, &d));
+        let fd = orig.union(&d);
+        assert!(is_prime(&fd, &f.cubes()[0]));
+        assert!(f.cubes()[0].count_ones() > orig.cubes()[0].count_ones());
+    }
+
+    #[test]
+    fn expand_respects_off_set() {
+        let sp = CubeSpace::binary_with_output(2, 1);
+        // xor: on = xy' + x'y, off = xy + x'y'. Nothing can expand.
+        let mut f = cover(&sp, &["10 01 1", "01 10 1"]);
+        let orig = f.clone();
+        let d = Cover::empty(sp.clone());
+        expand(&mut f, &d);
+        assert_eq!(f.len(), 2);
+        assert!(verify_minimized(&f, &orig, &d));
+    }
+
+    #[test]
+    fn expand_multioutput_sharing() {
+        let sp = CubeSpace::binary_with_output(2, 2);
+        // Same product needed by both outputs: xy on f0, xy on f1.
+        let mut f = cover(&sp, &["10 10 10", "10 10 01"]);
+        let d = Cover::empty(sp.clone());
+        expand(&mut f, &d);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.cubes()[0].display(&sp).to_string(), "10 10 11");
+    }
+
+    #[test]
+    fn expanded_cubes_are_prime() {
+        let sp = CubeSpace::binary_with_output(3, 1);
+        let mut f = cover(
+            &sp,
+            &["10 10 10 1", "10 10 01 1", "01 10 10 1", "10 01 10 1"],
+        );
+        let orig = f.clone();
+        let d = Cover::empty(sp.clone());
+        expand(&mut f, &d);
+        let fd = orig.union(&d);
+        for c in f.iter() {
+            assert!(is_prime(&fd, c));
+        }
+        assert!(verify_minimized(&f, &orig, &d));
+    }
+}

@@ -1,0 +1,290 @@
+//! Berkeley PLA-format text I/O for binary multi-output covers.
+//!
+//! Supports the common subset of the espresso input format: `.i`, `.o`,
+//! `.p` (optional), `.ilb`/`.ob` (kept as names), `.type fd|fr|f`, cube
+//! lines with `0 1 -` inputs and `0 1 - ~ 4` outputs, and `.e`.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::space::CubeSpace;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed PLA: on-set and don't-care covers over a shared space, plus
+/// optional signal names.
+#[derive(Debug, Clone)]
+pub struct Pla {
+    /// Number of binary inputs.
+    pub inputs: usize,
+    /// Number of outputs.
+    pub outputs: usize,
+    /// On-set cover.
+    pub on: Cover,
+    /// Don't-care cover.
+    pub dc: Cover,
+    /// Input labels (empty when the file has none).
+    pub input_names: Vec<String>,
+    /// Output labels (empty when the file has none).
+    pub output_names: Vec<String>,
+}
+
+/// Error parsing a PLA file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlaError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParsePlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pla parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParsePlaError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParsePlaError {
+    ParsePlaError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses PLA text into on-set and don't-care covers.
+///
+/// # Errors
+///
+/// Returns [`ParsePlaError`] on malformed directives or cube rows.
+pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
+    let mut inputs: Option<usize> = None;
+    let mut outputs: Option<usize> = None;
+    let mut input_names = Vec::new();
+    let mut output_names = Vec::new();
+    let mut rows: Vec<(usize, String, String)> = Vec::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let l = raw.split('#').next().unwrap_or("").trim();
+        if l.is_empty() {
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix('.') {
+            let mut it = rest.split_whitespace();
+            let key = it.next().unwrap_or("");
+            match key {
+                "i" => {
+                    inputs = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err(line, "bad .i"))?,
+                    )
+                }
+                "o" => {
+                    outputs = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err(line, "bad .o"))?,
+                    )
+                }
+                "ilb" => input_names = it.map(str::to_owned).collect(),
+                "ob" => output_names = it.map(str::to_owned).collect(),
+                "p" | "type" | "phase" => {}
+                "e" | "end" => break,
+                other => return Err(err(line, format!("unknown directive .{other}"))),
+            }
+        } else {
+            let mut it = l.split_whitespace();
+            let ins = it.next().ok_or_else(|| err(line, "missing input field"))?;
+            let outs = it.next().ok_or_else(|| err(line, "missing output field"))?;
+            rows.push((line, ins.to_owned(), outs.to_owned()));
+        }
+    }
+
+    let inputs = inputs.ok_or_else(|| err(0, "missing .i"))?;
+    let outputs = outputs.ok_or_else(|| err(0, "missing .o"))?;
+    let space = CubeSpace::binary_with_output(inputs, outputs);
+    let mut on = Cover::empty(space.clone());
+    let mut dc = Cover::empty(space.clone());
+
+    for (line, ins, outs) in rows {
+        if ins.len() != inputs {
+            return Err(err(line, format!("expected {inputs} input columns")));
+        }
+        if outs.len() != outputs {
+            return Err(err(line, format!("expected {outputs} output columns")));
+        }
+        let mut base = Cube::zero(&space);
+        for (v, ch) in ins.chars().enumerate() {
+            match ch {
+                '0' => base.set_part(&space, v, 0),
+                '1' => base.set_part(&space, v, 1),
+                '-' | '2' => base.set_var_full(&space, v),
+                _ => return Err(err(line, format!("bad input character {ch:?}"))),
+            }
+        }
+        let ov = space.output_var().expect("space has output var");
+        let mut on_cube = base.clone();
+        let mut dc_cube = base.clone();
+        let mut has_on = false;
+        let mut has_dc = false;
+        for (o, ch) in outs.chars().enumerate() {
+            match ch {
+                '1' | '4' => {
+                    on_cube.set_part(&space, ov, o as u32);
+                    has_on = true;
+                }
+                '-' | '~' | '2' => {
+                    dc_cube.set_part(&space, ov, o as u32);
+                    has_dc = true;
+                }
+                '0' => {}
+                _ => return Err(err(line, format!("bad output character {ch:?}"))),
+            }
+        }
+        if has_on {
+            on.push(on_cube);
+        }
+        if has_dc {
+            dc.push(dc_cube);
+        }
+    }
+
+    Ok(Pla {
+        inputs,
+        outputs,
+        on,
+        dc,
+        input_names,
+        output_names,
+    })
+}
+
+/// Renders a binary multi-output cover as PLA text (type `fd`; don't-care
+/// rows marked with `-` outputs).
+///
+/// # Panics
+///
+/// Panics if the cover's space is not a binary-inputs + output-variable
+/// space.
+pub fn write_pla(on: &Cover, dc: &Cover) -> String {
+    let space = on.space();
+    let ov = space.output_var().expect("cover needs an output variable");
+    let inputs = ov;
+    let outputs = space.parts(ov) as usize;
+    let mut s = String::new();
+    s.push_str(&format!(".i {inputs}\n.o {outputs}\n"));
+    s.push_str(&format!(".p {}\n", on.len() + dc.len()));
+    s.push_str(".type fd\n");
+    let emit = |c: &Cube, dc_row: bool, out: &mut String| {
+        for v in 0..inputs {
+            let zero = c.has_part(space, v, 0);
+            let one = c.has_part(space, v, 1);
+            out.push(match (zero, one) {
+                (true, true) => '-',
+                (false, true) => '1',
+                (true, false) => '0',
+                (false, false) => '?',
+            });
+        }
+        out.push(' ');
+        for o in 0..outputs {
+            let set = c.has_part(space, ov, o as u32);
+            out.push(if set {
+                if dc_row {
+                    '-'
+                } else {
+                    '1'
+                }
+            } else {
+                '0'
+            });
+        }
+        out.push('\n');
+    };
+    for c in on.iter() {
+        emit(c, false, &mut s);
+    }
+    for c in dc.iter() {
+        emit(c, true, &mut s);
+    }
+    s.push_str(".e\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::minimize;
+
+    #[test]
+    fn parse_simple_pla() {
+        let text = "\
+.i 2
+.o 1
+.p 2
+10 1
+01 1
+.e
+";
+        let pla = parse_pla(text).unwrap();
+        assert_eq!(pla.inputs, 2);
+        assert_eq!(pla.outputs, 1);
+        assert_eq!(pla.on.len(), 2);
+        assert!(pla.dc.is_empty());
+    }
+
+    #[test]
+    fn parse_with_dc_and_comments() {
+        let text = "\
+# xor with a dc corner
+.i 2
+.o 2
+1- 1-
+-1 01
+.e
+";
+        let pla = parse_pla(text).unwrap();
+        assert_eq!(pla.on.len(), 2);
+        assert_eq!(pla.dc.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let text = "\
+.i 3
+.o 2
+1-0 10
+011 11
+--- 01
+.e
+";
+        let pla = parse_pla(text).unwrap();
+        let rendered = write_pla(&pla.on, &pla.dc);
+        let reparsed = parse_pla(&rendered).unwrap();
+        assert_eq!(reparsed.on.len(), pla.on.len());
+        assert_eq!(reparsed.dc.len(), pla.dc.len());
+        assert_eq!(reparsed.on, pla.on);
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse_pla(".i 2\n.o 1\n101 1\n").is_err());
+        assert!(parse_pla(".i x\n").is_err());
+        assert!(parse_pla(".i 2\n.o 1\n1z 1\n").is_err());
+    }
+
+    #[test]
+    fn minimize_parsed_pla() {
+        let text = "\
+.i 2
+.o 1
+11 1
+10 1
+01 1
+.e
+";
+        let pla = parse_pla(text).unwrap();
+        let m = minimize(&pla.on, &pla.dc);
+        assert_eq!(m.len(), 2); // x + y
+    }
+}

@@ -1,0 +1,248 @@
+//! Cube spaces: the variable structure shared by all cubes of a cover.
+//!
+//! Following ESPRESSO-MV, a logic function over binary and multiple-valued
+//! variables is represented in *positional cube notation*: every variable
+//! owns a contiguous field of bits, one bit per value ("part") the variable
+//! can take. A binary input variable owns two parts (`01` = literal `v'`,
+//! `10` = literal `v`, `11` = don't care). A multiple-valued variable with
+//! `n` values owns `n` parts. The output part of a multi-output function is
+//! by convention one more multiple-valued variable (the last one), with one
+//! part per output.
+
+use std::fmt;
+
+/// Describes one variable of a [`CubeSpace`].
+///
+/// Mostly useful for pretty-printing and for callers that need to know which
+/// variable plays which role (binary input, symbolic input, output part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A binary-valued input variable (2 parts).
+    Binary,
+    /// A multiple-valued input variable (symbolic; `n` parts).
+    Multi,
+    /// The output variable (one part per output function).
+    Output,
+}
+
+/// The variable structure of a cover: how many variables there are, how many
+/// parts each one has, and where each field lives inside the cube bitvector.
+///
+/// A `CubeSpace` is immutable once built. Cloning it is cheap relative to the
+/// cost of the algorithms that use it (a few small vectors).
+///
+/// # Examples
+///
+/// ```
+/// use espresso::space::CubeSpace;
+///
+/// // Two binary inputs and a 3-part output variable.
+/// let space = CubeSpace::binary_with_output(2, 3);
+/// assert_eq!(space.num_vars(), 3);
+/// assert_eq!(space.parts(0), 2);
+/// assert_eq!(space.parts(2), 3);
+/// assert_eq!(space.total_bits(), 7);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CubeSpace {
+    sizes: Vec<u32>,
+    kinds: Vec<VarKind>,
+    offsets: Vec<u32>,
+    total_bits: u32,
+    words: usize,
+    /// Per-variable full-field mask, each `words` long.
+    masks: Vec<Vec<u64>>,
+}
+
+impl fmt::Debug for CubeSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CubeSpace")
+            .field("sizes", &self.sizes)
+            .field("kinds", &self.kinds)
+            .finish()
+    }
+}
+
+impl CubeSpace {
+    /// Builds a space from explicit part counts and kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` and `kinds` differ in length, if any variable has
+    /// fewer than one part, or if more than one variable is an
+    /// [`VarKind::Output`].
+    pub fn new(sizes: &[u32], kinds: &[VarKind]) -> Self {
+        assert_eq!(sizes.len(), kinds.len(), "sizes/kinds length mismatch");
+        assert!(
+            sizes.iter().all(|&s| s >= 1),
+            "every variable needs at least one part"
+        );
+        assert!(
+            kinds.iter().filter(|k| **k == VarKind::Output).count() <= 1,
+            "at most one output variable"
+        );
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc: u32 = 0;
+        for &s in sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let total_bits = acc;
+        let words = (total_bits as usize).div_ceil(64).max(1);
+        let mut masks = Vec::with_capacity(sizes.len());
+        for (v, &s) in sizes.iter().enumerate() {
+            let mut m = vec![0u64; words];
+            for p in 0..s {
+                let bit = (offsets[v] + p) as usize;
+                m[bit / 64] |= 1u64 << (bit % 64);
+            }
+            masks.push(m);
+        }
+        CubeSpace {
+            sizes: sizes.to_vec(),
+            kinds: kinds.to_vec(),
+            offsets,
+            total_bits,
+            words,
+            masks,
+        }
+    }
+
+    /// Space of `inputs` binary variables followed by an `outputs`-part
+    /// output variable — the classic single-output-variable PLA layout.
+    pub fn binary_with_output(inputs: usize, outputs: usize) -> Self {
+        let mut sizes = vec![2u32; inputs];
+        let mut kinds = vec![VarKind::Binary; inputs];
+        sizes.push(outputs as u32);
+        kinds.push(VarKind::Output);
+        CubeSpace::new(&sizes, &kinds)
+    }
+
+    /// Space of only binary variables (no output variable); used by covers
+    /// that represent a single-output characteristic function.
+    pub fn binary(inputs: usize) -> Self {
+        CubeSpace::new(&vec![2u32; inputs], &vec![VarKind::Binary; inputs])
+    }
+
+    /// Number of variables (including the output variable, if any).
+    pub fn num_vars(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of parts of variable `v`.
+    pub fn parts(&self, v: usize) -> u32 {
+        self.sizes[v]
+    }
+
+    /// Kind of variable `v`.
+    pub fn kind(&self, v: usize) -> VarKind {
+        self.kinds[v]
+    }
+
+    /// Index of the output variable, if this space has one.
+    pub fn output_var(&self) -> Option<usize> {
+        self.kinds.iter().position(|k| *k == VarKind::Output)
+    }
+
+    /// Bit index of part `p` of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for variable `v`.
+    pub fn bit(&self, v: usize, p: u32) -> u32 {
+        assert!(p < self.sizes[v], "part {p} out of range for variable {v}");
+        self.offsets[v] + p
+    }
+
+    /// First bit of variable `v`'s field.
+    pub fn offset(&self, v: usize) -> u32 {
+        self.offsets[v]
+    }
+
+    /// Total number of part bits across all variables.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Number of `u64` words a cube of this space occupies.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The full-field mask of variable `v` (a `words()`-long slice).
+    pub fn mask(&self, v: usize) -> &[u64] {
+        &self.masks[v]
+    }
+
+    /// Iterator over variable indices.
+    pub fn vars(&self) -> std::ops::Range<usize> {
+        0..self.sizes.len()
+    }
+
+    /// Total number of minterms of the space (product of part counts),
+    /// saturating at `u64::MAX`.
+    pub fn num_minterms(&self) -> u64 {
+        self.sizes
+            .iter()
+            .fold(1u64, |acc, &s| acc.saturating_mul(s as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_binary_with_output() {
+        let s = CubeSpace::binary_with_output(3, 4);
+        assert_eq!(s.num_vars(), 4);
+        assert_eq!(s.total_bits(), 10);
+        assert_eq!(s.words(), 1);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 2);
+        assert_eq!(s.offset(3), 6);
+        assert_eq!(s.output_var(), Some(3));
+        assert_eq!(s.bit(3, 3), 9);
+    }
+
+    #[test]
+    fn masks_cover_fields_exactly() {
+        let s = CubeSpace::new(
+            &[2, 5, 3],
+            &[VarKind::Binary, VarKind::Multi, VarKind::Output],
+        );
+        let m1 = s.mask(1);
+        assert_eq!(m1[0], 0b111_1100); // bits 2..=6
+        let mut all = vec![0u64; s.words()];
+        for v in s.vars() {
+            for (w, b) in all.iter_mut().zip(s.mask(v)) {
+                assert_eq!(*w & b, 0, "fields must not overlap");
+                *w |= b;
+            }
+        }
+        assert_eq!(all[0].count_ones(), s.total_bits());
+    }
+
+    #[test]
+    fn multiword_spaces() {
+        let s = CubeSpace::new(
+            &[2, 100, 30],
+            &[VarKind::Binary, VarKind::Multi, VarKind::Output],
+        );
+        assert_eq!(s.total_bits(), 132);
+        assert_eq!(s.words(), 3);
+        assert_eq!(s.bit(2, 29), 131);
+    }
+
+    #[test]
+    fn minterm_count() {
+        let s = CubeSpace::binary(4);
+        assert_eq!(s.num_minterms(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_part_variable_rejected() {
+        let _ = CubeSpace::new(&[2, 0], &[VarKind::Binary, VarKind::Multi]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Tautology checking via the unate recursive paradigm, and the containment
+//! tests built on it.
+//!
+//! Tautology (`does this cover contain every minterm?`) is the work-horse
+//! oracle of this crate: cube-in-cover containment, irredundancy, expansion
+//! validity and reduction validity all reduce to it through the ESPRESSO
+//! cofactor identity `c ⊆ F ⇔ tautology(F cofactored by c)`.
+
+use crate::cover::Cover;
+use crate::cube::{supercube, Cube};
+use crate::space::CubeSpace;
+
+/// Is the cover a tautology (covers every minterm of its space)?
+///
+/// Uses the unate recursive paradigm: quick decisions on trivial covers,
+/// deletion of weakly-unate variables, and Shannon-style branching on the
+/// most binate variable otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use espresso::{Cover, CubeSpace, tautology};
+///
+/// let mut f = Cover::empty(CubeSpace::binary(1));
+/// f.push_parsed("10").unwrap();
+/// f.push_parsed("01").unwrap();
+/// assert!(tautology(&f)); // x + x' = 1
+/// ```
+pub fn tautology(f: &Cover) -> bool {
+    taut_rec(f.space(), f.cubes().to_vec())
+}
+
+fn absorb_in_place(space: &CubeSpace, cubes: &mut Vec<Cube>) {
+    cubes.retain(|c| !c.is_empty(space));
+    let n = cubes.len();
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if cubes[i].is_subset_of(&cubes[j]) && (cubes[i] != cubes[j] || i > j) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut idx = 0;
+    cubes.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+fn taut_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> bool {
+    loop {
+        cubes.retain(|c| !c.is_empty(space));
+        if cubes.iter().any(|c| c.is_full(space)) {
+            return true;
+        }
+        if cubes.is_empty() {
+            return false;
+        }
+        // Column check: the supercube of a tautology must be the universe.
+        let sup = supercube(space, &cubes);
+        if !sup.is_full(space) {
+            return false;
+        }
+
+        // Weakly-unate variable deletion: if some part p of variable v is
+        // admitted by no cube that is non-full in v, the minterms with v = p
+        // can only be covered by the v-full cubes; since tautology of the
+        // v = p cofactor (a subset of every other cofactor's cubes) implies
+        // tautology of all cofactors, F is a tautology iff the v-full cubes
+        // alone are.
+        let mut reduced = false;
+        for v in space.vars() {
+            let mut non_full_union = Cube::zero(space);
+            let mut any_non_full = false;
+            for c in &cubes {
+                if !c.var_is_full(space, v) {
+                    any_non_full = true;
+                    non_full_union = non_full_union.or(c);
+                }
+            }
+            if !any_non_full {
+                continue;
+            }
+            if !non_full_union.var_is_full(space, v) {
+                cubes.retain(|c| c.var_is_full(space, v));
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        absorb_in_place(space, &mut cubes);
+        if cubes.len() == 1 {
+            return cubes[0].is_full(space);
+        }
+
+        // Select the most binate variable: the active variable with the most
+        // non-full cubes (ties broken toward fewer parts to keep branching
+        // narrow).
+        let mut best: Option<(usize, usize, u32)> = None; // (var, count, parts)
+        for v in space.vars() {
+            let count = cubes.iter().filter(|c| !c.var_is_full(space, v)).count();
+            if count == 0 {
+                continue;
+            }
+            let parts = space.parts(v);
+            let cand = (v, count, parts);
+            best = Some(match best {
+                None => cand,
+                Some(b) => {
+                    if count > b.1 || (count == b.1 && parts < b.2) {
+                        cand
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let (v, _, _) = match best {
+            Some(b) => b,
+            // All cubes full in all variables, but none was the universe:
+            // impossible (a cube full in every variable *is* the universe).
+            None => return true,
+        };
+
+        // Branch over every part of v: all cofactors must be tautologies.
+        for p in 0..space.parts(v) {
+            let mut branch: Vec<Cube> = Vec::with_capacity(cubes.len());
+            for c in &cubes {
+                if c.has_part(space, v, p) {
+                    let mut cf = c.clone();
+                    cf.set_var_full(space, v);
+                    branch.push(cf);
+                }
+            }
+            if !taut_rec(space, branch) {
+                return false;
+            }
+        }
+        return true;
+    }
+}
+
+/// Exact cube-in-cover containment: is every minterm of `c` covered by `f`?
+///
+/// Computed as tautology of the cofactor of `f` with respect to `c`.
+pub fn cube_in_cover(f: &Cover, c: &Cube) -> bool {
+    if c.is_empty(f.space()) {
+        return true;
+    }
+    let cf = f.cofactor(c);
+    taut_rec(f.space(), cf.into_iter().collect())
+}
+
+/// Exact cover containment: `g ⊆ f`?
+pub fn cover_in_cover(g: &Cover, f: &Cover) -> bool {
+    g.iter().all(|c| cube_in_cover(f, c))
+}
+
+/// Functional equivalence of two covers (mutual containment).
+pub fn covers_equivalent(f: &Cover, g: &Cover) -> bool {
+    cover_in_cover(f, g) && cover_in_cover(g, f)
+}
+
+/// Verifies the ESPRESSO contract for a minimized cover `m` of an on-set
+/// `f` with don't-care set `d`: `F ⊆ M ∪ D` (every on-minterm is either
+/// implemented or was a don't care — the two sets may overlap, and the
+/// don't care wins) and `M ⊆ F ∪ D` (nothing outside the specification is
+/// asserted).
+pub fn verify_minimized(m: &Cover, f: &Cover, d: &Cover) -> bool {
+    let fd = f.union(d);
+    let md = m.union(d);
+    cover_in_cover(f, &md) && cover_in_cover(m, &fd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{CubeSpace, VarKind};
+
+    fn cover(space: &CubeSpace, strs: &[&str]) -> Cover {
+        let mut f = Cover::empty(space.clone());
+        for s in strs {
+            f.push_parsed(s).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn empty_cover_is_not_tautology() {
+        let sp = CubeSpace::binary(2);
+        assert!(!tautology(&Cover::empty(sp)));
+    }
+
+    #[test]
+    fn universe_is_tautology() {
+        let sp = CubeSpace::binary(3);
+        assert!(tautology(&Cover::universe(sp)));
+    }
+
+    #[test]
+    fn xor_cover_plus_complement_is_tautology() {
+        let sp = CubeSpace::binary(2);
+        // x ^ y  and its complement
+        let f = cover(&sp, &["10 01", "01 10", "10 10", "01 01"]);
+        assert!(tautology(&f));
+        let g = cover(&sp, &["10 01", "01 10", "10 10"]);
+        assert!(!tautology(&g));
+    }
+
+    #[test]
+    fn multivalued_tautology() {
+        let sp = CubeSpace::new(&[3, 2], &[VarKind::Multi, VarKind::Binary]);
+        let f = cover(&sp, &["110 11", "001 10", "001 01"]);
+        assert!(tautology(&f));
+        let g = cover(&sp, &["110 11", "001 10"]);
+        assert!(!tautology(&g));
+    }
+
+    #[test]
+    fn weakly_unate_reduction_is_sound() {
+        let sp = CubeSpace::binary(3);
+        // Variable 0 appears only in positive phase among non-full cubes:
+        // the cover is a tautology iff the v-full part is.
+        let f = cover(&sp, &["10 11 11", "11 10 11", "11 01 11"]);
+        assert!(tautology(&f));
+        let g = cover(&sp, &["10 11 11", "11 10 11"]);
+        assert!(!tautology(&g));
+    }
+
+    #[test]
+    fn cube_in_cover_exact() {
+        let sp = CubeSpace::binary(2);
+        // f = x + y covers the cube xy' and the cube x'y, and the full cube
+        // x+y itself is covered even though no single cube contains it...
+        let f = cover(&sp, &["10 11", "11 10"]);
+        let c = Cube::parse(&sp, "10 01").unwrap();
+        assert!(cube_in_cover(&f, &c));
+        // 11 11 (universe) is not covered (x'y' missing)
+        assert!(!cube_in_cover(&f, &Cube::full(&sp)));
+        // multi-cube containment: cube "11 10" covered jointly
+        let d = Cube::parse(&sp, "11 10").unwrap();
+        assert!(cube_in_cover(&f, &d));
+    }
+
+    #[test]
+    fn equivalence_of_different_covers() {
+        let sp = CubeSpace::binary(2);
+        let f = cover(&sp, &["10 11", "11 10"]); // x + y
+        let g = cover(&sp, &["10 01", "11 10"]); // xy' + y
+        assert!(covers_equivalent(&f, &g));
+    }
+
+    #[test]
+    fn verify_contract() {
+        let sp = CubeSpace::binary(2);
+        let f = cover(&sp, &["10 10"]);
+        let d = cover(&sp, &["10 01"]);
+        let m = cover(&sp, &["10 11"]); // expanded into the DC set
+        assert!(verify_minimized(&m, &f, &d));
+        let bad = cover(&sp, &["11 11"]);
+        assert!(!verify_minimized(&bad, &f, &d));
+    }
+}

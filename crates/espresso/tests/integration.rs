@@ -1,0 +1,163 @@
+//! Integration tests of the espresso crate: PLA round trips through
+//! minimization, multi-valued covers, and cross-operator identities.
+
+use espresso::complement::{complement_cube, sharp_cube};
+use espresso::pla::{parse_pla, write_pla};
+use espresso::{
+    complement, covers_equivalent, cube_in_cover, minimize, sharp, tautology, Cover, Cube,
+    CubeSpace, VarKind,
+};
+
+#[test]
+fn pla_minimize_roundtrip() {
+    let text = "\
+.i 4
+.o 3
+0000 101
+0001 101
+0010 101
+0011 101
+01-- 010
+10-- 010
+11-- 111
+.e
+";
+    let pla = parse_pla(text).unwrap();
+    let m = minimize(&pla.on, &pla.dc);
+    assert!(covers_equivalent(&m, &pla.on));
+    // The first four rows collapse to 00--.
+    assert!(m.len() <= 4);
+    let rendered = write_pla(&m, &pla.dc);
+    let back = parse_pla(&rendered).unwrap();
+    assert!(covers_equivalent(&back.on, &pla.on));
+}
+
+#[test]
+fn seven_segment_decoder_minimizes() {
+    // BCD to 7-segment (segment a): on for digits 0,2,3,5,6,7,8,9.
+    let space = CubeSpace::binary_with_output(4, 1);
+    let mut on = Cover::empty(space.clone());
+    let mut dc = Cover::empty(space.clone());
+    for digit in 0..10u32 {
+        let seg_a = [0, 2, 3, 5, 6, 7, 8, 9].contains(&digit);
+        if seg_a {
+            let mut c = Cube::zero(&space);
+            for b in 0..4 {
+                c.set_part(&space, b, digit >> b & 1);
+            }
+            c.set_part(&space, 4, 0);
+            on.push(c);
+        }
+    }
+    // Codes 10..15 never occur.
+    for digit in 10..16u32 {
+        let mut c = Cube::zero(&space);
+        for b in 0..4 {
+            c.set_part(&space, b, digit >> b & 1);
+        }
+        c.set_part(&space, 4, 0);
+        dc.push(c);
+    }
+    let m = minimize(&on, &dc);
+    // Classic result: segment a needs few terms once the BCD DC set is used.
+    assert!(m.len() <= 4, "got {} cubes:\n{m:?}", m.len());
+    assert!(espresso::verify_minimized(&m, &on, &dc));
+}
+
+#[test]
+fn mv_cover_with_three_variables() {
+    // f(v, w) over a 5-valued v and 3-valued w (output variable).
+    let space = CubeSpace::new(&[5, 3], &[VarKind::Multi, VarKind::Output]);
+    let mut f = Cover::empty(space.clone());
+    f.push_parsed("10000 100").unwrap();
+    f.push_parsed("01000 100").unwrap();
+    f.push_parsed("00100 100").unwrap();
+    f.push_parsed("00011 010").unwrap();
+    let m = minimize(&f, &Cover::empty(space.clone()));
+    assert_eq!(m.len(), 2, "{m:?}");
+    assert!(m
+        .iter()
+        .any(|c| c.var_count(&space, 0) == 3 && c.has_part(&space, 1, 0)));
+}
+
+#[test]
+fn sharp_and_complement_agree_on_cubes() {
+    let space = CubeSpace::binary(4);
+    let a = Cube::parse(&space, "11 10 11 01").unwrap();
+    let b = Cube::parse(&space, "10 10 11 11").unwrap();
+    let pieces = sharp_cube(&space, &a, &b);
+    // a # b == a ∩ complement(b)
+    let comp_b = Cover::from_cubes(space.clone(), complement_cube(&space, &b));
+    let a_cover = Cover::from_cubes(space.clone(), vec![a.clone()]);
+    let expected = a_cover.intersection(&comp_b);
+    let got = Cover::from_cubes(space.clone(), pieces);
+    assert!(covers_equivalent(&got, &expected));
+}
+
+#[test]
+fn sharp_cover_identity_full_minus_f_is_complement() {
+    let space = CubeSpace::binary(3);
+    let mut f = Cover::empty(space.clone());
+    f.push_parsed("10 11 01").unwrap();
+    f.push_parsed("01 10 11").unwrap();
+    let lhs = sharp(&Cover::universe(space.clone()), &f);
+    let rhs = complement(&f);
+    assert!(covers_equivalent(&lhs, &rhs));
+}
+
+#[test]
+fn tautology_large_or_chain() {
+    // x0 + x0' + junk over 10 variables.
+    let space = CubeSpace::binary(10);
+    let mut f = Cover::empty(space.clone());
+    let mut a = Cube::full(&space);
+    a.clear_part(&space, 0, 0);
+    let mut b = Cube::full(&space);
+    b.clear_part(&space, 0, 1);
+    f.push(a);
+    f.push(b);
+    assert!(tautology(&f));
+}
+
+#[test]
+fn containment_with_many_cubes() {
+    // The union of all single-variable negative literals covers everything
+    // except the all-ones minterm.
+    let space = CubeSpace::binary(5);
+    let mut f = Cover::empty(space.clone());
+    for v in 0..5 {
+        let mut c = Cube::full(&space);
+        c.clear_part(&space, v, 1);
+        f.push(c);
+    }
+    assert!(!tautology(&f));
+    let mut ones = Cube::zero(&space);
+    for v in 0..5 {
+        ones.set_part(&space, v, 1);
+    }
+    assert!(!cube_in_cover(&f, &ones));
+    let mut almost = ones.clone();
+    almost.clear_part(&space, 0, 1);
+    almost.set_part(&space, 0, 0);
+    assert!(cube_in_cover(&f, &almost));
+}
+
+#[test]
+fn minimize_is_idempotent() {
+    let text = "\
+.i 3
+.o 2
+000 11
+001 10
+01- 01
+10- 01
+110 10
+111 11
+.e
+";
+    let pla = parse_pla(text).unwrap();
+    let m1 = minimize(&pla.on, &pla.dc);
+    let m2 = minimize(&m1, &pla.dc);
+    assert_eq!(m1.len(), m2.len());
+    assert!(covers_equivalent(&m1, &m2));
+}

@@ -1,0 +1,46 @@
+//! The PLA area model used throughout the NOVA paper's tables.
+
+/// PLA area of an encoded FSM implementation, per the footnote of
+/// Tables II–V:
+///
+/// `area = (2*(#inputs + #bits) + #bits + #outputs) * #cubes`
+///
+/// Every input column appears twice (true and complemented rails), the
+/// next-state columns once in the OR plane (`#bits`), and the primary
+/// outputs once.
+///
+/// # Examples
+///
+/// ```
+/// use fsm::area::pla_area;
+///
+/// assert_eq!(pla_area(2, 2, 2, 10), 120);
+/// ```
+pub fn pla_area(inputs: usize, state_bits: usize, outputs: usize, cubes: usize) -> u64 {
+    (2 * (inputs + state_bits) + state_bits + outputs) as u64 * cubes as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_rows() {
+        // Table III / ihybrid rows where Table I statistics are unambiguous:
+        // bbtas: 2 inputs, 2 outputs, 3 bits, 8 cubes -> 15*8 = 120.
+        assert_eq!(pla_area(2, 3, 2, 8), 120);
+        // shiftreg: 1 input, 1 output, 3 bits, 4 cubes -> 12*4 = 48.
+        assert_eq!(pla_area(1, 3, 1, 4), 48);
+        // train11: 2 inputs, 1 output, 4 bits, 9 cubes -> 17*9 = 153.
+        assert_eq!(pla_area(2, 4, 1, 9), 153);
+        // keyb: 7 inputs, 2 outputs, 5 bits, 48 cubes -> 31*48 = 1488.
+        assert_eq!(pla_area(7, 5, 2, 48), 1488);
+        // donfile: 2 inputs, 1 output, 5 bits, 28 cubes -> 20*28 = 560.
+        assert_eq!(pla_area(2, 5, 1, 28), 560);
+    }
+
+    #[test]
+    fn zero_cubes_zero_area() {
+        assert_eq!(pla_area(4, 3, 2, 0), 0);
+    }
+}

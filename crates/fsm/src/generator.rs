@@ -1,0 +1,295 @@
+//! Seeded synthetic FSM generation.
+//!
+//! The MCNC benchmark files used in the NOVA paper are not distributable
+//! with this reproduction; for the machines we cannot reconstruct from their
+//! well-known tables we synthesize deterministic stand-ins matched to the
+//! paper's Table I statistics (states / inputs / outputs / product terms).
+//! Machines are deterministic and completely specified by construction:
+//! each state's rows partition the input space (built by recursive cube
+//! splitting), and next states / output patterns are drawn from small pools
+//! to create the clustering structure that multiple-valued minimization
+//! exploits (states mapped by an input into the same next state with equal
+//! outputs — exactly what generates input constraints).
+
+use crate::machine::{Fsm, StateId, Transition, Trit};
+
+/// Parameters of a synthetic machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthSpec {
+    /// Machine name.
+    pub name: String,
+    /// Number of states.
+    pub states: usize,
+    /// Number of binary primary inputs.
+    pub inputs: usize,
+    /// Number of binary primary outputs.
+    pub outputs: usize,
+    /// Approximate number of table rows (rounded to a per-state split).
+    pub terms: usize,
+    /// PRNG seed (SplitMix64), fixed per benchmark for reproducibility.
+    pub seed: u64,
+}
+
+/// A tiny deterministic PRNG (SplitMix64) so synthetic benchmarks do not
+/// depend on external crate version stability.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+/// Splits the full input cube into `k` disjoint cubes covering the whole
+/// input space (recursive binary splitting of randomly chosen dash
+/// positions).
+fn partition_input_space(rng: &mut SplitMix64, inputs: usize, k: usize) -> Vec<Vec<Trit>> {
+    let mut cubes = vec![vec![Trit::DontCare; inputs]];
+    let limit = 1usize << inputs.min(20);
+    let k = k.clamp(1, limit);
+    while cubes.len() < k {
+        // Split the cube with the most dashes (random among ties).
+        let max_dashes = cubes
+            .iter()
+            .map(|c| c.iter().filter(|t| **t == Trit::DontCare).count())
+            .max()
+            .unwrap_or(0);
+        if max_dashes == 0 {
+            break;
+        }
+        let candidates: Vec<usize> = cubes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.iter().filter(|t| **t == Trit::DontCare).count() == max_dashes)
+            .map(|(i, _)| i)
+            .collect();
+        let idx = candidates[rng.below(candidates.len())];
+        let cube = cubes.swap_remove(idx);
+        let dash_positions: Vec<usize> = cube
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Trit::DontCare)
+            .map(|(i, _)| i)
+            .collect();
+        let pos = dash_positions[rng.below(dash_positions.len())];
+        let mut zero = cube.clone();
+        zero[pos] = Trit::Zero;
+        let mut one = cube;
+        one[pos] = Trit::One;
+        cubes.push(zero);
+        cubes.push(one);
+    }
+    cubes
+}
+
+/// Generates a deterministic, completely specified synthetic FSM.
+///
+/// # Panics
+///
+/// Panics if the spec has zero states or more than 63.
+pub fn generate(spec: &SynthSpec) -> Fsm {
+    assert!(
+        spec.states >= 1 && spec.states <= 200,
+        "unsupported state count"
+    );
+    let mut rng = SplitMix64::new(spec.seed);
+    let n = spec.states;
+    let per_state = (spec.terms / n.max(1)).max(1);
+
+    // A shared "instruction decode" over the input space: rows of different
+    // states with the same input region often branch to the same target
+    // class, which is what creates multi-state input constraints.
+    let shared_regions = partition_input_space(&mut rng, spec.inputs, per_state);
+    let shared_targets: Vec<usize> = (0..shared_regions.len()).map(|_| rng.below(n)).collect();
+
+    // Output pattern pool: a handful of patterns reused across the table.
+    let pool_size = 4 + rng.below(5);
+    let out_pool: Vec<Vec<Trit>> = (0..pool_size)
+        .map(|_| {
+            (0..spec.outputs)
+                .map(|_| {
+                    if rng.chance(1, 8) {
+                        Trit::DontCare
+                    } else if rng.chance(3, 8) {
+                        Trit::One
+                    } else {
+                        Trit::Zero
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Real control FSMs expose several *orthogonal small partitions* of the
+    // state set (think of the bit-fields of a counter, or mode/phase
+    // decompositions): under one input region the machine branches on one
+    // feature of the state, under another region on a different feature.
+    // Multiple-valued minimization then merges the states sharing a feature
+    // value into small, overlapping input constraints — many of them — which
+    // is the structure NOVA exploits and random codes destroy.
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    // Feature A: consecutive pairs.
+    partitions.push((0..n).map(|s| s / 2).collect());
+    // Feature B: halves interleaved (pairs {i, i + n/2}).
+    if n >= 4 {
+        partitions.push((0..n).map(|s| s % n.div_ceil(2)).collect());
+    }
+    // Feature C: a seeded partition into groups of ~3.
+    if n >= 6 {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            let j = i + rng.below(n - i);
+            perm.swap(i, j);
+        }
+        let mut feat = vec![0usize; n];
+        for (i, &st) in perm.iter().enumerate() {
+            feat[st] = i / 3;
+        }
+        partitions.push(feat);
+    }
+
+    // Per region: branch on one feature; each feature value gets a target
+    // state and an output pattern.
+    let mut transitions = Vec::new();
+    let mut region_plan: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new();
+    for _ in 0..shared_regions.len() {
+        let f = rng.below(partitions.len());
+        let num_values = partitions[f].iter().max().copied().unwrap_or(0) + 1;
+        let targets: Vec<usize> = (0..num_values).map(|_| rng.below(n)).collect();
+        let outs: Vec<usize> = (0..num_values).map(|_| rng.below(out_pool.len())).collect();
+        region_plan.push((f, targets, outs));
+    }
+    let _ = &shared_targets; // superseded by the per-region plans
+
+    for s in 0..n {
+        for (r, input) in shared_regions.iter().enumerate() {
+            let (f, targets, outs) = &region_plan[r];
+            let value = partitions[*f][s];
+            // A pinch of irregularity so the machines are not perfectly
+            // decomposable (real tables never are).
+            let deviate = rng.chance(1, 6);
+            let next = if deviate {
+                rng.below(n)
+            } else {
+                targets[value]
+            };
+            let output = if spec.outputs == 0 {
+                Vec::new()
+            } else {
+                out_pool[outs[value]].clone()
+            };
+            transitions.push(Transition {
+                input: input.clone(),
+                present: StateId(s),
+                next: StateId(next),
+                output,
+            });
+        }
+    }
+
+    let state_names = (0..n).map(|s| format!("s{s}")).collect();
+    Fsm::new(
+        spec.name.clone(),
+        spec.inputs,
+        spec.outputs,
+        state_names,
+        transitions,
+        Some(StateId(0)),
+    )
+    .expect("generated machine is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SynthSpec {
+        SynthSpec {
+            name: "synth".into(),
+            states: 8,
+            inputs: 4,
+            outputs: 3,
+            terms: 48,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&spec());
+        let b = generate(&spec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&spec());
+        let mut s = spec();
+        s.seed = 43;
+        let b = generate(&s);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn machines_are_deterministic_tables() {
+        let m = generate(&spec());
+        assert!(m.is_deterministic());
+    }
+
+    #[test]
+    fn machines_are_completely_specified() {
+        let m = generate(&spec());
+        // every state must answer every input minterm
+        for s in 0..m.num_states() {
+            for minterm in 0..1u32 << m.num_inputs() {
+                let bits: Vec<bool> = (0..m.num_inputs()).map(|b| minterm >> b & 1 == 1).collect();
+                assert!(
+                    m.step(StateId(s), &bits).is_some(),
+                    "state {s} input {minterm:b} unspecified"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_disjointly() {
+        let mut rng = SplitMix64::new(7);
+        let cubes = partition_input_space(&mut rng, 5, 9);
+        // disjoint and total: sizes sum to 2^5
+        let size: u32 = cubes
+            .iter()
+            .map(|c| 1u32 << c.iter().filter(|t| **t == Trit::DontCare).count())
+            .sum();
+        assert_eq!(size, 32);
+    }
+
+    #[test]
+    fn stats_roughly_match_spec() {
+        let m = generate(&spec());
+        assert_eq!(m.num_states(), 8);
+        assert_eq!(m.num_inputs(), 4);
+        assert_eq!(m.num_outputs(), 3);
+        assert!(m.num_transitions() >= 8);
+    }
+}

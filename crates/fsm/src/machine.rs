@@ -1,0 +1,507 @@
+//! The finite-state-machine model: state transition tables in the style of
+//! KISS2, the input format of KISS/NOVA.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Index of a symbolic state within an [`Fsm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One character of a binary input or output pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Don't care (`-` in KISS2).
+    DontCare,
+}
+
+impl Trit {
+    /// Parses one pattern character.
+    pub fn from_char(c: char) -> Option<Trit> {
+        match c {
+            '0' => Some(Trit::Zero),
+            '1' => Some(Trit::One),
+            '-' | '2' => Some(Trit::DontCare),
+            _ => None,
+        }
+    }
+
+    /// The KISS2 character for this trit.
+    pub fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::DontCare => '-',
+        }
+    }
+
+    /// Whether a concrete bit matches this pattern position.
+    pub fn matches(self, bit: bool) -> bool {
+        match self {
+            Trit::Zero => !bit,
+            Trit::One => bit,
+            Trit::DontCare => true,
+        }
+    }
+}
+
+/// One row of a state transition table: on `input` (a cube over the binary
+/// primary inputs) in state `present`, go to `next` and assert `output`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Input pattern (one [`Trit`] per primary input).
+    pub input: Vec<Trit>,
+    /// Present state.
+    pub present: StateId,
+    /// Next state.
+    pub next: StateId,
+    /// Output pattern (don't-care outputs allowed).
+    pub output: Vec<Trit>,
+}
+
+/// A synchronous FSM described by a state transition table.
+///
+/// # Examples
+///
+/// ```
+/// use fsm::Fsm;
+///
+/// let kiss = "\
+/// .i 1
+/// .o 1
+/// .s 2
+/// 0 a a 0
+/// 1 a b 0
+/// - b a 1
+/// ";
+/// let m = Fsm::parse_kiss(kiss)?;
+/// assert_eq!(m.num_states(), 2);
+/// assert_eq!(m.num_transitions(), 3);
+/// # Ok::<(), fsm::ParseKissError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsm {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    state_names: Vec<String>,
+    transitions: Vec<Transition>,
+    reset: Option<StateId>,
+}
+
+/// Error from [`Fsm::new`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmError(String);
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fsm: {}", self.0)
+    }
+}
+
+impl Error for FsmError {}
+
+/// Error from [`Fsm::parse_kiss`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKissError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseKissError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kiss parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseKissError {}
+
+impl Fsm {
+    /// Builds an FSM from parts, validating pattern widths and state ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError`] when a transition's patterns do not match the
+    /// declared widths or reference out-of-range states.
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        state_names: Vec<String>,
+        transitions: Vec<Transition>,
+        reset: Option<StateId>,
+    ) -> Result<Self, FsmError> {
+        let m = Fsm {
+            name: name.into(),
+            num_inputs,
+            num_outputs,
+            state_names,
+            transitions,
+            reset,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    fn validate(&self) -> Result<(), FsmError> {
+        let n = self.state_names.len();
+        if n == 0 {
+            return Err(FsmError("no states".into()));
+        }
+        if let Some(r) = self.reset {
+            if r.0 >= n {
+                return Err(FsmError("reset state out of range".into()));
+            }
+        }
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.input.len() != self.num_inputs {
+                return Err(FsmError(format!("transition {i}: bad input width")));
+            }
+            if t.output.len() != self.num_outputs {
+                return Err(FsmError(format!("transition {i}: bad output width")));
+            }
+            if t.present.0 >= n || t.next.0 >= n {
+                return Err(FsmError(format!("transition {i}: state out of range")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the KISS2 format (`.i .o .s .p .r` headers and transition
+    /// rows `input present next output`). States are numbered in order of
+    /// first appearance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKissError`] on malformed rows or inconsistent widths.
+    pub fn parse_kiss(text: &str) -> Result<Fsm, ParseKissError> {
+        Self::parse_kiss_named("fsm", text)
+    }
+
+    /// Like [`Fsm::parse_kiss`] but attaches a machine name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKissError`] on malformed rows or inconsistent widths.
+    pub fn parse_kiss_named(name: &str, text: &str) -> Result<Fsm, ParseKissError> {
+        let err = |line: usize, m: String| ParseKissError { line, message: m };
+        let mut num_inputs = None;
+        let mut num_outputs = None;
+        let mut reset_name: Option<String> = None;
+        let mut state_ids: BTreeMap<String, usize> = BTreeMap::new();
+        let mut state_names: Vec<String> = Vec::new();
+        let mut rows: Vec<(usize, Vec<&str>)> = Vec::new();
+
+        for (ln, raw) in text.lines().enumerate() {
+            let line = ln + 1;
+            let l = raw.split('#').next().unwrap_or("").trim();
+            if l.is_empty() {
+                continue;
+            }
+            if let Some(rest) = l.strip_prefix('.') {
+                let mut it = rest.split_whitespace();
+                match it.next().unwrap_or("") {
+                    "i" => {
+                        num_inputs = Some(
+                            it.next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| err(line, "bad .i".into()))?,
+                        )
+                    }
+                    "o" => {
+                        num_outputs = Some(
+                            it.next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| err(line, "bad .o".into()))?,
+                        )
+                    }
+                    "r" => reset_name = it.next().map(str::to_owned),
+                    "s" | "p" => {} // advisory counts
+                    "e" | "end" => break,
+                    other => return Err(err(line, format!("unknown directive .{other}"))),
+                }
+            } else {
+                let fields: Vec<&str> = l.split_whitespace().collect();
+                if fields.len() != 4 {
+                    return Err(err(
+                        line,
+                        format!("expected 4 fields, got {}", fields.len()),
+                    ));
+                }
+                rows.push((line, fields));
+            }
+        }
+
+        let num_inputs = num_inputs.ok_or_else(|| err(0, "missing .i".into()))?;
+        let num_outputs = num_outputs.ok_or_else(|| err(0, "missing .o".into()))?;
+
+        let mut intern = |name: &str, state_names: &mut Vec<String>| -> usize {
+            *state_ids.entry(name.to_owned()).or_insert_with(|| {
+                state_names.push(name.to_owned());
+                state_names.len() - 1
+            })
+        };
+
+        // Reset state (if declared) gets id 0, matching NOVA's convention of
+        // listing the reset state first.
+        if let Some(r) = &reset_name {
+            intern(r, &mut state_names);
+        }
+
+        let mut transitions = Vec::with_capacity(rows.len());
+        for (line, f) in rows {
+            let input: Option<Vec<Trit>> = f[0].chars().map(Trit::from_char).collect();
+            let input = input.ok_or_else(|| err(line, format!("bad input pattern {:?}", f[0])))?;
+            if input.len() != num_inputs {
+                return Err(err(line, "input width mismatch".into()));
+            }
+            let present = StateId(intern(f[1], &mut state_names));
+            let next = StateId(intern(f[2], &mut state_names));
+            let output: Option<Vec<Trit>> = f[3].chars().map(Trit::from_char).collect();
+            let output =
+                output.ok_or_else(|| err(line, format!("bad output pattern {:?}", f[3])))?;
+            if output.len() != num_outputs {
+                return Err(err(line, "output width mismatch".into()));
+            }
+            transitions.push(Transition {
+                input,
+                present,
+                next,
+                output,
+            });
+        }
+
+        let reset = reset_name.map(|r| StateId(state_ids[&r]));
+        Fsm::new(
+            name,
+            num_inputs,
+            num_outputs,
+            state_names,
+            transitions,
+            reset,
+        )
+        .map_err(|e| err(0, e.to_string()))
+    }
+
+    /// Renders the machine in KISS2 format.
+    pub fn to_kiss(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            ".i {}\n.o {}\n.s {}\n.p {}\n",
+            self.num_inputs,
+            self.num_outputs,
+            self.num_states(),
+            self.num_transitions()
+        ));
+        if let Some(r) = self.reset {
+            s.push_str(&format!(".r {}\n", self.state_names[r.0]));
+        }
+        for t in &self.transitions {
+            for tr in &t.input {
+                s.push(tr.to_char());
+            }
+            s.push(' ');
+            s.push_str(&self.state_names[t.present.0]);
+            s.push(' ');
+            s.push_str(&self.state_names[t.next.0]);
+            s.push(' ');
+            for tr in &t.output {
+                s.push(tr.to_char());
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of binary primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of binary primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of symbolic states.
+    pub fn num_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Number of table rows.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The state names, indexed by [`StateId`].
+    pub fn state_names(&self) -> &[String] {
+        &self.state_names
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Declared reset state, if any.
+    pub fn reset(&self) -> Option<StateId> {
+        self.reset
+    }
+
+    /// Minimum number of state bits: `ceil(log2(num_states))`, at least 1.
+    pub fn min_bits(&self) -> usize {
+        let n = self.num_states();
+        if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Looks up the transition taken from `state` under the concrete input
+    /// `bits` (little-endian: `bits[i]` drives input `i`). Returns the first
+    /// matching row, reflecting deterministic tables.
+    pub fn step(&self, state: StateId, bits: &[bool]) -> Option<&Transition> {
+        self.transitions.iter().find(|t| {
+            t.present == state
+                && t.input
+                    .iter()
+                    .zip(bits)
+                    .all(|(pattern, &b)| pattern.matches(b))
+        })
+    }
+
+    /// Checks determinism: no two rows of the same present state overlap on
+    /// inputs while disagreeing on next state or (specified) outputs.
+    pub fn is_deterministic(&self) -> bool {
+        for (i, a) in self.transitions.iter().enumerate() {
+            for b in &self.transitions[i + 1..] {
+                if a.present != b.present {
+                    continue;
+                }
+                let overlap = a.input.iter().zip(&b.input).all(|(x, y)| {
+                    !matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero))
+                });
+                if !overlap {
+                    continue;
+                }
+                if a.next != b.next {
+                    return false;
+                }
+                let outputs_conflict = a.output.iter().zip(&b.output).any(|(x, y)| {
+                    matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero))
+                });
+                if outputs_conflict {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = "\
+.i 2
+.o 1
+.s 3
+.r a
+00 a a 0
+01 a b 0
+1- a c 1
+-- b a 0
+-- c b 1
+";
+
+    #[test]
+    fn parse_kiss_basics() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        assert_eq!(m.num_inputs(), 2);
+        assert_eq!(m.num_outputs(), 1);
+        assert_eq!(m.num_states(), 3);
+        assert_eq!(m.num_transitions(), 5);
+        assert_eq!(m.reset(), Some(StateId(0)));
+        assert_eq!(m.state_names()[0], "a");
+    }
+
+    #[test]
+    fn kiss_roundtrip() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        let again = Fsm::parse_kiss(&m.to_kiss()).unwrap();
+        assert_eq!(m.transitions(), again.transitions());
+        assert_eq!(m.state_names(), again.state_names());
+    }
+
+    #[test]
+    fn reset_state_is_zero_even_when_seen_late() {
+        let kiss = "\
+.i 1
+.o 1
+.r z
+0 a z 0
+1 z a 1
+";
+        let m = Fsm::parse_kiss(kiss).unwrap();
+        assert_eq!(m.state_names()[0], "z");
+        assert_eq!(m.reset(), Some(StateId(0)));
+    }
+
+    #[test]
+    fn step_matches_patterns() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        let t = m.step(StateId(0), &[true, false]).unwrap();
+        assert_eq!(t.next, StateId(2));
+        let t = m.step(StateId(0), &[false, true]).unwrap();
+        assert_eq!(t.next, StateId(1));
+    }
+
+    #[test]
+    fn determinism_check() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        assert!(m.is_deterministic());
+        let bad = "\
+.i 1
+.o 1
+- a a 0
+1 a b 0
+";
+        let m = Fsm::parse_kiss(bad).unwrap();
+        assert!(!m.is_deterministic());
+    }
+
+    #[test]
+    fn min_bits() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        assert_eq!(m.min_bits(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        assert!(Fsm::parse_kiss(".i 2\n.o 1\n0 a b 0\n").is_err());
+        assert!(Fsm::parse_kiss(".i 1\n.o 1\n0 a b\n").is_err());
+        assert!(Fsm::parse_kiss("0 a b 0\n").is_err());
+    }
+}

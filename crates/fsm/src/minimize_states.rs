@@ -1,0 +1,291 @@
+//! State minimization for completely specified machines (the classic
+//! implication-table / partition-refinement step that precedes state
+//! assignment in the SIS flow — the NOVA paper assumes its inputs are
+//! already state-minimal).
+//!
+//! Two states are *distinguishable* when some input sequence produces
+//! different specified outputs. The fixpoint computation marks pairs whose
+//! overlapping input regions either conflict on outputs directly or lead to
+//! distinguishable next states. For completely specified deterministic
+//! machines indistinguishability is an equivalence relation and the merge
+//! is exact; for incompletely specified machines compatibility is not
+//! transitive and exact minimization is NP-hard — there we merge only
+//! provably equivalent states (a safe, conservative reduction).
+
+use crate::machine::{Fsm, StateId, Transition, Trit};
+
+/// Result of [`minimize_states`]: the reduced machine and the block (new
+/// state id) of every original state.
+#[derive(Debug, Clone)]
+pub struct StateMinimization {
+    /// The reduced machine.
+    pub fsm: Fsm,
+    /// `block[s]` = new id of original state `s`.
+    pub block: Vec<usize>,
+    /// Number of states removed.
+    pub merged: usize,
+}
+
+fn inputs_overlap(a: &[Trit], b: &[Trit]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| !matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)))
+}
+
+fn outputs_conflict(a: &[Trit], b: &[Trit]) -> bool {
+    a.iter()
+        .zip(b)
+        .any(|(x, y)| matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)))
+}
+
+/// Minimizes the number of states by merging indistinguishable states.
+///
+/// The reset state (if any) maps to the block of the original reset state.
+/// Rows of merged states are deduplicated; the surviving representative is
+/// the lowest-numbered state of each block.
+pub fn minimize_states(fsm: &Fsm) -> StateMinimization {
+    let n = fsm.num_states();
+    let rows_of: Vec<Vec<&Transition>> = (0..n)
+        .map(|s| {
+            fsm.transitions()
+                .iter()
+                .filter(|t| t.present.0 == s)
+                .collect()
+        })
+        .collect();
+
+    // dist[s][t]: states are known distinguishable.
+    let mut dist = vec![vec![false; n]; n];
+    // Step 0: direct output conflicts on overlapping input regions.
+    for s in 0..n {
+        for t in s + 1..n {
+            let conflict = rows_of[s].iter().any(|r1| {
+                rows_of[t]
+                    .iter()
+                    .any(|r2| inputs_overlap(&r1.input, &r2.input) && outputs_conflict(&r1.output, &r2.output))
+            });
+            if conflict {
+                dist[s][t] = true;
+                dist[t][s] = true;
+            }
+        }
+    }
+    // Fixpoint: propagate through next states.
+    loop {
+        let mut changed = false;
+        for s in 0..n {
+            for t in s + 1..n {
+                if dist[s][t] {
+                    continue;
+                }
+                let propagate = rows_of[s].iter().any(|r1| {
+                    rows_of[t].iter().any(|r2| {
+                        inputs_overlap(&r1.input, &r2.input) && dist[r1.next.0][r2.next.0]
+                    })
+                });
+                if propagate {
+                    dist[s][t] = true;
+                    dist[t][s] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Greedy block construction with full verification (handles the
+    // incompletely-specified case safely: a state joins a block only when
+    // indistinguishable from *every* member).
+    let mut block = vec![usize::MAX; n];
+    let mut reps: Vec<Vec<usize>> = Vec::new();
+    for s in 0..n {
+        let found = reps
+            .iter()
+            .position(|members| members.iter().all(|&m| !dist[s][m]));
+        match found {
+            Some(b) => {
+                block[s] = b;
+                reps[b].push(s);
+            }
+            None => {
+                block[s] = reps.len();
+                reps.push(vec![s]);
+            }
+        }
+    }
+    let new_n = reps.len();
+    if new_n == n {
+        return StateMinimization {
+            fsm: fsm.clone(),
+            block,
+            merged: 0,
+        };
+    }
+
+    // Rebuild: representative = first member of each block.
+    let state_names: Vec<String> = reps
+        .iter()
+        .map(|members| fsm.state_names()[members[0]].clone())
+        .collect();
+    let mut transitions: Vec<Transition> = Vec::new();
+    for t in fsm.transitions() {
+        // Keep only the representative's rows.
+        if reps[block[t.present.0]][0] != t.present.0 {
+            continue;
+        }
+        let nt = Transition {
+            input: t.input.clone(),
+            present: StateId(block[t.present.0]),
+            next: StateId(block[t.next.0]),
+            output: t.output.clone(),
+        };
+        if !transitions.contains(&nt) {
+            transitions.push(nt);
+        }
+    }
+    let reset = fsm.reset().map(|r| StateId(block[r.0]));
+    let fsm_min = Fsm::new(
+        fsm.name(),
+        fsm.num_inputs(),
+        fsm.num_outputs(),
+        state_names,
+        transitions,
+        reset,
+    )
+    .expect("reduced machine is structurally valid");
+    StateMinimization {
+        fsm: fsm_min,
+        block,
+        merged: n - new_n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::step_symbolic;
+
+    #[test]
+    fn merges_duplicate_states() {
+        // b and c are byte-for-byte identical behaviour.
+        let kiss = "\
+.i 1
+.o 1
+.s 3
+0 a b 0
+1 a c 0
+0 b a 1
+1 b b 0
+0 c a 1
+1 c c 0
+";
+        let m = Fsm::parse_kiss(kiss).unwrap();
+        let r = minimize_states(&m);
+        assert_eq!(r.merged, 1);
+        assert_eq!(r.fsm.num_states(), 2);
+        assert_eq!(r.block[1], r.block[2]);
+    }
+
+    #[test]
+    fn keeps_distinguishable_states() {
+        let m = fsm_from_shiftreg();
+        let r = minimize_states(&m);
+        assert_eq!(r.merged, 0, "shiftreg is already minimal");
+    }
+
+    fn fsm_from_shiftreg() -> Fsm {
+        crate::benchmarks::by_name("shiftreg").unwrap().fsm
+    }
+
+    #[test]
+    fn distinguishability_needs_propagation() {
+        // a and b produce identical outputs now, but diverge one step later
+        // (a -> x which outputs 1, b -> y which outputs 0).
+        let kiss = "\
+.i 1
+.o 1
+.s 4
+0 a x 0
+1 a x 0
+0 b y 0
+1 b y 0
+0 x x 1
+1 x x 1
+0 y y 0
+1 y y 0
+";
+        let m = Fsm::parse_kiss(kiss).unwrap();
+        let r = minimize_states(&m);
+        // x and y are distinguishable (outputs differ); hence a and b too.
+        let id = |name: &str| m.state_names().iter().position(|s| s == name).unwrap();
+        assert_ne!(r.block[id("a")], r.block[id("b")]);
+    }
+
+    #[test]
+    fn reduced_machine_is_behaviourally_equivalent() {
+        let kiss = "\
+.i 1
+.o 1
+.s 4
+0 a b 0
+1 a c 1
+0 b a 0
+1 b d 1
+0 c a 0
+1 c d 1
+0 d d 1
+1 d a 0
+";
+        let m = Fsm::parse_kiss(kiss).unwrap();
+        let r = minimize_states(&m);
+        assert!(r.merged >= 1, "b and c are equivalent");
+        // Walk both machines in lockstep.
+        let mut s_old = StateId(0);
+        let mut s_new = StateId(r.block[0]);
+        let mut bits = 0x9e3779b97f4a7c15u64;
+        for _ in 0..200 {
+            bits = bits.rotate_left(7).wrapping_mul(0xbf58476d1ce4e5b9);
+            let input = [bits & 1 == 1];
+            let old = step_symbolic(&m, s_old, &input).expect("complete");
+            let new = step_symbolic(&r.fsm, s_new, &input).expect("complete");
+            assert_eq!(old.outputs, new.outputs);
+            s_old = old.next;
+            s_new = new.next;
+            assert_eq!(r.block[s_old.0], s_new.0, "state tracking diverged");
+        }
+    }
+
+    #[test]
+    fn reset_state_follows_its_block() {
+        let kiss = "\
+.i 1
+.o 1
+.s 3
+.r b
+0 b a 0
+1 b a 1
+0 c a 0
+1 c a 1
+0 a b 1
+1 a c 1
+";
+        let m = Fsm::parse_kiss(kiss).unwrap();
+        let r = minimize_states(&m);
+        assert_eq!(r.merged, 1);
+        assert_eq!(r.fsm.reset(), Some(StateId(r.block[m.reset().unwrap().0])));
+    }
+
+    #[test]
+    fn benchmark_suite_is_state_minimal_or_reducible_consistently() {
+        for b in crate::benchmarks::suite() {
+            if b.fsm.num_states() > 40 {
+                continue; // keep the test fast
+            }
+            let r = minimize_states(&b.fsm);
+            assert_eq!(r.block.len(), b.fsm.num_states());
+            assert!(r.fsm.num_states() + r.merged == b.fsm.num_states());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulation of symbolic FSMs and of encoded PLA implementations, used to
+//! check that an encoding preserves behaviour.
+
+use crate::encode::{EncodedPla, Encoding};
+use crate::machine::{Fsm, StateId, Trit};
+use espresso::{Cover, Cube};
+
+/// Output of one symbolic step: next state and the output pattern (with
+/// `None` for don't-care output bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicStep {
+    /// Next state.
+    pub next: StateId,
+    /// Outputs; `None` where the table says `-`.
+    pub outputs: Vec<Option<bool>>,
+}
+
+/// Steps the symbolic machine. Returns `None` when the table leaves the
+/// (state, input) combination unspecified.
+pub fn step_symbolic(fsm: &Fsm, state: StateId, inputs: &[bool]) -> Option<SymbolicStep> {
+    let t = fsm.step(state, inputs)?;
+    Some(SymbolicStep {
+        next: t.next,
+        outputs: t
+            .output
+            .iter()
+            .map(|tr| match tr {
+                Trit::Zero => Some(false),
+                Trit::One => Some(true),
+                Trit::DontCare => None,
+            })
+            .collect(),
+    })
+}
+
+fn eval_output(on: &Cover, minterm: &Cube, part: u32) -> bool {
+    let space = on.space();
+    let ov = space.output_var().expect("pla cover");
+    on.iter()
+        .any(|c| c.has_part(space, ov, part) && minterm.is_subset_of(c))
+}
+
+/// Steps the encoded PLA: evaluates next-state bits and outputs at the
+/// minterm `(inputs, state_code)`.
+pub fn step_encoded(pla: &EncodedPla, state_code: u64, inputs: &[bool]) -> (u64, Vec<bool>) {
+    let space = pla.on.space();
+    let mut minterm = Cube::zero(space);
+    for (v, &b) in inputs.iter().enumerate() {
+        minterm.set_part(space, v, u32::from(b));
+    }
+    for b in 0..pla.state_bits {
+        minterm.set_part(space, pla.inputs + b, (state_code >> b & 1) as u32);
+    }
+    // The output field stays empty so `is_subset_of` tests only the input
+    // half of each cube.
+    let mut next = 0u64;
+    for b in 0..pla.state_bits {
+        if eval_output(&pla.on, &minterm, b as u32) {
+            next |= 1 << b;
+        }
+    }
+    let outputs = (0..pla.outputs)
+        .map(|o| eval_output(&pla.on, &minterm, (pla.state_bits + o) as u32))
+        .collect();
+    (next, outputs)
+}
+
+/// Checks that `pla` (typically a minimized encoded cover repackaged in an
+/// [`EncodedPla`]) implements `fsm` under `enc` along the given input
+/// sequence starting from `start`: specified outputs must match and the
+/// next-state code must equal the code of the symbolic next state, for every
+/// step where the table specifies the transition.
+pub fn check_sequence(
+    fsm: &Fsm,
+    enc: &Encoding,
+    pla: &EncodedPla,
+    start: StateId,
+    sequence: &[Vec<bool>],
+) -> Result<(), String> {
+    let mut sym = start;
+    let mut code = enc.code(start);
+    for (i, inputs) in sequence.iter().enumerate() {
+        let Some(step) = step_symbolic(fsm, sym, inputs) else {
+            return Ok(()); // unspecified: any behaviour is fine from here on
+        };
+        let (next_code, outs) = step_encoded(pla, code, inputs);
+        for (o, expected) in step.outputs.iter().enumerate() {
+            if let Some(e) = expected {
+                if outs[o] != *e {
+                    return Err(format!(
+                        "step {i}: output {o} is {} but the table says {e}",
+                        outs[o]
+                    ));
+                }
+            }
+        }
+        if next_code != enc.code(step.next) {
+            return Err(format!(
+                "step {i}: next code {next_code:#b} != code of {} ({:#b})",
+                step.next,
+                enc.code(step.next)
+            ));
+        }
+        sym = step.next;
+        code = next_code;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use espresso::minimize;
+
+    const TOY: &str = "\
+.i 1
+.o 1
+.s 2
+0 a a 0
+1 a b 0
+- b a 1
+";
+
+    fn seq(bits: &[u8]) -> Vec<Vec<bool>> {
+        bits.iter().map(|&b| vec![b == 1]).collect()
+    }
+
+    #[test]
+    fn symbolic_step() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        let s = step_symbolic(&m, StateId(0), &[true]).unwrap();
+        assert_eq!(s.next, StateId(1));
+        assert_eq!(s.outputs, vec![Some(false)]);
+    }
+
+    #[test]
+    fn encoded_matches_symbolic_raw() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        let e = Encoding::new(1, vec![0, 1]).unwrap();
+        let pla = encode(&m, &e);
+        check_sequence(&m, &e, &pla, StateId(0), &seq(&[1, 0, 1, 1, 0, 0])).unwrap();
+    }
+
+    #[test]
+    fn encoded_matches_symbolic_after_minimization() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        let e = Encoding::new(1, vec![0, 1]).unwrap();
+        let mut pla = encode(&m, &e);
+        pla.on = minimize(&pla.on, &pla.dc);
+        check_sequence(&m, &e, &pla, StateId(0), &seq(&[1, 1, 0, 1, 0, 1, 1])).unwrap();
+    }
+
+    #[test]
+    fn detects_wrong_implementation() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        let e = Encoding::new(1, vec![0, 1]).unwrap();
+        let mut pla = encode(&m, &e);
+        // Sabotage: drop all on-cubes.
+        pla.on = Cover::empty(pla.on.space().clone());
+        assert!(check_sequence(&m, &e, &pla, StateId(0), &seq(&[0, 1, 0])).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Tours the embedded benchmark suite: runs the NOVA algorithms on every
+//! quick machine and prints a compact leaderboard, mirroring how the paper's
+//! evaluation section is organized.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+
+use nova_core::driver::{random_baseline, run, Algorithm};
+
+fn main() {
+    let quick: Vec<_> = fsm::benchmarks::table_one()
+        .into_iter()
+        .filter(|b| b.fsm.num_states() <= 16 && b.fsm.num_transitions() <= 120)
+        .collect();
+
+    println!(
+        "{:<12} {:>7} | {:>8} {:>8} {:>8} | {:>9} {:>8}",
+        "machine", "#states", "ihybrid", "igreedy", "iohybrid", "rand-best", "winner"
+    );
+    let (mut nova_total, mut random_total) = (0u64, 0u64);
+    for b in &quick {
+        let m = &b.fsm;
+        let ihybrid = run(m, Algorithm::IHybrid, None).expect("ihybrid");
+        let igreedy = run(m, Algorithm::IGreedy, None).expect("igreedy");
+        let iohybrid = run(m, Algorithm::IoHybrid, None);
+        let rand = random_baseline(m, m.num_states(), 7);
+
+        let mut rows = vec![("ihybrid", ihybrid.area), ("igreedy", igreedy.area)];
+        if let Some(io) = &iohybrid {
+            rows.push(("iohybrid", io.area));
+        }
+        let (winner, best_area) = rows
+            .iter()
+            .min_by_key(|(_, a)| *a)
+            .copied()
+            .expect("non-empty");
+        nova_total += best_area;
+        random_total += rand.best_area;
+
+        println!(
+            "{:<12} {:>7} | {:>8} {:>8} {:>8} | {:>9} {:>8}",
+            b.display_name(),
+            m.num_states(),
+            ihybrid.area,
+            igreedy.area,
+            iohybrid
+                .map(|io| io.area.to_string())
+                .unwrap_or_else(|| "-".into()),
+            rand.best_area,
+            winner
+        );
+    }
+    println!(
+        "\nbest-of-NOVA / best-of-random = {:.2} (the paper reports 0.70–0.80 on the MCNC suite)",
+        nova_total as f64 / random_total as f64
+    );
+}

@@ -1,0 +1,8 @@
+//! Workspace umbrella crate for the NOVA reproduction.
+//!
+//! Re-exports the three library crates so integration tests and examples can
+//! use a single dependency root.
+
+pub use espresso;
+pub use fsm;
+pub use nova_core;

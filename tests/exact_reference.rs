@@ -1,0 +1,195 @@
+//! Quality reference: on small single-output functions, compare espresso's
+//! heuristic result with an exact minimum cover computed by brute force
+//! (all primes + exact set covering). ESPRESSO is allowed to be off by at
+//! most one cube on these sizes — in practice it matches the minimum.
+
+use espresso::{cube_in_cover, minimize, Cover, Cube, CubeSpace};
+use proptest::prelude::*;
+
+const VARS: usize = 4;
+
+/// All cubes of the (VARS + single-output) space, as (input-part choices).
+fn all_input_cubes(space: &CubeSpace) -> Vec<Cube> {
+    let mut out = Vec::new();
+    // Each variable: 0, 1 or dash → 3^VARS combos; output part always set.
+    let ov = space.output_var().expect("output var");
+    for combo in 0..3u32.pow(VARS as u32) {
+        let mut c = Cube::zero(space);
+        let mut x = combo;
+        for v in 0..VARS {
+            match x % 3 {
+                0 => c.set_part(space, v, 0),
+                1 => c.set_part(space, v, 1),
+                _ => c.set_var_full(space, v),
+            }
+            x /= 3;
+        }
+        c.set_part(space, ov, 0);
+        out.push(c);
+    }
+    out
+}
+
+/// Minterms (as input index) covered by a cube.
+fn minterms_of(space: &CubeSpace, c: &Cube) -> Vec<u32> {
+    (0..1u32 << VARS)
+        .filter(|m| (0..VARS).all(|v| c.has_part(space, v, m >> v & 1)))
+        .collect()
+}
+
+/// Exact minimum number of primes covering the on-set.
+fn exact_minimum(space: &CubeSpace, on: &Cover, dc: &Cover) -> usize {
+    let fd = on.union(dc);
+    // Primes: implicants of F ∪ D with no raisable part.
+    let primes: Vec<Cube> = all_input_cubes(space)
+        .into_iter()
+        .filter(|c| cube_in_cover(&fd, c))
+        .filter(|c| {
+            (0..VARS).all(|v| {
+                (0..2).all(|p| {
+                    if c.has_part(space, v, p) {
+                        return true;
+                    }
+                    let mut t = c.clone();
+                    t.set_part(space, v, p);
+                    !cube_in_cover(&fd, &t)
+                })
+            })
+        })
+        .collect();
+    // ON minterms that must be covered.
+    let need: Vec<u32> = (0..1u32 << VARS)
+        .filter(|&m| {
+            let mut probe = Cube::zero(space);
+            for v in 0..VARS {
+                probe.set_part(space, v, m >> v & 1);
+            }
+            probe.set_part(space, space.output_var().expect("ov"), 0);
+            cube_in_cover(on, &probe)
+        })
+        .collect();
+    if need.is_empty() {
+        return 0;
+    }
+    let prime_minterms: Vec<Vec<u32>> = primes.iter().map(|p| minterms_of(space, p)).collect();
+
+    // Branch and bound set covering.
+    fn cover_rec(
+        need: &[u32],
+        covered: &mut Vec<bool>,
+        prime_minterms: &[Vec<u32>],
+        chosen: usize,
+        best: &mut usize,
+    ) {
+        if chosen >= *best {
+            return;
+        }
+        let Some(&first) = need.iter().find(|&&m| !covered[m as usize]) else {
+            *best = chosen;
+            return;
+        };
+        // Branch on the primes covering `first`.
+        for (_, pm) in prime_minterms
+            .iter()
+            .enumerate()
+            .filter(|(_, pm)| pm.contains(&first))
+        {
+            let newly: Vec<u32> = pm
+                .iter()
+                .copied()
+                .filter(|&m| !covered[m as usize])
+                .collect();
+            for &m in &newly {
+                covered[m as usize] = true;
+            }
+            cover_rec(need, covered, prime_minterms, chosen + 1, best);
+            for &m in &newly {
+                covered[m as usize] = false;
+            }
+        }
+    }
+
+    let mut best = need.len() + 1;
+    let mut covered = vec![false; 1 << VARS];
+    cover_rec(&need, &mut covered, &prime_minterms, 0, &mut best);
+    best
+}
+
+fn random_cover(space: &CubeSpace, rows: &[(u8, u8, u8, u8)]) -> Cover {
+    let mut f = Cover::empty(space.clone());
+    for &(a, b, c, d) in rows {
+        let mut cube = Cube::zero(space);
+        for (v, x) in [a, b, c, d].iter().enumerate() {
+            match x % 3 {
+                0 => cube.set_part(space, v, 0),
+                1 => cube.set_part(space, v, 1),
+                _ => cube.set_var_full(space, v),
+            }
+        }
+        cube.set_part(space, space.output_var().expect("ov"), 0);
+        f.push(cube);
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn espresso_is_near_minimal_on_small_functions(
+        rows in proptest::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3), 1..7)
+    ) {
+        let space = CubeSpace::binary_with_output(VARS, 1);
+        let f = random_cover(&space, &rows);
+        let d = Cover::empty(space.clone());
+        let m = minimize(&f, &d);
+        let exact = exact_minimum(&space, &f, &d);
+        prop_assert!(
+            m.len() <= exact + 1,
+            "espresso {} cubes vs exact {}",
+            m.len(),
+            exact
+        );
+        prop_assert!(m.len() >= exact, "espresso beat the exact minimum?!");
+    }
+
+    #[test]
+    fn espresso_with_dc_is_near_minimal(
+        rows in proptest::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3), 1..5),
+        dcs in proptest::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3), 0..3),
+    ) {
+        let space = CubeSpace::binary_with_output(VARS, 1);
+        let f = random_cover(&space, &rows);
+        let d = random_cover(&space, &dcs);
+        let m = minimize(&f, &d);
+        let exact = exact_minimum(&space, &f, &d);
+        // With DC overlap the on-set may shrink below the simple bound;
+        // espresso must stay within one cube of the true optimum.
+        prop_assert!(
+            m.len() <= exact + 1,
+            "espresso {} cubes vs exact {}",
+            m.len(),
+            exact
+        );
+    }
+}
+
+#[test]
+fn known_minimums() {
+    let space = CubeSpace::binary_with_output(VARS, 1);
+    // Parity of 4 variables: 8 minterm-primes minimum.
+    let mut f = Cover::empty(space.clone());
+    for m in 0..16u32 {
+        if m.count_ones() % 2 == 1 {
+            let mut c = Cube::zero(&space);
+            for v in 0..VARS {
+                c.set_part(&space, v, m >> v & 1);
+            }
+            c.set_part(&space, space.output_var().expect("ov"), 0);
+            f.push(c);
+        }
+    }
+    let d = Cover::empty(space.clone());
+    assert_eq!(exact_minimum(&space, &f, &d), 8);
+    assert_eq!(minimize(&f, &d).len(), 8);
+}

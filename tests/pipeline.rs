@@ -1,0 +1,136 @@
+//! End-to-end pipeline tests across the three crates: constraint
+//! extraction → encoding → ESPRESSO → area, for every algorithm, on several
+//! embedded machines.
+
+use nova_core::driver::{run, Algorithm};
+use nova_core::exact::constraint_satisfied;
+use nova_core::extract_input_constraints;
+use nova_core::hybrid::{kiss_code, HybridOptions};
+
+const MACHINES: &[&str] = &["lion", "bbtas", "dk27", "shiftreg", "modulo12", "train11"];
+
+#[test]
+fn every_algorithm_completes_on_the_small_suite() {
+    for name in MACHINES {
+        let m = fsm::benchmarks::by_name(name).expect("embedded").fsm;
+        for alg in [
+            Algorithm::IHybrid,
+            Algorithm::IGreedy,
+            Algorithm::IoHybrid,
+            Algorithm::IoVariant,
+            Algorithm::Kiss,
+            Algorithm::MustangP,
+            Algorithm::MustangN,
+            Algorithm::OneHot,
+        ] {
+            let r = run(&m, alg, None).unwrap_or_else(|| panic!("{} failed on {name}", alg.name()));
+            assert!(r.cubes > 0, "{name}/{}", alg.name());
+            assert_eq!(
+                r.area,
+                fsm::area::pla_area(m.num_inputs(), r.bits, m.num_outputs(), r.cubes),
+                "{name}/{}: area formula mismatch",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn encodings_are_injective_and_complete() {
+    for name in MACHINES {
+        let m = fsm::benchmarks::by_name(name).expect("embedded").fsm;
+        for alg in [Algorithm::IHybrid, Algorithm::IGreedy, Algorithm::IoHybrid] {
+            let r = run(&m, alg, None).expect("runs");
+            let mut codes = r.encoding.codes().to_vec();
+            assert_eq!(codes.len(), m.num_states());
+            codes.sort_unstable();
+            codes.dedup();
+            assert_eq!(codes.len(), m.num_states(), "{name}/{}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn kiss_satisfies_every_input_constraint() {
+    for name in MACHINES {
+        let m = fsm::benchmarks::by_name(name).expect("embedded").fsm;
+        let ics = extract_input_constraints(&m);
+        let out = kiss_code(&ics, HybridOptions::default());
+        for c in &ics.constraints {
+            assert!(
+                constraint_satisfied(&c.set, out.encoding.codes(), out.encoding.bits() as u32),
+                "{name}: kiss left {:?} unsatisfied",
+                c.set
+            );
+        }
+    }
+}
+
+#[test]
+fn minimum_length_algorithms_use_minimum_length() {
+    for name in MACHINES {
+        let m = fsm::benchmarks::by_name(name).expect("embedded").fsm;
+        let expected = m.min_bits();
+        for alg in [Algorithm::IHybrid, Algorithm::IGreedy, Algorithm::MustangP] {
+            let r = run(&m, alg, None).expect("runs");
+            assert_eq!(r.bits, expected, "{name}/{}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let m = fsm::benchmarks::by_name("bbtas").expect("embedded").fsm;
+    for alg in [Algorithm::IHybrid, Algorithm::IGreedy, Algorithm::IoHybrid] {
+        let a = run(&m, alg, None).expect("runs");
+        let b = run(&m, alg, None).expect("runs");
+        assert_eq!(a.encoding, b.encoding, "{}", alg.name());
+        assert_eq!(a.cubes, b.cubes);
+    }
+}
+
+#[test]
+fn one_hot_never_beats_nova_on_area_for_structured_machines() {
+    // The headline qualitative claim: dense minimum-length encodings beat
+    // 1-hot on PLA area (1-hot pays for its wide code columns).
+    for name in MACHINES {
+        let m = fsm::benchmarks::by_name(name).expect("embedded").fsm;
+        let hybrid = run(&m, Algorithm::IHybrid, None).expect("ihybrid");
+        let greedy = run(&m, Algorithm::IGreedy, None).expect("igreedy");
+        let one_hot = run(&m, Algorithm::OneHot, None).expect("one-hot");
+        let nova = hybrid.area.min(greedy.area);
+        assert!(
+            nova <= one_hot.area,
+            "{name}: nova {} vs 1-hot {}",
+            nova,
+            one_hot.area
+        );
+    }
+}
+
+#[test]
+fn iexact_satisfies_all_constraints_when_it_succeeds() {
+    for name in ["lion", "dk27", "shiftreg"] {
+        let m = fsm::benchmarks::by_name(name).expect("embedded").fsm;
+        let Some(r) = run(&m, Algorithm::IExact, None) else {
+            continue;
+        };
+        let ics = extract_input_constraints(&m);
+        for c in &ics.constraints {
+            assert!(
+                constraint_satisfied(&c.set, r.encoding.codes(), r.bits as u32),
+                "{name}: iexact left {:?} unsatisfied",
+                c.set
+            );
+        }
+    }
+}
+
+#[test]
+fn target_bits_expand_the_encoding_space() {
+    let m = fsm::benchmarks::by_name("dk27").expect("embedded").fsm;
+    let min = run(&m, Algorithm::IHybrid, None).expect("runs");
+    let wide = run(&m, Algorithm::IHybrid, Some(5)).expect("runs");
+    assert!(wide.bits >= min.bits);
+    assert!(wide.bits <= 5);
+}
