@@ -1,96 +1,77 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! the `max_work` magic number, the minimum-dimension-faces restriction,
-//! and iohybrid vs iovariant.
+//! and iohybrid vs iovariant (std-only harness; see `microbench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_bench::microbench::Harness;
 use nova_core::exact::{iexact_code, ExactOptions};
 use nova_core::hybrid::{ihybrid_code, HybridOptions};
 use nova_core::poset::InputGraph;
 use nova_core::symbolic_min::{symbolic_minimize_with, SymbolicMinOptions};
 use nova_core::{extract_input_constraints, iohybrid_code, iovariant_code, symbolic_minimize};
 
-fn bench_max_work(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_max_work");
+fn bench_max_work(h: &mut Harness) {
+    let mut g = h.group("ablation_max_work");
     g.sample_size(10);
     let b = fsm::benchmarks::by_name("bbara").expect("embedded");
     let ics = extract_input_constraints(&b.fsm);
     for max_work in [1_000u64, 10_000, 100_000] {
-        g.bench_with_input(
-            BenchmarkId::new("ihybrid", max_work),
-            &max_work,
-            |bench, &mw| bench.iter(|| ihybrid_code(&ics, None, HybridOptions { max_work: mw })),
-        );
+        g.bench(&format!("ihybrid/{max_work}"), || {
+            ihybrid_code(&ics, None, HybridOptions { max_work })
+        });
     }
-    g.finish();
 }
 
-fn bench_min_dimension_restriction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_min_dim_faces");
+fn bench_min_dimension_restriction(h: &mut Harness) {
+    let mut g = h.group("ablation_min_dim_faces");
     g.sample_size(10);
     let b = fsm::benchmarks::by_name("dk27").expect("embedded");
     let ics = extract_input_constraints(&b.fsm);
     let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
     let ig = InputGraph::build(ics.num_states, &sets);
     for restricted in [true, false] {
-        g.bench_with_input(
-            BenchmarkId::new("iexact", restricted),
-            &restricted,
-            |bench, &r| {
-                bench.iter(|| {
-                    iexact_code(
-                        &ig,
-                        ExactOptions {
-                            min_dimension_faces_only: r,
-                            max_work: Some(200_000),
-                            ..ExactOptions::default()
-                        },
-                    )
-                })
-            },
-        );
+        g.bench(&format!("iexact/{restricted}"), || {
+            iexact_code(
+                &ig,
+                ExactOptions {
+                    min_dimension_faces_only: restricted,
+                    max_work: Some(200_000),
+                    ..ExactOptions::default()
+                },
+            )
+        });
     }
-    g.finish();
 }
 
-fn bench_io_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_io_variants");
+fn bench_io_variants(h: &mut Harness) {
+    let mut g = h.group("ablation_io_variants");
     g.sample_size(10);
     for name in ["bbtas", "dk27"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         let sym = symbolic_minimize(&b.fsm);
-        g.bench_with_input(BenchmarkId::new("iohybrid", name), &sym, |bench, sym| {
-            bench.iter(|| iohybrid_code(sym, None, HybridOptions::default()))
+        g.bench(&format!("iohybrid/{name}"), || {
+            iohybrid_code(&sym, None, HybridOptions::default())
         });
-        g.bench_with_input(BenchmarkId::new("iovariant", name), &sym, |bench, sym| {
-            bench.iter(|| iovariant_code(sym, None, HybridOptions::default()))
+        g.bench(&format!("iovariant/{name}"), || {
+            iovariant_code(&sym, None, HybridOptions::default())
         });
     }
-    g.finish();
 }
 
-fn bench_acceptance_rule(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_symbolic_acceptance");
+fn bench_acceptance_rule(h: &mut Harness) {
+    let mut g = h.group("ablation_symbolic_acceptance");
     g.sample_size(10);
     let b = fsm::benchmarks::by_name("bbtas").expect("embedded");
     for require_gain in [true, false] {
-        g.bench_with_input(
-            BenchmarkId::new("symbolic_minimize", require_gain),
-            &require_gain,
-            |bench, &rg| {
-                bench.iter(|| {
-                    symbolic_minimize_with(&b.fsm, SymbolicMinOptions { require_gain: rg })
-                })
-            },
-        );
+        g.bench(&format!("symbolic_minimize/{require_gain}"), || {
+            symbolic_minimize_with(&b.fsm, SymbolicMinOptions { require_gain })
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_max_work,
-    bench_min_dimension_restriction,
-    bench_io_variants,
-    bench_acceptance_rule
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_max_work(&mut h);
+    bench_min_dimension_restriction(&mut h);
+    bench_io_variants(&mut h);
+    bench_acceptance_rule(&mut h);
+}

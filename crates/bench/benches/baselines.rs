@@ -1,29 +1,19 @@
-//! Criterion bench for the Table III family: KISS, MUSTANG, 1-hot and the
-//! random baseline.
+//! Bench for the Table III family: KISS, MUSTANG, 1-hot and the random
+//! baseline (std-only harness; see `microbench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_bench::microbench::Harness;
 use nova_core::driver::{random_baseline, run, Algorithm};
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_baselines");
+fn main() {
+    let mut h = Harness::from_args();
+    let mut g = h.group("table3_baselines");
     for name in ["lion", "bbtas", "dk27"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
-        for alg in [
-            Algorithm::Kiss,
-            Algorithm::MustangP,
-            Algorithm::MustangN,
-            Algorithm::OneHot,
-        ] {
-            g.bench_with_input(BenchmarkId::new(alg.name(), name), &b, |bench, b| {
-                bench.iter(|| run(&b.fsm, alg, None))
-            });
+        for alg in Algorithm::ALL.into_iter().filter(Algorithm::is_baseline) {
+            g.bench(&format!("{}/{name}", alg.name()), || run(&b.fsm, alg, None));
         }
-        g.bench_with_input(BenchmarkId::new("random-x6", name), &b, |bench, b| {
-            bench.iter(|| random_baseline(&b.fsm, 6, 42))
+        g.bench(&format!("random-x6/{name}"), || {
+            random_baseline(&b.fsm, 6, 42)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench for the Table II family: the three input-constraint
-//! encoding algorithms on representative machines.
+//! Bench for the Table II family: the NOVA encoding algorithms on
+//! representative machines (std-only harness; see `microbench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_bench::microbench::Harness;
 use nova_core::driver::{run, Algorithm};
 use nova_core::exact::{iexact_code, ExactOptions};
 use nova_core::extract_input_constraints;
@@ -14,31 +14,35 @@ fn machines() -> Vec<fsm::benchmarks::Benchmark> {
         .collect()
 }
 
-fn bench_encoders(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_encoders");
+fn bench_encoders(h: &mut Harness) {
+    let mut g = h.group("table2_encoders");
     for b in machines() {
-        for alg in [Algorithm::IHybrid, Algorithm::IGreedy] {
-            g.bench_with_input(BenchmarkId::new(alg.name(), b.name), &b, |bench, b| {
-                bench.iter(|| run(&b.fsm, alg, None))
+        for alg in Algorithm::ALL.into_iter().filter(|a| !a.is_baseline()) {
+            if alg == Algorithm::IExact {
+                continue; // benched separately below with a smaller sample
+            }
+            g.bench(&format!("{}/{}", alg.name(), b.name), || {
+                run(&b.fsm, alg, None)
             });
         }
     }
-    g.finish();
 }
 
-fn bench_iexact(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_iexact");
+fn bench_iexact(h: &mut Harness) {
+    let mut g = h.group("table2_iexact");
     g.sample_size(10);
     for b in machines() {
         let ics = extract_input_constraints(&b.fsm);
         let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
         let ig = InputGraph::build(ics.num_states, &sets);
-        g.bench_with_input(BenchmarkId::new("iexact", b.name), &ig, |bench, ig| {
-            bench.iter(|| iexact_code(ig, ExactOptions::default()))
+        g.bench(&format!("iexact/{}", b.name), || {
+            iexact_code(&ig, ExactOptions::default())
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_encoders, bench_iexact);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_encoders(&mut h);
+    bench_iexact(&mut h);
+}

@@ -1,59 +1,47 @@
-//! Criterion bench for the espresso substrate itself: multiple-valued
-//! minimization of symbolic covers and kernel extraction.
+//! Bench for the espresso substrate itself: multiple-valued minimization of
+//! symbolic covers and kernel extraction (std-only harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use espresso::factor::output_expr;
-use espresso::{complement, minimize, tautology, Cover};
+use espresso::{complement, minimize, tautology};
 use fsm::symbolic_cover;
+use nova_bench::microbench::Harness;
 
-fn bench_mv_minimize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("espresso_mv_minimize");
+fn bench_mv_minimize(h: &mut Harness) {
+    let mut g = h.group("espresso_mv_minimize");
     g.sample_size(10);
     for name in ["lion", "bbtas", "dk27", "shiftreg", "train11"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         let sc = symbolic_cover(&b.fsm);
-        g.bench_with_input(BenchmarkId::new("minimize", name), &sc, |bench, sc| {
-            bench.iter(|| minimize(&sc.on, &sc.dc))
-        });
+        g.bench(&format!("minimize/{name}"), || minimize(&sc.on, &sc.dc));
     }
-    g.finish();
 }
 
-fn bench_unate_paradigm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("espresso_unate");
+fn bench_unate_paradigm(h: &mut Harness) {
+    let mut g = h.group("espresso_unate");
     for name in ["bbtas", "dk27"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         let sc = symbolic_cover(&b.fsm);
-        g.bench_with_input(BenchmarkId::new("tautology", name), &sc.on, |bench, f| {
-            bench.iter(|| tautology(f))
-        });
-        g.bench_with_input(
-            BenchmarkId::new("complement", name),
-            &sc.on,
-            |bench, f: &Cover| bench.iter(|| complement(f)),
-        );
+        g.bench(&format!("tautology/{name}"), || tautology(&sc.on));
+        g.bench(&format!("complement/{name}"), || complement(&sc.on));
     }
-    g.finish();
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("espresso_kernels");
+fn bench_kernels(h: &mut Harness) {
+    let mut g = h.group("espresso_kernels");
     let b = fsm::benchmarks::by_name("bbtas").expect("embedded");
     let r = nova_core::driver::run(&b.fsm, nova_core::Algorithm::IHybrid, None).expect("runs");
     let pla = fsm::encode::encode(&b.fsm, &r.encoding);
     let min = minimize(&pla.on, &pla.dc);
     let expr = output_expr(&min, 0);
-    g.bench_function("kernels_bbtas_f0", |bench| bench.iter(|| expr.kernels()));
-    g.bench_function("quick_factor_bbtas_f0", |bench| {
-        bench.iter(|| espresso::factor::factored_literal_count(&expr))
+    g.bench("kernels_bbtas_f0", || expr.kernels());
+    g.bench("quick_factor_bbtas_f0", || {
+        espresso::factor::factored_literal_count(&expr)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_mv_minimize,
-    bench_unate_paradigm,
-    bench_kernels
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_mv_minimize(&mut h);
+    bench_unate_paradigm(&mut h);
+    bench_kernels(&mut h);
+}

@@ -1,38 +1,35 @@
-//! Criterion bench for the Table IV/V family: symbolic minimization and the
-//! ordered face hypercube embedding.
+//! Bench for the Table IV/V family: symbolic minimization and the ordered
+//! face hypercube embedding (std-only harness; see `microbench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_bench::microbench::Harness;
 use nova_core::hybrid::HybridOptions;
 use nova_core::{iohybrid_code, symbolic_minimize};
 
-fn bench_symbolic_min(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_symbolic_min");
+fn bench_symbolic_min(h: &mut Harness) {
+    let mut g = h.group("table4_symbolic_min");
     g.sample_size(20);
     for name in ["lion", "bbtas", "dk27", "shiftreg"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
-        g.bench_with_input(
-            BenchmarkId::new("symbolic_minimize", name),
-            &b,
-            |bench, b| bench.iter(|| symbolic_minimize(&b.fsm)),
-        );
+        g.bench(&format!("symbolic_minimize/{name}"), || {
+            symbolic_minimize(&b.fsm)
+        });
     }
-    g.finish();
 }
 
-fn bench_iohybrid(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_iohybrid");
+fn bench_iohybrid(h: &mut Harness) {
+    let mut g = h.group("table4_iohybrid");
     g.sample_size(20);
     for name in ["lion", "bbtas", "dk27"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         let sym = symbolic_minimize(&b.fsm);
-        g.bench_with_input(
-            BenchmarkId::new("iohybrid_code", name),
-            &sym,
-            |bench, sym| bench.iter(|| iohybrid_code(sym, None, HybridOptions::default())),
-        );
+        g.bench(&format!("iohybrid_code/{name}"), || {
+            iohybrid_code(&sym, None, HybridOptions::default())
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_symbolic_min, bench_iohybrid);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_symbolic_min(&mut h);
+    bench_iohybrid(&mut h);
+}

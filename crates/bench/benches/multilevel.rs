@@ -1,40 +1,37 @@
-//! Criterion bench for the Table VII family: factored-form literal counting
-//! (the MIS-II stand-in) on minimized encoded covers.
+//! Bench for the Table VII family: factored-form literal counting (the
+//! MIS-II stand-in) on minimized encoded covers (std-only harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use espresso::factor::cover_factored_literals;
 use espresso::minimize;
 use fsm::encode::encode;
+use nova_bench::microbench::Harness;
 use nova_core::driver::{run, Algorithm};
 
-fn bench_factoring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table7_factoring");
+fn bench_factoring(h: &mut Harness) {
+    let mut g = h.group("table7_factoring");
     for name in ["bbtas", "dk27", "train11"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         let r = run(&b.fsm, Algorithm::IHybrid, None).expect("ihybrid");
         let pla = encode(&b.fsm, &r.encoding);
         let min = minimize(&pla.on, &pla.dc);
-        g.bench_with_input(
-            BenchmarkId::new("quick_factor", name),
-            &min,
-            |bench, min| bench.iter(|| cover_factored_literals(min)),
-        );
+        g.bench(&format!("quick_factor/{name}"), || {
+            cover_factored_literals(&min)
+        });
     }
-    g.finish();
 }
 
-fn bench_mustang(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table7_mustang");
+fn bench_mustang(h: &mut Harness) {
+    let mut g = h.group("table7_mustang");
     for name in ["bbtas", "dk27", "train11"] {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         for alg in [Algorithm::MustangP, Algorithm::MustangN] {
-            g.bench_with_input(BenchmarkId::new(alg.name(), name), &b, |bench, b| {
-                bench.iter(|| run(&b.fsm, alg, None))
-            });
+            g.bench(&format!("{}/{name}", alg.name()), || run(&b.fsm, alg, None));
         }
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_factoring, bench_mustang);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_factoring(&mut h);
+    bench_mustang(&mut h);
+}

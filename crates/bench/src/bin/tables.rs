@@ -50,8 +50,9 @@ fn main() {
         .map(std::num::NonZero::get)
         .unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<MachineReport>>> =
-        (0..all.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<MachineReport>>> = (0..all.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..workers.min(all.len()) {
             scope.spawn(|| loop {
@@ -94,10 +95,9 @@ fn main() {
                 tables::figure_10(&reports)
             ),
             "compare" => tables::paper_comparison(&reports),
-            "sweep" => tables::length_sweep(
-                &["lion", "bbtas", "dk27", "shiftreg", "train11", "ex3"],
-                3,
-            ),
+            "sweep" => {
+                tables::length_sweep(&["lion", "bbtas", "dk27", "shiftreg", "train11", "ex3"], 3)
+            }
             other => {
                 eprintln!("unknown table id: {other}");
                 continue;

@@ -11,6 +11,7 @@ use nova_core::poset::InputGraph;
 use nova_core::{extract_input_constraints, iohybrid_code, symbolic_minimize};
 use std::time::Instant;
 
+pub mod microbench;
 pub mod paper;
 pub mod tables;
 

@@ -3,14 +3,21 @@
 //! encoding, statistics, and (optionally) the minimized encoded PLA.
 //!
 //! ```text
-//! nova [-e ihybrid|igreedy|iexact|iohybrid|iovariant|kiss|mustang-p|mustang-n|onehot|random]
-//!      [-b BITS] [-m] [-p] [-s] [FILE.kiss2]
+//! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [FILE.kiss2]
+//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--json] [FILE.kiss2]
+//! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--json]
 //!
-//!   -e ALG   encoding algorithm (default ihybrid)
-//!   -b BITS  target code length (default: minimum)
-//!   -m       state-minimize the machine first
-//!   -p       print the minimized encoded PLA
-//!   -s       print machine statistics only
+//!   -e ALG        encoding algorithm (default ihybrid)
+//!   -b BITS       target code length (default: minimum)
+//!   -m            state-minimize the machine first
+//!   -p            print the minimized encoded PLA
+//!   -s            print machine statistics only
+//!   --json        emit the run report as JSON instead of text
+//!   --portfolio   race all algorithms concurrently, keep the best area
+//!   --batch       sweep the embedded benchmark suite (portfolio mode)
+//!   --timeout-ms  wall-clock deadline for the whole portfolio
+//!   --budget N    deterministic node budget per algorithm
+//!   --jobs N      worker threads (default: available parallelism)
 //! ```
 //!
 //! Reads stdin when no file is given.
@@ -18,80 +25,150 @@
 use fsm::minimize_states::minimize_states;
 use fsm::Fsm;
 use nova_core::driver::{run, Algorithm};
+use nova_engine::{json::Json, run_one, run_portfolio, run_suite, EngineConfig};
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ! {
+    let algs: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
-        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [FILE.kiss2]\n\
-         ALG: ihybrid (default) | igreedy | iexact | iohybrid | iovariant |\n\
-              kiss | mustang-p | mustang-n | onehot"
+        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [FILE.kiss2]\n\
+         \u{20}      nova --portfolio [--batch] [--timeout-ms N] [--budget N] [--jobs N] [--json] [FILE.kiss2]\n\
+         ALG: {} (or onehot)",
+        algs.join(" | ")
     );
     std::process::exit(2);
 }
 
 fn parse_algorithm(s: &str) -> Algorithm {
-    match s {
-        "ihybrid" => Algorithm::IHybrid,
-        "igreedy" => Algorithm::IGreedy,
-        "iexact" => Algorithm::IExact,
-        "iohybrid" => Algorithm::IoHybrid,
-        "iovariant" => Algorithm::IoVariant,
-        "kiss" => Algorithm::Kiss,
-        "mustang-p" => Algorithm::MustangP,
-        "mustang-n" => Algorithm::MustangN,
-        "onehot" | "1-hot" => Algorithm::OneHot,
-        _ => usage(),
-    }
+    s.parse().unwrap_or_else(|_| usage())
 }
 
-fn main() -> ExitCode {
-    let mut algorithm = Algorithm::IHybrid;
-    let mut bits: Option<u32> = None;
-    let mut state_minimize = false;
-    let mut print_pla = false;
-    let mut stats_only = false;
-    let mut file: Option<String> = None;
+struct Args {
+    algorithm: Algorithm,
+    bits: Option<u32>,
+    state_minimize: bool,
+    print_pla: bool,
+    stats_only: bool,
+    json: bool,
+    portfolio: bool,
+    batch: bool,
+    timeout_ms: Option<u64>,
+    budget: Option<u64>,
+    jobs: usize,
+    file: Option<String>,
+}
 
+fn parse_args() -> Args {
+    let mut out = Args {
+        algorithm: Algorithm::IHybrid,
+        bits: None,
+        state_minimize: false,
+        print_pla: false,
+        stats_only: false,
+        json: false,
+        portfolio: false,
+        batch: false,
+        timeout_ms: None,
+        budget: None,
+        jobs: 0,
+        file: None,
+    };
     let mut args = std::env::args().skip(1);
+    let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
+        args.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
-            "-e" => algorithm = parse_algorithm(&args.next().unwrap_or_else(|| usage())),
-            "-b" => {
-                bits = Some(
-                    args.next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                )
-            }
-            "-m" => state_minimize = true,
-            "-p" => print_pla = true,
-            "-s" => stats_only = true,
+            "-e" => out.algorithm = parse_algorithm(&args.next().unwrap_or_else(|| usage())),
+            "-b" => out.bits = Some(num(&mut args) as u32),
+            "-m" => out.state_minimize = true,
+            "-p" => out.print_pla = true,
+            "-s" => out.stats_only = true,
+            "--json" => out.json = true,
+            "--portfolio" => out.portfolio = true,
+            "--batch" => out.batch = true,
+            "--timeout-ms" => out.timeout_ms = Some(num(&mut args)),
+            "--budget" => out.budget = Some(num(&mut args)),
+            "--jobs" => out.jobs = num(&mut args) as usize,
             "-h" | "--help" => usage(),
-            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other if !other.starts_with('-') => out.file = Some(other.to_string()),
             _ => usage(),
         }
     }
+    out
+}
 
-    let text = match &file {
+fn engine_config(args: &Args) -> EngineConfig {
+    EngineConfig {
+        jobs: args.jobs,
+        timeout: args.timeout_ms.map(Duration::from_millis),
+        node_budget: args.budget,
+        target_bits: args.bits,
+        ..EngineConfig::default()
+    }
+}
+
+fn print_portfolio_text(report: &nova_engine::PortfolioReport) {
+    println!(
+        "# portfolio on {} ({:.1} ms)",
+        report.machine,
+        report.wall.as_secs_f64() * 1e3
+    );
+    for run in &report.runs {
+        match run.outcome.result() {
+            Some(r) => println!(
+                "#   {:<10} {:>2} bits {:>4} cubes area {:>7} lits {:>4}  ({:.1} ms, work {})",
+                run.algorithm.name(),
+                r.bits,
+                r.cubes,
+                r.area,
+                r.literals,
+                run.wall.as_secs_f64() * 1e3,
+                run.counters.work,
+            ),
+            None => println!(
+                "#   {:<10} {}  ({:.1} ms, work {})",
+                run.algorithm.name(),
+                run.outcome.tag(),
+                run.wall.as_secs_f64() * 1e3,
+                run.counters.work,
+            ),
+        }
+    }
+    match report.best() {
+        Some((i, best)) => println!(
+            "# best: {} with area {}",
+            report.runs[i].algorithm.name(),
+            best.area
+        ),
+        None => println!("# best: none (no algorithm finished)"),
+    }
+}
+
+fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
+    let text = match &args.file {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("nova: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         },
         None => {
             let mut t = String::new();
             if std::io::stdin().read_to_string(&mut t).is_err() {
                 eprintln!("nova: cannot read stdin");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
             t
         }
     };
-
-    let name = file
+    let name = args
+        .file
         .as_deref()
         .and_then(|p| p.rsplit('/').next())
         .map(|p| p.trim_end_matches(".kiss2"))
@@ -100,27 +177,83 @@ fn main() -> ExitCode {
         Ok(m) => m,
         Err(e) => {
             eprintln!("nova: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
-
-    if state_minimize {
+    if args.state_minimize {
         let r = minimize_states(&machine);
         if r.merged > 0 {
             eprintln!("nova: state minimization removed {} states", r.merged);
         }
         machine = r.fsm;
     }
+    Ok(machine)
+}
 
-    println!(
-        "# {}: {} states, {} inputs, {} outputs, {} rows",
-        machine.name(),
-        machine.num_states(),
-        machine.num_inputs(),
-        machine.num_outputs(),
-        machine.num_transitions()
-    );
-    if stats_only {
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Batch mode: sweep the embedded benchmark suite, no input machine.
+    if args.batch {
+        if !args.portfolio {
+            eprintln!("nova: --batch requires --portfolio");
+            return ExitCode::FAILURE;
+        }
+        let cfg = engine_config(&args);
+        let reports = run_suite(&cfg);
+        if args.json {
+            let arr = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
+            println!("{}", arr.to_pretty());
+        } else {
+            for report in &reports {
+                print_portfolio_text(report);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let machine = match read_machine(&args) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+
+    if args.portfolio {
+        let cfg = engine_config(&args);
+        let report = run_portfolio(&machine, machine.name(), &cfg);
+        if args.json {
+            println!("{}", report.to_json().to_pretty());
+        } else {
+            print_portfolio_text(&report);
+            if let Some((_, best)) = report.best() {
+                println!("# codes:");
+                for (s, sname) in machine.state_names().iter().enumerate() {
+                    println!(
+                        ".code {} {:0width$b}",
+                        sname,
+                        best.encoding.code(fsm::StateId(s)),
+                        width = best.bits
+                    );
+                }
+            }
+        }
+        return if report.best().is_some() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if !args.json {
+        println!(
+            "# {}: {} states, {} inputs, {} outputs, {} rows",
+            machine.name(),
+            machine.num_states(),
+            machine.num_inputs(),
+            machine.num_outputs(),
+            machine.num_transitions()
+        );
+    }
+    if args.stats_only {
         let ics = nova_core::extract_input_constraints(&machine);
         println!("# minimized symbolic cover: {} terms", ics.mv_cover_size);
         for c in &ics.constraints {
@@ -133,13 +266,28 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let Some(result) = run(&machine, algorithm, bits) else {
-        eprintln!("nova: {} failed on this machine", algorithm.name());
+    // Single-run JSON goes through the engine for stage times and counters.
+    if args.json {
+        let algo_run = run_one(&machine, args.algorithm, &engine_config(&args));
+        let mut pairs = vec![("machine".into(), Json::str(machine.name()))];
+        if let Json::Obj(rest) = algo_run.to_json() {
+            pairs.extend(rest);
+        }
+        println!("{}", Json::Obj(pairs).to_pretty());
+        return if algo_run.outcome.result().is_some() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let Some(result) = run(&machine, args.algorithm, args.bits) else {
+        eprintln!("nova: {} failed on this machine", args.algorithm.name());
         return ExitCode::FAILURE;
     };
     println!(
         "# algorithm {}: {} bits, {} cubes, area {}, {} factored literals",
-        algorithm.name(),
+        args.algorithm.name(),
         result.bits,
         result.cubes,
         result.area,
@@ -155,7 +303,7 @@ fn main() -> ExitCode {
         );
     }
 
-    if print_pla {
+    if args.print_pla {
         let mut pla = fsm::encode::encode(&machine, &result.encoding);
         pla.on = espresso::minimize(&pla.on, &pla.dc);
         print!(

@@ -69,15 +69,65 @@ fn nova_stats_mode() {
 
 #[test]
 fn nova_all_algorithms_run() {
-    for alg in [
-        "ihybrid", "igreedy", "iexact", "iohybrid", "iovariant", "kiss", "mustang-p",
-        "mustang-n", "onehot",
-    ] {
+    for alg in nova_core::Algorithm::ALL {
+        let name = alg.name();
         let (stdout, stderr, ok) =
-            run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-e", alg], TOY_KISS);
-        assert!(ok, "{alg}: {stderr}");
-        assert!(stdout.contains(&format!("algorithm {alg}")) || alg == "onehot", "{alg}");
+            run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-e", name], TOY_KISS);
+        assert!(ok, "{name}: {stderr}");
+        assert!(stdout.contains(&format!("algorithm {name}")), "{name}");
     }
+    // The legacy `onehot` spelling keeps working through FromStr.
+    let (_, stderr, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-e", "onehot"], TOY_KISS);
+    assert!(ok, "onehot: {stderr}");
+}
+
+#[test]
+fn nova_portfolio_reports_best() {
+    let (stdout, stderr, ok) =
+        run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["--portfolio"], TOY_KISS);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("# portfolio on"), "{stdout}");
+    assert!(stdout.contains("# best:"), "{stdout}");
+    assert!(stdout.contains(".code a"), "{stdout}");
+}
+
+#[test]
+fn nova_portfolio_zero_timeout_fails_cleanly() {
+    let (stdout, _, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--portfolio", "--timeout-ms", "0"],
+        TOY_KISS,
+    );
+    assert!(!ok, "zero deadline cannot produce a winner");
+    assert!(stdout.contains("timeout"), "{stdout}");
+    assert!(stdout.contains("# best: none"), "{stdout}");
+}
+
+#[test]
+fn nova_json_single_run() {
+    let (stdout, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["-e", "ihybrid", "--json"],
+        TOY_KISS,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"algorithm\": \"ihybrid\""), "{stdout}");
+    assert!(stdout.contains("\"outcome\": \"done\""), "{stdout}");
+    assert!(stdout.contains("\"stages_ms\""), "{stdout}");
+    assert!(stdout.contains("\"counters\""), "{stdout}");
+}
+
+#[test]
+fn nova_portfolio_json() {
+    let (stdout, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--portfolio", "--json", "--jobs", "2"],
+        TOY_KISS,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"machine\": \"stdin\""), "{stdout}");
+    assert!(stdout.contains("\"best\""), "{stdout}");
+    assert!(stdout.contains("\"runs\""), "{stdout}");
 }
 
 #[test]
@@ -100,8 +150,7 @@ fn nova_state_minimize_flag() {
 0 c a 1
 1 c c 0
 ";
-    let (stdout, stderr, ok) =
-        run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-m"], kiss);
+    let (stdout, stderr, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-m"], kiss);
     assert!(ok, "{stderr}");
     assert!(stderr.contains("removed 1 states"), "{stderr}");
     assert!(stdout.contains("2 states"));

@@ -177,6 +177,19 @@ pub fn extract_input_constraints(fsm: &Fsm) -> InputConstraints {
     constraints_from_cover(&sc, &min)
 }
 
+/// [`extract_input_constraints`] under a [`RunCtl`]: the multiple-valued
+/// minimization charges the handle, so a deadline cancels even the front-end
+/// step of an algorithm run.
+pub fn extract_input_constraints_ctl(
+    fsm: &Fsm,
+    ctl: &espresso::RunCtl,
+) -> Result<InputConstraints, espresso::Cancelled> {
+    let sc = symbolic_cover(fsm);
+    let (min, _) =
+        espresso::minimize_with_ctl(&sc.on, &sc.dc, espresso::MinimizeOptions::default(), ctl)?;
+    Ok(constraints_from_cover(&sc, &min))
+}
+
 /// Derives the weighted constraint list from an already-minimized symbolic
 /// cover (used by the symbolic-minimization pipeline too).
 pub fn constraints_from_cover(sc: &fsm::SymbolicCover, min: &Cover) -> InputConstraints {

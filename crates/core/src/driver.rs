@@ -2,18 +2,21 @@
 //! encode, minimize with ESPRESSO and report the paper's metrics
 //! (#bits, #cubes, PLA area, factored literals).
 
-use crate::constraint::{extract_input_constraints, InputConstraints};
-use crate::greedy::igreedy_code;
-use crate::hybrid::{ihybrid_code, kiss_code, HybridOptions};
-use crate::iohybrid::{iohybrid_code, iovariant_code};
+use crate::constraint::{
+    extract_input_constraints, extract_input_constraints_ctl, InputConstraints,
+};
+use crate::greedy::igreedy_code_ctl;
+use crate::hybrid::{ihybrid_code_ctl, kiss_code_ctl, HybridOptions};
+use crate::iohybrid::{iohybrid_code_ctl, iovariant_code_ctl};
 use crate::mustang::{mustang_code, MustangMode};
-use crate::symbolic_min::symbolic_minimize;
+use crate::symbolic_min::{symbolic_minimize_ctl, SymbolicMinOptions};
 use crate::{exact, poset};
 use espresso::factor::cover_factored_literals;
-use espresso::minimize;
+use espresso::{minimize, minimize_with_ctl, Cancelled, MinimizeOptions, RunCtl};
 use fsm::encode::encode;
 use fsm::generator::SplitMix64;
 use fsm::{Encoding, Fsm};
+use std::time::{Duration, Instant};
 
 /// The state-assignment algorithms of the paper plus its baselines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +42,30 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every algorithm in the paper's fixed order: the NOVA family first
+    /// (Tables II/IV), then the baselines (Table III). This order also
+    /// breaks area ties in the portfolio engine, so keep it stable.
+    pub const ALL: [Algorithm; 9] = [
+        Algorithm::IExact,
+        Algorithm::IHybrid,
+        Algorithm::IGreedy,
+        Algorithm::IoHybrid,
+        Algorithm::IoVariant,
+        Algorithm::Kiss,
+        Algorithm::MustangP,
+        Algorithm::MustangN,
+        Algorithm::OneHot,
+    ];
+
+    /// Is this one of the paper's comparison baselines (as opposed to the
+    /// NOVA family proper)?
+    pub fn is_baseline(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Kiss | Algorithm::MustangP | Algorithm::MustangN | Algorithm::OneHot
+        )
+    }
+
     /// Short display name as used in the paper's tables.
     pub fn name(&self) -> &'static str {
         match self {
@@ -52,6 +79,40 @@ impl Algorithm {
             Algorithm::MustangN => "mustang-n",
             Algorithm::OneHot => "1-hot",
         }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for [`Algorithm::from_str`] on an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgorithm(pub String);
+
+impl std::fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown algorithm {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+impl std::str::FromStr for Algorithm {
+    type Err = UnknownAlgorithm;
+
+    /// Accepts the paper names as printed by [`Algorithm::name`], plus the
+    /// `onehot` spelling the CLI has always taken.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "onehot" {
+            return Ok(Algorithm::OneHot);
+        }
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| UnknownAlgorithm(s.to_string()))
     }
 }
 
@@ -92,51 +153,188 @@ pub fn evaluate(fsm: &Fsm, enc: &Encoding) -> EvalResult {
 /// one. Returns `None` when the algorithm fails (only `IExact`, whose search
 /// is budgeted, or machines too large for `u64` codes).
 pub fn run(fsm: &Fsm, algorithm: Algorithm, target_bits: Option<u32>) -> Option<EvalResult> {
+    match run_traced(fsm, algorithm, target_bits, &RunCtl::unlimited()).status {
+        RunStatus::Done(r) => Some(r),
+        _ => None,
+    }
+}
+
+/// Wall-clock time spent in each stage of one algorithm run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Constraint extraction / symbolic minimization (the MV front-end).
+    pub constraints: Duration,
+    /// Face hypercube embedding / code construction.
+    pub embed: Duration,
+    /// Encoding the machine's cover with the chosen codes.
+    pub encode: Duration,
+    /// ESPRESSO minimization of the encoded cover.
+    pub espresso: Duration,
+}
+
+impl StageTimes {
+    /// Sum of all stage times.
+    pub fn total(&self) -> Duration {
+        self.constraints + self.embed + self.encode + self.espresso
+    }
+}
+
+/// How one traced algorithm run ended.
+#[derive(Debug, Clone)]
+pub enum RunStatus {
+    /// The full pipeline completed.
+    Done(EvalResult),
+    /// The algorithm gave up within its own limits (`IExact` budget, or a
+    /// machine too large for `u64` codes). Not a cancellation.
+    Unsolved,
+    /// The [`RunCtl`] deadline/budget fired (or the run was stopped).
+    Cancelled,
+}
+
+/// Result of [`run_traced`]: the status plus the per-stage wall times
+/// accumulated up to the point the run ended.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Outcome of the run.
+    pub status: RunStatus,
+    /// Per-stage wall-clock times.
+    pub stages: StageTimes,
+}
+
+fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    *slot += t.elapsed();
+    out
+}
+
+/// [`run`] under a [`RunCtl`], with per-stage wall-clock telemetry. All four
+/// pipeline stages (constraint extraction, embedding, encoding, ESPRESSO)
+/// check the handle, so a deadline or node budget yields a prompt
+/// [`RunStatus::Cancelled`] instead of a hung worker.
+pub fn run_traced(
+    fsm: &Fsm,
+    algorithm: Algorithm,
+    target_bits: Option<u32>,
+    ctl: &RunCtl,
+) -> TracedRun {
+    let mut stages = StageTimes::default();
+    match run_traced_inner(fsm, algorithm, target_bits, ctl, &mut stages) {
+        Ok(Some(result)) => TracedRun {
+            status: RunStatus::Done(result),
+            stages,
+        },
+        Ok(None) => TracedRun {
+            status: RunStatus::Unsolved,
+            stages,
+        },
+        Err(Cancelled) => TracedRun {
+            status: RunStatus::Cancelled,
+            stages,
+        },
+    }
+}
+
+fn run_traced_inner(
+    fsm: &Fsm,
+    algorithm: Algorithm,
+    target_bits: Option<u32>,
+    ctl: &RunCtl,
+    stages: &mut StageTimes,
+) -> Result<Option<EvalResult>, Cancelled> {
+    let opts = HybridOptions::default();
     let enc = match algorithm {
         Algorithm::IExact => {
-            let ics = extract_input_constraints(fsm);
+            let ics = timed(&mut stages.constraints, || {
+                extract_input_constraints_ctl(fsm, ctl)
+            })?;
             let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
             let ig = poset::InputGraph::build(ics.num_states, &sets);
-            let embedding = exact::iexact_code(&ig, exact::ExactOptions::default())?;
+            let embedding = timed(&mut stages.embed, || {
+                exact::iexact_code_ctl(&ig, exact::ExactOptions::default(), ctl)
+            })?;
+            let Some(embedding) = embedding else {
+                return Ok(None);
+            };
             if embedding.bits > 63 {
-                return None;
+                return Ok(None);
             }
-            Encoding::new(embedding.bits as usize, embedding.codes).ok()?
+            match Encoding::new(embedding.bits as usize, embedding.codes) {
+                Ok(e) => e,
+                Err(_) => return Ok(None),
+            }
         }
         Algorithm::IHybrid => {
-            let ics = extract_input_constraints(fsm);
-            ihybrid_code(&ics, target_bits, HybridOptions::default()).encoding
+            let ics = timed(&mut stages.constraints, || {
+                extract_input_constraints_ctl(fsm, ctl)
+            })?;
+            timed(&mut stages.embed, || {
+                ihybrid_code_ctl(&ics, target_bits, opts, ctl)
+            })?
+            .encoding
         }
         Algorithm::IGreedy => {
-            let ics = extract_input_constraints(fsm);
-            igreedy_code(&ics, target_bits).encoding
+            let ics = timed(&mut stages.constraints, || {
+                extract_input_constraints_ctl(fsm, ctl)
+            })?;
+            timed(&mut stages.embed, || {
+                igreedy_code_ctl(&ics, target_bits, ctl)
+            })?
+            .encoding
         }
         Algorithm::IoHybrid => {
-            let sym = symbolic_minimize(fsm);
-            iohybrid_code(&sym, target_bits, HybridOptions::default())
-                .hybrid
-                .encoding
+            let sym = timed(&mut stages.constraints, || {
+                symbolic_minimize_ctl(fsm, SymbolicMinOptions::default(), ctl)
+            })?;
+            timed(&mut stages.embed, || {
+                iohybrid_code_ctl(&sym, target_bits, opts, ctl)
+            })?
+            .hybrid
+            .encoding
         }
         Algorithm::IoVariant => {
-            let sym = symbolic_minimize(fsm);
-            iovariant_code(&sym, target_bits, HybridOptions::default())
-                .hybrid
-                .encoding
+            let sym = timed(&mut stages.constraints, || {
+                symbolic_minimize_ctl(fsm, SymbolicMinOptions::default(), ctl)
+            })?;
+            timed(&mut stages.embed, || {
+                iovariant_code_ctl(&sym, target_bits, opts, ctl)
+            })?
+            .hybrid
+            .encoding
         }
         Algorithm::Kiss => {
-            let ics = extract_input_constraints(fsm);
-            kiss_code(&ics, HybridOptions::default()).encoding
+            let ics = timed(&mut stages.constraints, || {
+                extract_input_constraints_ctl(fsm, ctl)
+            })?;
+            timed(&mut stages.embed, || kiss_code_ctl(&ics, opts, ctl))?.encoding
         }
-        Algorithm::MustangP => mustang_code(fsm, MustangMode::Fanout),
-        Algorithm::MustangN => mustang_code(fsm, MustangMode::Fanin),
+        Algorithm::MustangP => {
+            ctl.charge(1)?;
+            timed(&mut stages.embed, || mustang_code(fsm, MustangMode::Fanout))
+        }
+        Algorithm::MustangN => {
+            ctl.charge(1)?;
+            timed(&mut stages.embed, || mustang_code(fsm, MustangMode::Fanin))
+        }
         Algorithm::OneHot => {
+            ctl.charge(1)?;
             if fsm.num_states() > 63 {
-                return None;
+                return Ok(None);
             }
             Encoding::one_hot(fsm.num_states())
         }
     };
-    Some(evaluate(fsm, &enc))
+    let pla = timed(&mut stages.encode, || encode(fsm, &enc));
+    let (min, _) = timed(&mut stages.espresso, || {
+        minimize_with_ctl(&pla.on, &pla.dc, MinimizeOptions::default(), ctl)
+    })?;
+    Ok(Some(EvalResult {
+        bits: enc.bits(),
+        cubes: min.len(),
+        area: pla.area_for(min.len()),
+        literals: cover_factored_literals(&min),
+        encoding: enc,
+    }))
 }
 
 /// Statistics of the random-assignment baseline.

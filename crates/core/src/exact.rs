@@ -5,6 +5,7 @@
 use crate::constraint::StateSet;
 use crate::face::{faces_of_level, Face};
 use crate::poset::{Category, InputGraph};
+use espresso::{Cancelled, RunCtl};
 use fsm::StateId;
 use std::collections::BTreeMap;
 use std::collections::HashSet;
@@ -173,6 +174,9 @@ struct Search<'a> {
     /// tracked in `derived_by`).
     work: u64,
     budget: Option<u64>,
+    /// Shared cancellation / telemetry handle: each candidate face costs one
+    /// charge, so a portfolio deadline or node budget unwinds the search.
+    ctl: &'a RunCtl,
     aborted: bool,
     last: Option<usize>,
     /// Output covering constraints `(u, v)`: code(u) must bit-wise strictly
@@ -185,6 +189,11 @@ struct Search<'a> {
 impl<'a> Search<'a> {
     fn charge(&mut self) -> bool {
         self.work += 1;
+        self.ctl.count_face();
+        if self.ctl.charge(1).is_err() {
+            self.aborted = true;
+            return false;
+        }
         if let Some(b) = self.budget {
             if self.work > b {
                 self.aborted = true;
@@ -480,6 +489,7 @@ impl<'a> Search<'a> {
                 if self.aborted {
                     return false;
                 }
+                self.ctl.count_backtrack();
                 self.used.remove(&face);
                 self.faces[node] = None;
                 self.last = prev_last;
@@ -504,7 +514,7 @@ impl<'a> Search<'a> {
         // Codes from singletons.
         let n = self.ig.num_states();
         let mut codes = vec![0u64; n];
-        for s in 0..n {
+        for (s, code) in codes.iter_mut().enumerate() {
             let i = self
                 .ig
                 .index_of(&StateSet::singleton(StateId(s)))
@@ -514,7 +524,7 @@ impl<'a> Search<'a> {
                 self.undo(&derived);
                 return false;
             }
-            codes[s] = f.vertices()[0];
+            *code = f.vertices()[0];
         }
         // Output covering relations.
         for &(u, v) in &self.covers {
@@ -527,8 +537,8 @@ impl<'a> Search<'a> {
         for i in 0..self.ig.len() {
             let face = self.faces[i].expect("assigned");
             let set = self.ig.set(i);
-            for s in 0..n {
-                if face.contains_vertex(codes[s]) != set.contains(StateId(s)) {
+            for (s, &code) in codes.iter().enumerate() {
+                if face.contains_vertex(code) != set.contains(StateId(s)) {
                     self.undo(&derived);
                     return false;
                 }
@@ -615,6 +625,21 @@ pub fn pos_equiv_covers(
     covers: &[(usize, usize)],
     budget: Option<u64>,
 ) -> PosEquiv {
+    pos_equiv_covers_ctl(ig, k, primary_levels, covers, budget, &RunCtl::unlimited())
+}
+
+/// [`pos_equiv_covers`] under a [`RunCtl`]: every candidate face charges one
+/// unit, so a deadline or node budget on the handle aborts the backtracking
+/// promptly ([`PosEquiv::Aborted`] with `ctl.cancelled()` telling it apart
+/// from an exhausted local `budget`).
+pub fn pos_equiv_covers_ctl(
+    ig: &InputGraph,
+    k: u32,
+    primary_levels: &BTreeMap<usize, u32>,
+    covers: &[(usize, usize)],
+    budget: Option<u64>,
+    ctl: &RunCtl,
+) -> PosEquiv {
     if (ig.num_states() as u64) > 1u64 << k.min(63) {
         return PosEquiv::Exhausted;
     }
@@ -647,6 +672,7 @@ pub fn pos_equiv_covers(
         used: HashSet::new(),
         work: 0,
         budget,
+        ctl,
         aborted: false,
         last: None,
         covers: covers.to_vec(),
@@ -656,11 +682,11 @@ pub fn pos_equiv_covers(
     if search.extend() {
         let n = ig.num_states();
         let mut codes = vec![0u64; n];
-        for s in 0..n {
+        for (s, code) in codes.iter_mut().enumerate() {
             let i = ig
                 .index_of(&StateSet::singleton(StateId(s)))
                 .expect("singleton");
-            codes[s] = search.faces[i].expect("assigned").vertices()[0];
+            *code = search.faces[i].expect("assigned").vertices()[0];
         }
         let faces = (0..ig.len())
             .map(|i| (ig.set(i), search.faces[i].expect("assigned")))
@@ -685,6 +711,17 @@ pub fn pos_equiv_covers(
 /// Returns `None` when the work budget is exhausted or `max_k` is passed
 /// (the paper likewise reports failures for the hardest machines).
 pub fn iexact_code(ig: &InputGraph, opts: ExactOptions) -> Option<Embedding> {
+    iexact_code_ctl(ig, opts, &RunCtl::unlimited()).expect("unlimited ctl never cancels")
+}
+
+/// [`iexact_code`] under a [`RunCtl`]: `Err(Cancelled)` when the handle's
+/// deadline/budget fired mid-search, `Ok(None)` for an ordinary failure
+/// (local `max_work` exhausted or `max_k` passed).
+pub fn iexact_code_ctl(
+    ig: &InputGraph,
+    opts: ExactOptions,
+    ctl: &RunCtl,
+) -> Result<Option<Embedding>, Cancelled> {
     let mut remaining = opts.max_work;
     let start = mincube_dim(ig);
     let primaries: Vec<usize> = ig
@@ -713,9 +750,15 @@ pub fn iexact_code(ig: &InputGraph, opts: ExactOptions) -> Option<Embedding> {
                 .copied()
                 .zip(dimvect.iter().copied())
                 .collect();
-            match pos_equiv(ig, k, &levels, remaining) {
-                PosEquiv::Found(e) => return Some(e),
-                PosEquiv::Aborted => return None,
+            match pos_equiv_covers_ctl(ig, k, &levels, &[], remaining, ctl) {
+                PosEquiv::Found(e) => return Ok(Some(e)),
+                PosEquiv::Aborted => {
+                    return if ctl.cancelled() {
+                        Err(Cancelled)
+                    } else {
+                        Ok(None)
+                    }
+                }
                 PosEquiv::Exhausted => {}
             }
             if let Some(r) = remaining.as_mut() {
@@ -724,7 +767,7 @@ pub fn iexact_code(ig: &InputGraph, opts: ExactOptions) -> Option<Embedding> {
                 // decay the budget geometrically to guarantee termination.
                 *r = r.saturating_sub(1 + *r / 64);
                 if *r == 0 {
-                    return None;
+                    return Ok(None);
                 }
             }
             // Advance the odometer (lexicographic, Example 3.3.1.2).
@@ -751,7 +794,7 @@ pub fn iexact_code(ig: &InputGraph, opts: ExactOptions) -> Option<Embedding> {
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// `semiexact_code`: bounded search on a fixed dimension with
@@ -766,6 +809,18 @@ pub fn semiexact_code(
     io_semiexact_code(num_states, constraints, &[], k, max_work)
 }
 
+/// [`semiexact_code`] under a [`RunCtl`] (see [`iexact_code_ctl`] for the
+/// `Err` vs `Ok(None)` distinction).
+pub fn semiexact_code_ctl(
+    num_states: usize,
+    constraints: &[StateSet],
+    k: u32,
+    max_work: u64,
+    ctl: &RunCtl,
+) -> Result<Option<Embedding>, Cancelled> {
+    io_semiexact_code_ctl(num_states, constraints, &[], k, max_work, ctl)
+}
+
 /// `io_semiexact_code` (Section VI-6.2.1): `semiexact_code` with an added
 /// mechanism rejecting face assignments that violate an active output
 /// covering relation.
@@ -776,6 +831,27 @@ pub fn io_semiexact_code(
     k: u32,
     max_work: u64,
 ) -> Option<Embedding> {
+    io_semiexact_code_ctl(
+        num_states,
+        constraints,
+        covers,
+        k,
+        max_work,
+        &RunCtl::unlimited(),
+    )
+    .expect("unlimited ctl never cancels")
+}
+
+/// [`io_semiexact_code`] under a [`RunCtl`] (see [`iexact_code_ctl`] for the
+/// `Err` vs `Ok(None)` distinction).
+pub fn io_semiexact_code_ctl(
+    num_states: usize,
+    constraints: &[StateSet],
+    covers: &[(usize, usize)],
+    k: u32,
+    max_work: u64,
+    ctl: &RunCtl,
+) -> Result<Option<Embedding>, Cancelled> {
     let ig = InputGraph::build(num_states, constraints);
     let levels: BTreeMap<usize, u32> = ig
         .primaries()
@@ -783,9 +859,10 @@ pub fn io_semiexact_code(
         .filter(|&i| ig.set(i).len() > 1)
         .map(|i| (i, ig.min_level(i)))
         .collect();
-    match pos_equiv_covers(&ig, k, &levels, covers, Some(max_work)) {
-        PosEquiv::Found(e) => Some(e),
-        _ => None,
+    match pos_equiv_covers_ctl(&ig, k, &levels, covers, Some(max_work), ctl) {
+        PosEquiv::Found(e) => Ok(Some(e)),
+        PosEquiv::Aborted if ctl.cancelled() => Err(Cancelled),
+        _ => Ok(None),
     }
 }
 

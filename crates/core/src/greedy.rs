@@ -24,6 +24,18 @@ use std::collections::HashSet;
 ///
 /// Panics if the machine needs more than 63 code bits.
 pub fn igreedy_code(ics: &InputConstraints, target_bits: Option<u32>) -> HybridOutcome {
+    igreedy_code_ctl(ics, target_bits, &espresso::RunCtl::unlimited())
+        .expect("unlimited ctl never cancels")
+}
+
+/// [`igreedy_code`] under a [`RunCtl`]: charges one unit per candidate face
+/// inspected by the first-fit pass (the only loop that can grow with the
+/// code length), keeping even the fast heuristic deadline-responsive.
+pub fn igreedy_code_ctl(
+    ics: &InputConstraints,
+    target_bits: Option<u32>,
+    ctl: &espresso::RunCtl,
+) -> Result<HybridOutcome, espresso::Cancelled> {
     let n = ics.num_states;
     let min_length = min_code_length(n);
     assert!(min_length <= 63, "u64 codes support at most 63 state bits");
@@ -62,6 +74,7 @@ pub fn igreedy_code(ics: &InputConstraints, target_bits: Option<u32>) -> HybridO
         let mut placed = None;
         'levels: for level in min_level..k {
             for face in faces_of_level(k, level) {
+                ctl.charge(1)?;
                 if used.contains(&face) {
                     continue;
                 }
@@ -90,6 +103,7 @@ pub fn igreedy_code(ics: &InputConstraints, target_bits: Option<u32>) -> HybridO
         )
     });
     for &s in &states {
+        ctl.charge(1)?;
         let preferred = (0..1u64 << k).find(|&v| {
             !taken.contains(&v)
                 && assigned
@@ -108,12 +122,12 @@ pub fn igreedy_code(ics: &InputConstraints, target_bits: Option<u32>) -> HybridO
         .copied()
         .partition(|c| constraint_satisfied(&c.set, &codes, k));
     let encoding = Encoding::new(k as usize, codes).expect("codes distinct by construction");
-    HybridOutcome {
+    Ok(HybridOutcome {
         encoding,
         satisfied,
         unsatisfied,
         min_length,
-    }
+    })
 }
 
 /// Consistency of a candidate face with the faces already placed.

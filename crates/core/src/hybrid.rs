@@ -4,7 +4,8 @@
 //! IV-4.2, Proposition 4.2.1) up to the requested code length.
 
 use crate::constraint::{InputConstraints, StateSet, WeightedConstraint};
-use crate::exact::{constraint_satisfied, min_code_length, semiexact_code};
+use crate::exact::{constraint_satisfied, min_code_length, semiexact_code_ctl};
+use espresso::{Cancelled, RunCtl};
 use fsm::Encoding;
 
 /// Tuning knobs for [`ihybrid_code`].
@@ -140,6 +141,19 @@ pub fn ihybrid_code(
     target_bits: Option<u32>,
     opts: HybridOptions,
 ) -> HybridOutcome {
+    ihybrid_code_ctl(ics, target_bits, opts, &RunCtl::unlimited())
+        .expect("unlimited ctl never cancels")
+}
+
+/// [`ihybrid_code`] under a [`RunCtl`]: the semiexact phase charges per
+/// candidate face and each `project_code` step charges proportional to the
+/// state count, so a portfolio deadline unwinds the whole loop cleanly.
+pub fn ihybrid_code_ctl(
+    ics: &InputConstraints,
+    target_bits: Option<u32>,
+    opts: HybridOptions,
+    ctl: &RunCtl,
+) -> Result<HybridOutcome, Cancelled> {
     let n = ics.num_states;
     let min_length = min_code_length(n);
     assert!(min_length <= 63, "u64 codes support at most 63 state bits");
@@ -152,7 +166,7 @@ pub fn ihybrid_code(
     for &c in &ics.constraints {
         let mut attempt: Vec<StateSet> = sic.iter().map(|w| w.set).collect();
         attempt.push(c.set);
-        match semiexact_code(n, &attempt, min_length, opts.max_work) {
+        match semiexact_code_ctl(n, &attempt, min_length, opts.max_work, ctl)? {
             Some(embedding) => {
                 codes = Some(embedding.codes);
                 sic.push(c);
@@ -163,14 +177,18 @@ pub fn ihybrid_code(
     // Pathological fallback: no semiexact call succeeded (or there were no
     // constraints): take the embedding of the bare poset, or sequential
     // codes as a last resort.
-    let mut codes = codes
-        .or_else(|| semiexact_code(n, &[], min_length, opts.max_work).map(|e| e.codes))
-        .unwrap_or_else(|| (0..n as u64).collect());
+    let mut codes = match codes {
+        Some(c) => c,
+        None => semiexact_code_ctl(n, &[], min_length, opts.max_work, ctl)?
+            .map(|e| e.codes)
+            .unwrap_or_else(|| (0..n as u64).collect()),
+    };
     let mut bits = min_length;
 
     // Phase 2: projection to larger code lengths.
     let (_, mut still) = split_by_satisfaction(&ics.constraints, &codes, bits);
     while !still.is_empty() && bits < target {
+        ctl.charge(1 + codes.len() as u64)?;
         project_code(&mut codes, &mut bits, &still);
         let (_, rest) = split_by_satisfaction(&ics.constraints, &codes, bits);
         still = rest;
@@ -178,21 +196,30 @@ pub fn ihybrid_code(
 
     let (satisfied, unsatisfied) = split_by_satisfaction(&ics.constraints, &codes, bits);
     let encoding = Encoding::new(bits as usize, codes).expect("codes are distinct by construction");
-    HybridOutcome {
+    Ok(HybridOutcome {
         encoding,
         satisfied,
         unsatisfied,
         min_length,
-    }
+    })
 }
 
 /// The KISS baseline: satisfy **all** input constraints by projecting past
 /// the minimum length as far as needed (up to one extra dimension per
 /// constraint, mirroring KISS's non-minimal code lengths).
 pub fn kiss_code(ics: &InputConstraints, opts: HybridOptions) -> HybridOutcome {
+    kiss_code_ctl(ics, opts, &RunCtl::unlimited()).expect("unlimited ctl never cancels")
+}
+
+/// [`kiss_code`] under a [`RunCtl`].
+pub fn kiss_code_ctl(
+    ics: &InputConstraints,
+    opts: HybridOptions,
+    ctl: &RunCtl,
+) -> Result<HybridOutcome, Cancelled> {
     let n = ics.num_states;
     let worst = (min_code_length(n) as usize + ics.constraints.len()).min(63) as u32;
-    ihybrid_code(ics, Some(worst), opts)
+    ihybrid_code_ctl(ics, Some(worst), opts, ctl)
 }
 
 #[cfg(test)]

@@ -2,11 +2,14 @@
 //! simultaneous input and output constraint satisfaction, plus the
 //! `out_encoder` fallback for pure output-constraint instances.
 
-use crate::constraint::{StateSet, WeightedConstraint};
-use crate::exact::{constraint_satisfied, io_semiexact_code, min_code_length, semiexact_code};
-use crate::hybrid::{project_code, HybridOptions, HybridOutcome};
 use crate::constraint::InputConstraints;
+use crate::constraint::{StateSet, WeightedConstraint};
+use crate::exact::{
+    constraint_satisfied, io_semiexact_code_ctl, min_code_length, semiexact_code_ctl,
+};
+use crate::hybrid::{project_code, HybridOptions, HybridOutcome};
 use crate::symbolic_min::{OutputCluster, SymbolicMin};
+use espresso::{Cancelled, RunCtl};
 use fsm::{Encoding, StateId};
 use std::collections::BTreeMap;
 
@@ -147,6 +150,17 @@ pub fn iohybrid_code(
     io_encode(&IoProblem::from(sym), target_bits, opts, false)
 }
 
+/// [`iohybrid_code`] under a [`RunCtl`]: all three stages (semiexact input
+/// phase, output-cluster phase, projection) charge the handle.
+pub fn iohybrid_code_ctl(
+    sym: &SymbolicMin,
+    target_bits: Option<u32>,
+    opts: HybridOptions,
+    ctl: &RunCtl,
+) -> Result<IoOutcome, Cancelled> {
+    io_encode_ctl(&IoProblem::from(sym), target_bits, opts, false, ctl)
+}
+
 /// [`iohybrid_code`] on a standalone [`IoProblem`] instance.
 pub fn iohybrid_code_problem(
     problem: &IoProblem,
@@ -168,6 +182,16 @@ pub fn iovariant_code(
     io_encode(&IoProblem::from(sym), target_bits, opts, true)
 }
 
+/// [`iovariant_code`] under a [`RunCtl`].
+pub fn iovariant_code_ctl(
+    sym: &SymbolicMin,
+    target_bits: Option<u32>,
+    opts: HybridOptions,
+    ctl: &RunCtl,
+) -> Result<IoOutcome, Cancelled> {
+    io_encode_ctl(&IoProblem::from(sym), target_bits, opts, true, ctl)
+}
+
 /// [`iovariant_code`] on a standalone [`IoProblem`] instance.
 pub fn iovariant_code_problem(
     problem: &IoProblem,
@@ -183,6 +207,17 @@ fn io_encode(
     opts: HybridOptions,
     variant: bool,
 ) -> IoOutcome {
+    io_encode_ctl(sym, target_bits, opts, variant, &RunCtl::unlimited())
+        .expect("unlimited ctl never cancels")
+}
+
+fn io_encode_ctl(
+    sym: &IoProblem,
+    target_bits: Option<u32>,
+    opts: HybridOptions,
+    variant: bool,
+    ctl: &RunCtl,
+) -> Result<IoOutcome, Cancelled> {
     let n = sym.ic.num_states;
     let min_length = min_code_length(n);
     assert!(min_length <= 63, "u64 codes support at most 63 state bits");
@@ -194,7 +229,7 @@ fn io_encode(
         let codes = encoding.codes().to_vec();
         let bits = encoding.bits() as u32;
         let (hs, sc, uc) = split_io(&sym.ic.constraints, &sym.oc_clusters, &codes, bits);
-        return IoOutcome {
+        return Ok(IoOutcome {
             hybrid: HybridOutcome {
                 encoding,
                 satisfied: hs.satisfied,
@@ -203,7 +238,7 @@ fn io_encode(
             },
             satisfied_clusters: sc,
             unsatisfied_clusters: uc,
-        };
+        });
     }
 
     // Stage 1: input constraints, exactly as in ihybrid_code. In the
@@ -224,7 +259,7 @@ fn io_encode(
     for c in &stage1_constraints {
         let mut attempt = sic.clone();
         attempt.push(c.set);
-        if let Some(e) = semiexact_code(n, &attempt, min_length, opts.max_work) {
+        if let Some(e) = semiexact_code_ctl(n, &attempt, min_length, opts.max_work, ctl)? {
             codes = Some(e.codes);
             sic.push(c.set);
         }
@@ -248,21 +283,27 @@ fn io_encode(
                 }
             }
         }
-        if let Some(e) = io_semiexact_code(n, &attempt, &covers, min_length, opts.max_work) {
+        if let Some(e) =
+            io_semiexact_code_ctl(n, &attempt, &covers, min_length, opts.max_work, ctl)?
+        {
             codes = Some(e.codes);
             soc = covers;
             sic = attempt;
         }
     }
 
-    let mut codes = codes
-        .or_else(|| semiexact_code(n, &[], min_length, opts.max_work).map(|e| e.codes))
-        .unwrap_or_else(|| (0..n as u64).collect());
+    let mut codes = match codes {
+        Some(c) => c,
+        None => semiexact_code_ctl(n, &[], min_length, opts.max_work, ctl)?
+            .map(|e| e.codes)
+            .unwrap_or_else(|| (0..n as u64).collect()),
+    };
     let mut bits = min_length;
 
     // Stage 3: projection for the leftover input constraints.
     let (mut split, _, _) = split_io(&sym.ic.constraints, &sym.oc_clusters, &codes, bits);
     while !split.unsatisfied.is_empty() && bits < target {
+        ctl.charge(1 + codes.len() as u64)?;
         project_code(&mut codes, &mut bits, &split.unsatisfied);
         let (s, _, _) = split_io(&sym.ic.constraints, &sym.oc_clusters, &codes, bits);
         split = s;
@@ -270,7 +311,7 @@ fn io_encode(
 
     let (hs, sc, uc) = split_io(&sym.ic.constraints, &sym.oc_clusters, &codes, bits);
     let encoding = Encoding::new(bits as usize, codes).expect("codes distinct by construction");
-    IoOutcome {
+    Ok(IoOutcome {
         hybrid: HybridOutcome {
             encoding,
             satisfied: hs.satisfied,
@@ -279,7 +320,7 @@ fn io_encode(
         },
         satisfied_clusters: sc,
         unsatisfied_clusters: uc,
-    }
+    })
 }
 
 #[cfg(test)]

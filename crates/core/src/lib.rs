@@ -48,16 +48,28 @@ pub mod mustang;
 pub mod poset;
 pub mod symbolic_min;
 
-pub use constraint::{extract_input_constraints, InputConstraints, StateSet, WeightedConstraint};
-pub use driver::{evaluate, random_baseline, run, Algorithm, EvalResult};
-pub use exact::{iexact_code, mincube_dim, semiexact_code, ExactOptions};
+pub use constraint::{
+    extract_input_constraints, extract_input_constraints_ctl, InputConstraints, StateSet,
+    WeightedConstraint,
+};
+pub use driver::{
+    evaluate, random_baseline, run, run_traced, Algorithm, EvalResult, RunStatus, StageTimes,
+    TracedRun, UnknownAlgorithm,
+};
+pub use espresso::{Cancelled, RunCounters, RunCtl};
+pub use exact::{
+    iexact_code, iexact_code_ctl, mincube_dim, semiexact_code, semiexact_code_ctl, ExactOptions,
+};
 pub use face::Face;
-pub use greedy::igreedy_code;
-pub use hybrid::{ihybrid_code, kiss_code, project_code, HybridOptions, HybridOutcome};
+pub use greedy::{igreedy_code, igreedy_code_ctl};
+pub use hybrid::{
+    ihybrid_code, ihybrid_code_ctl, kiss_code, kiss_code_ctl, project_code, HybridOptions,
+    HybridOutcome,
+};
 pub use iohybrid::{
-    iohybrid_code, iohybrid_code_problem, iovariant_code, iovariant_code_problem, out_encoder,
-    IoProblem,
+    iohybrid_code, iohybrid_code_ctl, iohybrid_code_problem, iovariant_code, iovariant_code_ctl,
+    iovariant_code_problem, out_encoder, IoProblem,
 };
 pub use mustang::{mustang_code, MustangMode};
 pub use poset::InputGraph;
-pub use symbolic_min::{symbolic_minimize, SymbolicMin};
+pub use symbolic_min::{symbolic_minimize, symbolic_minimize_ctl, SymbolicMin};

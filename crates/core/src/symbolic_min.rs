@@ -20,7 +20,9 @@
 //! `M_i` and is covered by a recorded relation of `G` — no unsound merges.
 
 use crate::constraint::{constraints_from_cover, InputConstraints, StateSet};
-use espresso::{minimize_with, Cover, Cube, CubeSpace, MinimizeOptions, VarKind};
+use espresso::{
+    minimize_with_ctl, Cancelled, Cover, Cube, CubeSpace, MinimizeOptions, RunCtl, VarKind,
+};
 use fsm::{symbolic_cover, Fsm, StateId, SymbolicCover};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -88,6 +90,18 @@ pub fn symbolic_minimize(fsm: &Fsm) -> SymbolicMin {
 
 /// Runs the symbolic minimization loop with explicit options.
 pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMin {
+    symbolic_minimize_ctl(fsm, opts, &RunCtl::unlimited()).expect("unlimited ctl never cancels")
+}
+
+/// [`symbolic_minimize_with`] under a [`RunCtl`]: every per-state inner
+/// minimization and the final `minimize(P)` charge the handle, so the
+/// (expensive) symbolic front-end of `iohybrid`/`iovariant` honours
+/// portfolio deadlines too.
+pub fn symbolic_minimize_ctl(
+    fsm: &Fsm,
+    opts: SymbolicMinOptions,
+    ctl: &RunCtl,
+) -> Result<SymbolicMin, Cancelled> {
     let sc = symbolic_cover(fsm);
     let n = sc.states;
     let space = sc.space().clone();
@@ -96,9 +110,9 @@ pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMi
     // On_k: cubes asserting next state k.
     let mut on: Vec<Vec<Cube>> = vec![Vec::new(); n];
     for c in sc.on.iter() {
-        for k in 0..n {
+        for (k, on_k) in on.iter_mut().enumerate() {
             if c.has_part(&space, ov, k as u32) {
-                on[k].push(c.clone());
+                on_k.push(c.clone());
             }
         }
     }
@@ -207,11 +221,11 @@ pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMi
         // exactly when a covering relation may absorb it), plus the
         // machine-level don't cares.
         let mut d_cubes: Vec<Cube> = Vec::new();
-        for j in 0..n {
+        for (j, on_j) in on.iter().enumerate() {
             if j == i || off_states.contains(&j) {
                 continue;
             }
-            d_cubes.extend(on[j].iter().map(|c| map_cube(c, true)));
+            d_cubes.extend(on_j.iter().map(|c| map_cube(c, true)));
         }
         for c in sc.dc.iter() {
             // Machine DC rows: unspecified regions carry a full output var,
@@ -227,7 +241,7 @@ pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMi
             single_pass,
             ..MinimizeOptions::default()
         };
-        let (mb, _) = minimize_with(&f, &d, min_opts);
+        let (mb, _) = minimize_with_ctl(&f, &d, min_opts, ctl)?;
         let m_i: Vec<Cube> = mb
             .iter()
             .filter(|c| c.has_part(&rspace, rov, 0))
@@ -246,11 +260,11 @@ pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMi
             let w = (on[i].len() - m_i.len()) as u32;
             let mut covers: BTreeSet<(usize, usize)> = BTreeSet::new();
             for m in &m_i {
-                for j in 0..n {
+                for (j, on_j) in on.iter().enumerate() {
                     if j == i {
                         continue;
                     }
-                    let hit = on[j].iter().any(|c| {
+                    let hit = on_j.iter().any(|c| {
                         let rc = map_cube(c, true);
                         input_parts_intersect(&rspace, rov, m, &rc)
                     });
@@ -281,7 +295,7 @@ pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMi
     }
 
     let p = Cover::from_cubes(space.clone(), final_cubes);
-    let (final_cover, _) = minimize_with(
+    let (final_cover, _) = minimize_with_ctl(
         &p,
         &sc.dc,
         MinimizeOptions {
@@ -289,7 +303,8 @@ pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMi
             single_pass,
             ..MinimizeOptions::default()
         },
-    );
+        ctl,
+    )?;
 
     let ic = constraints_from_cover(&sc, &final_cover);
 
@@ -316,14 +331,14 @@ pub fn symbolic_minimize_with(fsm: &Fsm, opts: SymbolicMinOptions) -> SymbolicMi
         }
     }
 
-    SymbolicMin {
+    Ok(SymbolicMin {
         sc,
         final_cover,
         ic,
         ic_clusters,
         ic_outputs,
         oc_clusters,
-    }
+    })
 }
 
 /// Do two reduced-space cubes intersect on the input half (all variables but
@@ -388,13 +403,10 @@ mod tests {
         }
         let mut remaining = edges.clone();
         let mut alive: BTreeSet<usize> = nodes.clone();
-        loop {
-            let Some(&leaf) = alive
-                .iter()
-                .find(|&&x| !remaining.iter().any(|(u, _)| u.0 == x))
-            else {
-                break;
-            };
+        while let Some(&leaf) = alive
+            .iter()
+            .find(|&&x| !remaining.iter().any(|(u, _)| u.0 == x))
+        {
             alive.remove(&leaf);
             remaining.retain(|(u, v)| u.0 != leaf && v.0 != leaf);
         }

@@ -38,10 +38,22 @@ fn example() -> IoProblem {
     ic_clusters.insert(7, vec![set("00000011")]);
 
     let constraints = vec![
-        WeightedConstraint { set: set("01010101"), weight: 1 },
-        WeightedConstraint { set: set("00110000"), weight: 4 }, // IC_2 + IC_6
-        WeightedConstraint { set: set("00001100"), weight: 3 }, // IC_3 + IC_7
-        WeightedConstraint { set: set("00000011"), weight: 2 }, // IC_4 + IC_8
+        WeightedConstraint {
+            set: set("01010101"),
+            weight: 1,
+        },
+        WeightedConstraint {
+            set: set("00110000"),
+            weight: 4,
+        }, // IC_2 + IC_6
+        WeightedConstraint {
+            set: set("00001100"),
+            weight: 3,
+        }, // IC_3 + IC_7
+        WeightedConstraint {
+            set: set("00000011"),
+            weight: 2,
+        }, // IC_4 + IC_8
     ];
     IoProblem {
         ic: InputConstraints {
@@ -52,7 +64,11 @@ fn example() -> IoProblem {
         ic_clusters,
         ic_outputs: vec![set("01010101")],
         oc_clusters: vec![
-            cluster(0, &[(1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)], 4),
+            cluster(
+                0,
+                &[(1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)],
+                4,
+            ),
             cluster(1, &[(5, 1)], 1),
             cluster(2, &[(6, 2)], 2),
             cluster(3, &[(7, 3)], 1),
@@ -63,7 +79,10 @@ fn example() -> IoProblem {
 
 fn paper_solution_satisfies_everything() -> (Vec<u64>, IoProblem) {
     // ENC = (000, 010, 100, 110, 001, 011, 101, 111)
-    (vec![0b000, 0b010, 0b100, 0b110, 0b001, 0b011, 0b101, 0b111], example())
+    (
+        vec![0b000, 0b010, 0b100, 0b110, 0b001, 0b011, 0b101, 0b111],
+        example(),
+    )
 }
 
 #[test]
@@ -78,7 +97,11 @@ fn paper_solution_is_valid() {
     }
     for cluster in &p.oc_clusters {
         for (u, v) in &cluster.covers {
-            assert_eq!(codes[u.0] | codes[v.0], codes[u.0], "{u:?} must cover {v:?}");
+            assert_eq!(
+                codes[u.0] | codes[v.0],
+                codes[u.0],
+                "{u:?} must cover {v:?}"
+            );
             assert_ne!(codes[u.0], codes[v.0]);
         }
     }

@@ -52,7 +52,10 @@ fn covering_chain_is_satisfiable_with_enough_bits() {
 
 #[test]
 fn plain_semiexact_is_io_semiexact_without_covers() {
-    let ic = [StateSet::parse("110000").unwrap(), StateSet::parse("001100").unwrap()];
+    let ic = [
+        StateSet::parse("110000").unwrap(),
+        StateSet::parse("001100").unwrap(),
+    ];
     let a = semiexact_code(6, &ic, 3, 100_000);
     let b = io_semiexact_code(6, &ic, &[], 3, 100_000);
     assert_eq!(a.map(|e| e.codes), b.map(|e| e.codes));

@@ -1,0 +1,492 @@
+//! # nova-engine — a concurrent portfolio engine for NOVA state assignment
+//!
+//! Runs a configurable set of [`Algorithm`]s concurrently over a scoped
+//! worker pool and keeps the best-area [`EvalResult`], together with a full
+//! [`PortfolioReport`] of per-algorithm outcomes, stage wall times and run
+//! counters.
+//!
+//! Design points:
+//!
+//! * **std-only concurrency** — `std::thread::scope` plus an atomic job
+//!   counter; no external executor.
+//! * **Cooperative cancellation** — every worker runs under a
+//!   [`RunCtl`](espresso::RunCtl) carrying the wall-clock deadline
+//!   (`--timeout-ms`) and the deterministic node budget (`--budget`). The
+//!   backtracking loops, `project_code` steps and the ESPRESSO improvement
+//!   loop all check it, so an expired deadline yields a clean
+//!   [`Outcome::Timeout`] instead of a hung worker.
+//! * **Determinism** — identical algorithm lists, seeds and node budgets
+//!   produce identical winning encodings regardless of `--jobs`: every
+//!   algorithm computes in isolation and the winner is picked by minimum
+//!   area with ties broken by position in the configured list (the paper's
+//!   fixed order for [`Algorithm::ALL`]).
+//! * **Containment** — a panicking worker degrades to
+//!   [`Outcome::Failed`] for that algorithm only.
+//!
+//! ```
+//! use nova_engine::{run_portfolio, EngineConfig};
+//!
+//! let bench = fsm::benchmarks::by_name("lion").expect("embedded");
+//! let report = run_portfolio(&bench.fsm, bench.name, &EngineConfig::default());
+//! let (_, best) = report.best().expect("some algorithm finished");
+//! assert!(best.area > 0);
+//! ```
+
+pub mod json;
+
+use espresso::{RunCounters, RunCtl};
+use fsm::Fsm;
+use json::Json;
+use nova_core::driver::{run_traced, Algorithm, EvalResult, RunStatus, StageTimes};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Algorithms to race, in tie-break priority order. Defaults to
+    /// [`Algorithm::ALL`] (the paper's fixed order).
+    pub algorithms: Vec<Algorithm>,
+    /// Worker threads; `0` = available parallelism.
+    pub jobs: usize,
+    /// Wall-clock deadline shared by the whole portfolio.
+    pub timeout: Option<Duration>,
+    /// Per-algorithm node budget (deterministic across machines and thread
+    /// counts, unlike the wall clock).
+    pub node_budget: Option<u64>,
+    /// Code-length override passed to the algorithms that accept one.
+    pub target_bits: Option<u32>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            algorithms: Algorithm::ALL.to_vec(),
+            jobs: 0,
+            timeout: None,
+            node_budget: None,
+            target_bits: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The worker count actually used: `jobs`, or the machine's available
+    /// parallelism when `jobs == 0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// How one algorithm's run ended.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Full pipeline completed.
+    Done(EvalResult),
+    /// The algorithm gave up within its own limits (e.g. the `iexact`
+    /// work budget) — not a cancellation, not an error.
+    Unsolved,
+    /// The portfolio deadline or node budget fired mid-run.
+    Timeout,
+    /// The worker panicked; the message is retained.
+    Failed(String),
+}
+
+impl Outcome {
+    /// The completed result, if any.
+    pub fn result(&self) -> Option<&EvalResult> {
+        match self {
+            Outcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case tag used in reports and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Outcome::Done(_) => "done",
+            Outcome::Unsolved => "unsolved",
+            Outcome::Timeout => "timeout",
+            Outcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One algorithm's run inside a portfolio: outcome plus telemetry.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Per-stage wall times (constraint extraction, embedding, encoding,
+    /// ESPRESSO) accumulated up to the point the run ended.
+    pub stages: StageTimes,
+    /// Work / faces / backtracks / espresso-iteration / cube counters.
+    pub counters: RunCounters,
+    /// Total wall time of this algorithm's worker.
+    pub wall: Duration,
+}
+
+/// The full report of one portfolio run over one machine.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// Machine name (benchmark name or file stem).
+    pub machine: String,
+    /// Per-algorithm runs, in the configured (tie-break) order.
+    pub runs: Vec<AlgoRun>,
+    /// Wall time of the whole portfolio.
+    pub wall: Duration,
+}
+
+impl PortfolioReport {
+    /// The winning run: minimum area among completed runs, ties broken by
+    /// position in the configured algorithm order. Returns the index into
+    /// [`PortfolioReport::runs`] and the winning result.
+    pub fn best(&self) -> Option<(usize, &EvalResult)> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.outcome.result().map(|res| (i, res)))
+            .min_by_key(|(i, res)| (res.area, *i))
+    }
+
+    /// JSON form of the whole report.
+    pub fn to_json(&self) -> Json {
+        let best = self
+            .best()
+            .map(|(i, _)| Json::str(self.runs[i].algorithm.name()))
+            .unwrap_or(Json::Null);
+        Json::Obj(vec![
+            ("machine".into(), Json::str(&self.machine)),
+            ("best".into(), best),
+            ("wall_ms".into(), Json::Float(millis(self.wall))),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(AlgoRun::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl AlgoRun {
+    /// JSON form of one run.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("algorithm".into(), Json::str(self.algorithm.name())),
+            ("outcome".into(), Json::str(self.outcome.tag())),
+        ];
+        match &self.outcome {
+            Outcome::Done(r) => pairs.push(("result".into(), eval_to_json(r))),
+            Outcome::Failed(msg) => pairs.push(("error".into(), Json::str(msg))),
+            _ => {}
+        }
+        pairs.push(("wall_ms".into(), Json::Float(millis(self.wall))));
+        pairs.push((
+            "stages_ms".into(),
+            Json::Obj(vec![
+                (
+                    "constraints".into(),
+                    Json::Float(millis(self.stages.constraints)),
+                ),
+                ("embed".into(), Json::Float(millis(self.stages.embed))),
+                ("encode".into(), Json::Float(millis(self.stages.encode))),
+                ("espresso".into(), Json::Float(millis(self.stages.espresso))),
+            ]),
+        ));
+        pairs.push((
+            "counters".into(),
+            Json::Obj(vec![
+                ("work".into(), Json::uint(self.counters.work)),
+                ("faces_tried".into(), Json::uint(self.counters.faces_tried)),
+                ("backtracks".into(), Json::uint(self.counters.backtracks)),
+                (
+                    "espresso_iterations".into(),
+                    Json::uint(self.counters.espresso_iterations),
+                ),
+                ("cubes_in".into(), Json::uint(self.counters.cubes_in)),
+                ("cubes_out".into(), Json::uint(self.counters.cubes_out)),
+            ]),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+/// JSON form of a completed evaluation.
+pub fn eval_to_json(r: &EvalResult) -> Json {
+    Json::Obj(vec![
+        ("bits".into(), Json::uint(r.bits as u64)),
+        ("cubes".into(), Json::uint(r.cubes as u64)),
+        ("area".into(), Json::uint(r.area)),
+        ("literals".into(), Json::uint(r.literals as u64)),
+        (
+            "codes".into(),
+            Json::Arr(r.encoding.codes().iter().map(|&c| Json::uint(c)).collect()),
+        ),
+    ])
+}
+
+/// Runs `items` jobs over at most `jobs` scoped worker threads. Workers
+/// claim job indices from a shared atomic counter; a panicking job yields
+/// `Err(message)` in its slot without taking down its worker (the worker
+/// moves on to the next index).
+fn run_jobs<T, F>(items: usize, jobs: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..items).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.clamp(1, items.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items {
+                    break;
+                }
+                let out = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|e| {
+                    if let Some(s) = e.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = e.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "worker panicked".to_string()
+                    }
+                });
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+/// Races the configured algorithms on one machine and reports everything.
+///
+/// Every algorithm runs under its own [`RunCtl`] carrying the shared
+/// wall-clock deadline and the per-algorithm node budget; its counters are
+/// snapshotted into the report when the run ends, however it ends.
+pub fn run_portfolio(fsm: &Fsm, machine: &str, cfg: &EngineConfig) -> PortfolioReport {
+    let start = Instant::now();
+    let deadline = cfg.timeout.map(|t| start + t);
+    let runs = run_jobs(cfg.algorithms.len(), cfg.effective_jobs(), |i| {
+        run_one_under(fsm, cfg.algorithms[i], cfg, deadline)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| match r {
+        Ok(run) => run,
+        Err(msg) => AlgoRun {
+            algorithm: cfg.algorithms[i],
+            outcome: Outcome::Failed(msg),
+            stages: StageTimes::default(),
+            counters: RunCounters::default(),
+            wall: Duration::default(),
+        },
+    })
+    .collect();
+    PortfolioReport {
+        machine: machine.to_string(),
+        runs,
+        wall: start.elapsed(),
+    }
+}
+
+/// Runs a single algorithm under the engine's limits and telemetry (the
+/// `nova --json` single-run path).
+pub fn run_one(fsm: &Fsm, algorithm: Algorithm, cfg: &EngineConfig) -> AlgoRun {
+    let deadline = cfg.timeout.map(|t| Instant::now() + t);
+    run_one_under(fsm, algorithm, cfg, deadline)
+}
+
+fn run_one_under(
+    fsm: &Fsm,
+    algorithm: Algorithm,
+    cfg: &EngineConfig,
+    deadline: Option<Instant>,
+) -> AlgoRun {
+    let ctl = RunCtl::with_limits(cfg.node_budget, deadline);
+    let t = Instant::now();
+    let traced = run_traced(fsm, algorithm, cfg.target_bits, &ctl);
+    AlgoRun {
+        algorithm,
+        outcome: match traced.status {
+            RunStatus::Done(r) => Outcome::Done(r),
+            RunStatus::Unsolved => Outcome::Unsolved,
+            RunStatus::Cancelled => Outcome::Timeout,
+        },
+        stages: traced.stages,
+        counters: ctl.counters(),
+        wall: t.elapsed(),
+    }
+}
+
+/// Runs the portfolio over every machine in the embedded benchmark suite
+/// (the `nova --portfolio --batch` sweep). Machines run sequentially; the
+/// parallelism lives inside each portfolio, keeping per-machine reports
+/// directly comparable to single-machine runs.
+pub fn run_suite(cfg: &EngineConfig) -> Vec<PortfolioReport> {
+    fsm::benchmarks::suite()
+        .iter()
+        .map(|b| run_portfolio(&b.fsm, b.name, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(name: &str) -> Fsm {
+        fsm::benchmarks::by_name(name)
+            .expect("embedded benchmark")
+            .fsm
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_and_catches_panics() {
+        let out = run_jobs(8, 4, |i| {
+            if i == 3 {
+                panic!("boom {i}");
+            }
+            i * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            match (i, r) {
+                (3, Err(msg)) => assert!(msg.contains("boom 3"), "{msg}"),
+                (_, Ok(v)) => assert_eq!(*v, i * 10),
+                other => panic!("unexpected slot: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_jobs_single_worker_matches_many() {
+        let a = run_jobs(6, 1, |i| i + 1);
+        let b = run_jobs(6, 6, |i| i + 1);
+        let unwrap = |v: Vec<Result<usize, String>>| -> Vec<usize> {
+            v.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(unwrap(a), unwrap(b));
+    }
+
+    #[test]
+    fn panicking_algorithm_degrades_to_failed() {
+        // Drive the degradation path through run_portfolio's mapping by
+        // checking run_jobs' contract directly on the portfolio shape: a
+        // panic in one slot must not disturb its neighbours.
+        let out = run_jobs(3, 2, |i| {
+            if i == 1 {
+                panic!("injected");
+            }
+            i
+        });
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn portfolio_reports_every_algorithm() {
+        let report = run_portfolio(&machine("lion"), "lion", &EngineConfig::default());
+        assert_eq!(report.runs.len(), Algorithm::ALL.len());
+        for (run, alg) in report.runs.iter().zip(Algorithm::ALL) {
+            assert_eq!(run.algorithm, alg);
+        }
+        let (_, best) = report.best().expect("lion always solves");
+        assert!(best.area > 0);
+    }
+
+    #[test]
+    fn best_breaks_ties_by_configured_order() {
+        // Duplicate the same algorithm: equal areas, first index must win.
+        let cfg = EngineConfig {
+            algorithms: vec![Algorithm::OneHot, Algorithm::OneHot],
+            jobs: 2,
+            ..EngineConfig::default()
+        };
+        let report = run_portfolio(&machine("lion"), "lion", &cfg);
+        let (i, _) = report.best().expect("one-hot always completes");
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn zero_timeout_times_every_algorithm_out() {
+        let cfg = EngineConfig {
+            timeout: Some(Duration::ZERO),
+            ..EngineConfig::default()
+        };
+        let report = run_portfolio(&machine("bbtas"), "bbtas", &cfg);
+        for run in &report.runs {
+            assert!(
+                matches!(run.outcome, Outcome::Timeout),
+                "{} ended {:?}",
+                run.algorithm.name(),
+                run.outcome.tag()
+            );
+        }
+        assert!(report.best().is_none());
+    }
+
+    #[test]
+    fn node_budget_is_deterministic_across_jobs() {
+        let base = EngineConfig {
+            node_budget: Some(5_000),
+            ..EngineConfig::default()
+        };
+        let m = machine("bbtas");
+        let seq = run_portfolio(
+            &m,
+            "bbtas",
+            &EngineConfig {
+                jobs: 1,
+                ..base.clone()
+            },
+        );
+        let par = run_portfolio(
+            &m,
+            "bbtas",
+            &EngineConfig {
+                jobs: 4,
+                ..base.clone()
+            },
+        );
+        for (a, b) in seq.runs.iter().zip(par.runs.iter()) {
+            assert_eq!(a.outcome.tag(), b.outcome.tag(), "{}", a.algorithm.name());
+            if let (Outcome::Done(x), Outcome::Done(y)) = (&a.outcome, &b.outcome) {
+                assert_eq!(x.encoding, y.encoding, "{}", a.algorithm.name());
+                assert_eq!(x.area, y.area);
+            }
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = run_portfolio(&machine("lion"), "lion", &EngineConfig::default());
+        let j = report.to_json().to_compact();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"machine\":\"lion\""));
+        assert!(j.contains("\"runs\":["));
+        assert!(j.contains("\"counters\""));
+        let pretty = report.to_json().to_pretty();
+        assert!(pretty.contains("\n  \"machine\": \"lion\""));
+    }
+}

@@ -1,0 +1,292 @@
+//! Cooperative run control: cancellation, deadlines, node-count budgets and
+//! telemetry counters, shared by the whole encode/minimize pipeline.
+//!
+//! A [`RunCtl`] is a cheap clonable handle (an `Arc` over atomics) that the
+//! portfolio engine threads through every ctl-aware entry point:
+//!
+//! * the `iexact`/`semiexact` backtracking loops charge one unit per
+//!   candidate face verification,
+//! * `project_code` charges per projection step,
+//! * the ESPRESSO EXPAND/IRREDUNDANT/REDUCE loop charges per iteration.
+//!
+//! When the handle is cancelled (externally via [`RunCtl::cancel`], by an
+//! expired wall-clock deadline, or by an exhausted node budget) those loops
+//! unwind promptly and the run reports a clean [`Cancelled`] instead of
+//! hanging. The same handle accumulates the run counters surfaced in the
+//! engine's telemetry.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How often (in charged work units) the wall-clock deadline is re-checked.
+/// A clock read is cheap but not free; the work between two checks is
+/// bounded by a handful of face verifications or cube operations.
+const DEADLINE_CHECK_PERIOD: u64 = 64;
+
+/// Error returned by ctl-aware entry points when the run was cancelled by a
+/// deadline, an exhausted budget, or an external stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("run cancelled (deadline, budget or external stop)")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct CtlInner {
+    /// External / latched stop flag. Once set it never clears.
+    stop: AtomicBool,
+    /// Remaining work units; `u64::MAX` means unlimited.
+    fuel: AtomicU64,
+    /// Wall-clock deadline, checked every [`DEADLINE_CHECK_PERIOD`] charges.
+    deadline: Option<Instant>,
+    // --- telemetry counters (all relaxed; they are statistics, not locks) --
+    work: AtomicU64,
+    faces_tried: AtomicU64,
+    backtracks: AtomicU64,
+    espresso_iterations: AtomicU64,
+    cubes_in: AtomicU64,
+    cubes_out: AtomicU64,
+}
+
+/// Shared cancellation / budget / telemetry handle for one algorithm run.
+#[derive(Debug, Clone)]
+pub struct RunCtl {
+    inner: Arc<CtlInner>,
+}
+
+/// A point-in-time snapshot of a run's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Total work units charged (the node count of the budget).
+    pub work: u64,
+    /// Candidate faces tried by the embedding backtracking loops.
+    pub faces_tried: u64,
+    /// Backtracks taken by the embedding search.
+    pub backtracks: u64,
+    /// REDUCE/EXPAND/IRREDUNDANT improvement iterations run by ESPRESSO.
+    pub espresso_iterations: u64,
+    /// Cubes entering ESPRESSO minimization.
+    pub cubes_in: u64,
+    /// Cubes leaving ESPRESSO minimization.
+    pub cubes_out: u64,
+}
+
+impl RunCtl {
+    fn build(fuel: Option<u64>, deadline: Option<Instant>) -> Self {
+        RunCtl {
+            inner: Arc::new(CtlInner {
+                stop: AtomicBool::new(false),
+                fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
+                deadline,
+                work: AtomicU64::new(0),
+                faces_tried: AtomicU64::new(0),
+                backtracks: AtomicU64::new(0),
+                espresso_iterations: AtomicU64::new(0),
+                cubes_in: AtomicU64::new(0),
+                cubes_out: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A handle that never cancels: counters only.
+    pub fn unlimited() -> Self {
+        RunCtl::build(None, None)
+    }
+
+    /// A handle with a node-count budget (deterministic across machines and
+    /// thread counts) and/or a wall-clock deadline.
+    pub fn with_limits(fuel: Option<u64>, deadline: Option<Instant>) -> Self {
+        RunCtl::build(fuel, deadline)
+    }
+
+    /// Latches the stop flag; every subsequent [`RunCtl::charge`] fails.
+    pub fn cancel(&self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the run been cancelled (stop flag, expired deadline, or
+    /// exhausted budget)?
+    pub fn cancelled(&self) -> bool {
+        if self.inner.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                self.cancel();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Charges `units` of work against the budget. Returns `Err(Cancelled)`
+    /// when the run should unwind. Hot loops call this once per "node"
+    /// (face verification, projection step, espresso iteration).
+    pub fn charge(&self, units: u64) -> Result<(), Cancelled> {
+        if self.inner.stop.load(Ordering::Relaxed) {
+            return Err(Cancelled);
+        }
+        let before = self.inner.work.fetch_add(units, Ordering::Relaxed);
+        // Deadline: check on the first charge and then periodically.
+        if let Some(d) = self.inner.deadline {
+            let crossed_period =
+                before / DEADLINE_CHECK_PERIOD != (before + units) / DEADLINE_CHECK_PERIOD;
+            if (before == 0 || crossed_period) && Instant::now() >= d {
+                self.cancel();
+                return Err(Cancelled);
+            }
+        }
+        // Budget: saturating decrement; exhaustion latches the stop flag.
+        let mut fuel = self.inner.fuel.load(Ordering::Relaxed);
+        if fuel == u64::MAX {
+            return Ok(());
+        }
+        loop {
+            let next = fuel.saturating_sub(units);
+            match self.inner.fuel.compare_exchange_weak(
+                fuel,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if next == 0 {
+                        self.cancel();
+                        return Err(Cancelled);
+                    }
+                    return Ok(());
+                }
+                Err(actual) => fuel = actual,
+            }
+        }
+    }
+
+    /// One candidate face tried by the embedding search.
+    pub fn count_face(&self) {
+        self.inner.faces_tried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One backtrack taken by the embedding search.
+    pub fn count_backtrack(&self) {
+        self.inner.backtracks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One ESPRESSO improvement iteration.
+    pub fn count_espresso_iteration(&self) {
+        self.inner
+            .espresso_iterations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cubes entering / leaving one ESPRESSO minimization call.
+    pub fn count_cubes(&self, cubes_in: u64, cubes_out: u64) {
+        self.inner.cubes_in.fetch_add(cubes_in, Ordering::Relaxed);
+        self.inner.cubes_out.fetch_add(cubes_out, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn counters(&self) -> RunCounters {
+        RunCounters {
+            work: self.inner.work.load(Ordering::Relaxed),
+            faces_tried: self.inner.faces_tried.load(Ordering::Relaxed),
+            backtracks: self.inner.backtracks.load(Ordering::Relaxed),
+            espresso_iterations: self.inner.espresso_iterations.load(Ordering::Relaxed),
+            cubes_in: self.inner.cubes_in.load(Ordering::Relaxed),
+            cubes_out: self.inner.cubes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for RunCtl {
+    fn default() -> Self {
+        RunCtl::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_cancels() {
+        let ctl = RunCtl::unlimited();
+        for _ in 0..10_000 {
+            assert!(ctl.charge(1).is_ok());
+        }
+        assert!(!ctl.cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_latches() {
+        let ctl = RunCtl::unlimited();
+        ctl.cancel();
+        assert!(ctl.cancelled());
+        assert_eq!(ctl.charge(1), Err(Cancelled));
+    }
+
+    #[test]
+    fn budget_exhaustion_cancels_deterministically() {
+        let ctl = RunCtl::with_limits(Some(10), None);
+        let mut charged = 0;
+        while ctl.charge(1).is_ok() {
+            charged += 1;
+        }
+        assert_eq!(charged, 9, "10 units of fuel allow 9 successful charges");
+        assert!(ctl.cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_cancels_on_first_charge() {
+        let ctl = RunCtl::with_limits(None, Some(Instant::now()));
+        assert_eq!(ctl.charge(1), Err(Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_allows_work_then_expires() {
+        let ctl = RunCtl::with_limits(None, Some(Instant::now() + Duration::from_millis(20)));
+        assert!(ctl.charge(1).is_ok());
+        std::thread::sleep(Duration::from_millis(30));
+        // May take up to one check period to notice; drive it past that.
+        let mut cancelled = false;
+        for _ in 0..2 * DEADLINE_CHECK_PERIOD {
+            if ctl.charge(1).is_err() {
+                cancelled = true;
+                break;
+            }
+        }
+        assert!(cancelled);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let ctl = RunCtl::unlimited();
+        ctl.charge(5).unwrap();
+        ctl.count_face();
+        ctl.count_face();
+        ctl.count_backtrack();
+        ctl.count_espresso_iteration();
+        ctl.count_cubes(10, 3);
+        let c = ctl.counters();
+        assert_eq!(c.work, 5);
+        assert_eq!(c.faces_tried, 2);
+        assert_eq!(c.backtracks, 1);
+        assert_eq!(c.espresso_iterations, 1);
+        assert_eq!(c.cubes_in, 10);
+        assert_eq!(c.cubes_out, 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = RunCtl::unlimited();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.cancelled());
+    }
+}

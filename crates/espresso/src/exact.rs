@@ -236,7 +236,12 @@ mod tests {
         let funcs: [&[&str]; 3] = [
             &["10 10 11 11 1", "11 10 10 11 1", "10 11 10 11 1"],
             &["01 01 01 01 1", "10 10 10 10 1", "01 10 11 11 1"],
-            &["11 11 10 01 1", "10 01 11 11 1", "01 01 01 11 1", "11 10 01 10 1"],
+            &[
+                "11 11 10 01 1",
+                "10 01 11 11 1",
+                "01 01 01 11 1",
+                "11 10 01 10 1",
+            ],
         ];
         for rows in funcs {
             let f = cover(&sp, rows);
@@ -244,7 +249,12 @@ mod tests {
             let exact = minimize_exact(&f, &d, ExactLimits::default()).unwrap();
             let heur = minimize(&f, &d);
             assert!(heur.len() >= exact.len());
-            assert!(heur.len() <= exact.len() + 1, "heuristic strayed: {} vs {}", heur.len(), exact.len());
+            assert!(
+                heur.len() <= exact.len() + 1,
+                "heuristic strayed: {} vs {}",
+                heur.len(),
+                exact.len()
+            );
             assert!(covers_equivalent(&exact, &f));
         }
     }
@@ -254,7 +264,15 @@ mod tests {
         let sp = CubeSpace::binary_with_output(4, 1);
         let f = cover(&sp, &["10 10 11 11 1", "11 10 10 11 1", "10 11 10 11 1"]);
         let d = Cover::empty(sp.clone());
-        assert!(minimize_exact(&f, &d, ExactLimits { max_primes: 1, max_nodes: 10 }).is_none());
+        assert!(minimize_exact(
+            &f,
+            &d,
+            ExactLimits {
+                max_primes: 1,
+                max_nodes: 10
+            }
+        )
+        .is_none());
     }
 
     #[test]

@@ -81,9 +81,9 @@ pub fn expand(f: &mut Cover, d: &Cover) {
 
         // Commit and mark covered cubes.
         f.cubes_mut()[i] = c.clone();
-        for j in 0..n {
-            if j != i && !covered[j] && f.cubes()[j].is_subset_of(&c) {
-                covered[j] = true;
+        for (j, cov) in covered.iter_mut().enumerate() {
+            if j != i && !*cov && f.cubes()[j].is_subset_of(&c) {
+                *cov = true;
             }
         }
     }

@@ -37,6 +37,7 @@
 
 pub mod complement;
 pub mod cover;
+pub mod ctl;
 pub mod cube;
 pub mod exact;
 pub mod expand;
@@ -50,9 +51,10 @@ pub mod tautology;
 
 pub use complement::{complement, sharp};
 pub use cover::{Cover, CoverCost};
-pub use exact::{all_primes, minimize_exact, ExactLimits};
+pub use ctl::{Cancelled, RunCounters, RunCtl};
 pub use cube::{supercube, Cube};
-pub use minimize::{minimize, minimize_with, MinimizeOptions, MinimizeStats};
+pub use exact::{all_primes, minimize_exact, ExactLimits};
+pub use minimize::{minimize, minimize_with, minimize_with_ctl, MinimizeOptions, MinimizeStats};
 pub use space::{CubeSpace, VarKind};
 pub use tautology::{
     cover_in_cover, covers_equivalent, cube_in_cover, tautology, verify_minimized,

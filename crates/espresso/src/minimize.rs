@@ -1,6 +1,7 @@
 //! The ESPRESSO minimization loop.
 
 use crate::cover::{Cover, CoverCost};
+use crate::ctl::{Cancelled, RunCtl};
 use crate::cube::Cube;
 use crate::expand::expand;
 use crate::irredundant::{irredundant, relatively_essential};
@@ -74,20 +75,36 @@ pub fn minimize(f: &Cover, d: &Cover) -> Cover {
 /// Panics if `opts.verify` is set and the result violates the ESPRESSO
 /// contract (this indicates an internal bug, not a user error).
 pub fn minimize_with(f: &Cover, d: &Cover, opts: MinimizeOptions) -> (Cover, MinimizeStats) {
+    minimize_with_ctl(f, d, opts, &RunCtl::unlimited()).expect("unlimited ctl never cancels")
+}
+
+/// [`minimize_with`] under a [`RunCtl`]: the EXPAND/IRREDUNDANT/REDUCE loop
+/// charges the handle once per pass (weighted by the live cube count) and
+/// unwinds with [`Cancelled`] when the deadline or budget fires, so a
+/// portfolio deadline turns into a clean per-algorithm timeout instead of a
+/// long-running minimization. Also feeds the espresso-iteration and
+/// cubes-in/out telemetry counters.
+pub fn minimize_with_ctl(
+    f: &Cover,
+    d: &Cover,
+    opts: MinimizeOptions,
+    ctl: &RunCtl,
+) -> Result<(Cover, MinimizeStats), Cancelled> {
     let initial_cubes = f.len();
     let mut cur = f.clone();
     cur.absorb();
     if cur.is_empty() {
-        return (
+        return Ok((
             cur,
             MinimizeStats {
                 initial_cubes,
                 final_cubes: 0,
                 iterations: 0,
             },
-        );
+        ));
     }
 
+    ctl.charge(1 + cur.len() as u64)?;
     expand(&mut cur, d);
     irredundant(&mut cur, d);
 
@@ -126,6 +143,8 @@ pub fn minimize_with(f: &Cover, d: &Cover, opts: MinimizeOptions) -> (Cover, Min
         loop {
             let mut improved = false;
             for _ in 0..opts.max_iterations {
+                ctl.charge(1 + cur.len() as u64)?;
+                ctl.count_espresso_iteration();
                 iterations += 1;
                 reduce(&mut cur, &d_aug);
                 expand(&mut cur, &d_aug);
@@ -143,6 +162,7 @@ pub fn minimize_with(f: &Cover, d: &Cover, opts: MinimizeOptions) -> (Cover, Min
             if !opts.last_gasp {
                 break;
             }
+            ctl.charge(1 + cur.len() as u64)?;
             let gasped = last_gasp(&mut cur, &d_aug);
             if !gasped {
                 break;
@@ -165,14 +185,15 @@ pub fn minimize_with(f: &Cover, d: &Cover, opts: MinimizeOptions) -> (Cover, Min
         );
     }
     let final_cubes = best.len();
-    (
+    ctl.count_cubes(initial_cubes as u64, final_cubes as u64);
+    Ok((
         best,
         MinimizeStats {
             initial_cubes,
             final_cubes,
             iterations,
         },
-    )
+    ))
 }
 
 /// LAST_GASP: reduce every cube *independently* (against the original

@@ -182,6 +182,7 @@ pub fn generate(spec: &SynthSpec) -> Fsm {
     }
     let _ = &shared_targets; // superseded by the per-region plans
 
+    #[allow(clippy::needless_range_loop)] // `s` indexes a partition chosen per inner iteration
     for s in 0..n {
         for (r, input) in shared_regions.iter().enumerate() {
             let (f, targets, outs) = &region_plan[r];

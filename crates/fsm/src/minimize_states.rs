@@ -60,9 +60,9 @@ pub fn minimize_states(fsm: &Fsm) -> StateMinimization {
     for s in 0..n {
         for t in s + 1..n {
             let conflict = rows_of[s].iter().any(|r1| {
-                rows_of[t]
-                    .iter()
-                    .any(|r2| inputs_overlap(&r1.input, &r2.input) && outputs_conflict(&r1.output, &r2.output))
+                rows_of[t].iter().any(|r2| {
+                    inputs_overlap(&r1.input, &r2.input) && outputs_conflict(&r1.output, &r2.output)
+                })
             });
             if conflict {
                 dist[s][t] = true;

@@ -70,7 +70,9 @@ fn main() {
     let mut counts: BTreeMap<StateSet, u32> = BTreeMap::new();
     for c in min.iter() {
         let group = StateSet::from_states(
-            (0..n).filter(|&op| c.has_part(&space, 0, op as u32)).map(StateId),
+            (0..n)
+                .filter(|&op| c.has_part(&space, 0, op as u32))
+                .map(StateId),
         );
         if group.len() >= 2 && group.len() < n {
             *counts.entry(group).or_default() += 1;

@@ -1,86 +1,93 @@
-//! Property-based tests of the constraint machinery: poset laws, projection
-//! monotonicity, and embedding soundness.
+//! Randomized (but fully deterministic, `SplitMix64`-seeded) tests of the
+//! constraint machinery: poset laws, projection monotonicity, and embedding
+//! soundness. These were property-based tests; they now draw their cases
+//! from the repo's own PRNG so the workspace stays dependency-free.
 
+use fsm::generator::SplitMix64;
 use fsm::StateId;
 use nova_core::constraint::{StateSet, WeightedConstraint};
 use nova_core::exact::{constraint_satisfied, semiexact_code};
 use nova_core::hybrid::project_code;
 use nova_core::poset::{Category, InputGraph};
-use proptest::prelude::*;
 
-fn constraint_set(n: usize) -> impl Strategy<Value = Vec<StateSet>> {
-    proptest::collection::vec(proptest::collection::vec(any::<bool>(), n), 0..6).prop_map(
-        move |rows| {
-            rows.into_iter()
-                .map(|bits| {
-                    StateSet::from_states(
-                        bits.iter()
-                            .enumerate()
-                            .filter(|(_, b)| **b)
-                            .map(|(i, _)| StateId(i)),
-                    )
-                })
-                .filter(|s| s.len() >= 2 && s.len() < n)
-                .collect()
-        },
-    )
+/// Up to five random constraints over `n` states, each with 2..n-1 members.
+fn constraint_set(rng: &mut SplitMix64, n: usize) -> Vec<StateSet> {
+    let rows = rng.below(6);
+    (0..rows)
+        .map(|_| StateSet::from_states((0..n).filter(|_| rng.chance(1, 2)).map(StateId)))
+        .filter(|s| s.len() >= 2 && s.len() < n)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn poset_closure_is_intersection_closed(ics in constraint_set(8)) {
+#[test]
+fn poset_closure_is_intersection_closed() {
+    let mut rng = SplitMix64::new(0xc105);
+    for _ in 0..64 {
+        let ics = constraint_set(&mut rng, 8);
         let ig = InputGraph::build(8, &ics);
         for i in 0..ig.len() {
             for j in 0..ig.len() {
                 let inter = ig.set(i).intersection(&ig.set(j));
                 if !inter.is_empty() {
-                    prop_assert!(
+                    assert!(
                         ig.index_of(&inter).is_some(),
-                        "closure misses {:?} ∩ {:?}", ig.set(i), ig.set(j)
+                        "closure misses {:?} ∩ {:?}",
+                        ig.set(i),
+                        ig.set(j)
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn poset_fathers_are_minimal_supersets(ics in constraint_set(8)) {
+#[test]
+fn poset_fathers_are_minimal_supersets() {
+    let mut rng = SplitMix64::new(0xfa7e);
+    for _ in 0..64 {
+        let ics = constraint_set(&mut rng, 8);
         let ig = InputGraph::build(8, &ics);
         for i in 0..ig.len() {
             for &fa in ig.fathers(i) {
-                prop_assert!(ig.set(i).is_proper_subset_of(&ig.set(fa)));
+                assert!(ig.set(i).is_proper_subset_of(&ig.set(fa)));
                 // No node strictly between child and father.
                 for k in 0..ig.len() {
                     let between = ig.set(i).is_proper_subset_of(&ig.set(k))
                         && ig.set(k).is_proper_subset_of(&ig.set(fa));
-                    prop_assert!(!between, "node between child and father");
+                    assert!(!between, "node between child and father");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn poset_categories_cover_all_nodes(ics in constraint_set(8)) {
+#[test]
+fn poset_categories_cover_all_nodes() {
+    let mut rng = SplitMix64::new(0xca7e);
+    for _ in 0..64 {
+        let ics = constraint_set(&mut rng, 8);
         let ig = InputGraph::build(8, &ics);
         let mut universe_count = 0;
         for i in 0..ig.len() {
             match ig.category(i) {
                 Category::Universe => universe_count += 1,
-                Category::Primary => prop_assert_eq!(ig.fathers(i), &[ig.universe()]),
-                Category::Multi => prop_assert!(ig.fathers(i).len() > 1),
+                Category::Primary => assert_eq!(ig.fathers(i), &[ig.universe()]),
+                Category::Multi => assert!(ig.fathers(i).len() > 1),
                 Category::Single => {
-                    prop_assert_eq!(ig.fathers(i).len(), 1);
-                    prop_assert_ne!(ig.fathers(i)[0], ig.universe());
+                    assert_eq!(ig.fathers(i).len(), 1);
+                    assert_ne!(ig.fathers(i)[0], ig.universe());
                 }
             }
         }
-        prop_assert_eq!(universe_count, 1);
+        assert_eq!(universe_count, 1);
     }
+}
 
-    #[test]
-    fn semiexact_embeddings_are_sound(ics in constraint_set(6)) {
+#[test]
+fn semiexact_embeddings_are_sound() {
+    let mut rng = SplitMix64::new(0x5e71);
+    for _ in 0..64 {
+        let ics = constraint_set(&mut rng, 6);
         // Whatever subset of constraints semiexact accepts incrementally,
         // the reported embedding must satisfy all accepted constraints.
         let mut accepted: Vec<StateSet> = Vec::new();
@@ -90,7 +97,7 @@ proptest! {
             attempt.push(*c);
             if let Some(e) = semiexact_code(6, &attempt, 3, 50_000) {
                 for s in &attempt {
-                    prop_assert!(constraint_satisfied(s, &e.codes, 3));
+                    assert!(constraint_satisfied(s, &e.codes, 3));
                 }
                 codes = Some(e.codes);
                 accepted = attempt;
@@ -100,18 +107,20 @@ proptest! {
             let mut sorted = codes.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), 6, "codes must be distinct");
+            assert_eq!(sorted.len(), 6, "codes must be distinct");
         }
     }
+}
 
-    #[test]
-    fn projection_never_breaks_satisfied_constraints(
-        ics in constraint_set(8),
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(!ics.is_empty());
+#[test]
+fn projection_never_breaks_satisfied_constraints() {
+    let mut rng = SplitMix64::new(0x9707);
+    for _ in 0..64 {
+        let ics = constraint_set(&mut rng, 8);
+        if ics.is_empty() {
+            continue;
+        }
         // Random 3-bit base codes.
-        let mut rng = fsm::generator::SplitMix64::new(seed);
         let mut pool: Vec<u64> = (0..8).collect();
         for i in 0..8 {
             let j = i + rng.below(8 - i);
@@ -134,37 +143,41 @@ proptest! {
             .copied()
             .filter(|c| !constraint_satisfied(&c.set, &codes, bits))
             .collect();
-        prop_assume!(!unsatisfied.is_empty());
+        if unsatisfied.is_empty() {
+            continue;
+        }
 
         project_code(&mut codes, &mut bits, &unsatisfied);
-        prop_assert_eq!(bits, 4);
+        assert_eq!(bits, 4);
         // Proposition 4.2.1: everything satisfied stays satisfied, and at
         // least one more constraint becomes satisfied.
         for s in &satisfied_before {
-            prop_assert!(constraint_satisfied(s, &codes, bits));
+            assert!(constraint_satisfied(s, &codes, bits));
         }
         let newly = unsatisfied
             .iter()
             .filter(|c| constraint_satisfied(&c.set, &codes, bits))
             .count();
-        prop_assert!(newly >= 1, "projection must satisfy at least one");
+        assert!(newly >= 1, "projection must satisfy at least one");
     }
+}
 
-    #[test]
-    fn spanning_face_is_minimal(codes in proptest::collection::vec(0u64..16, 1..6)) {
+#[test]
+fn spanning_face_is_minimal() {
+    let mut rng = SplitMix64::new(0x59a7);
+    for _ in 0..64 {
+        let codes: Vec<u64> = (0..1 + rng.below(5)).map(|_| rng.next_u64() % 16).collect();
         let span = nova_core::Face::spanning(4, &codes);
         for &c in &codes {
-            prop_assert!(span.contains_vertex(c));
+            assert!(span.contains_vertex(c));
         }
         // No smaller face contains all of them: fixing any free bit of the
         // span must exclude at least one code.
         for bit in 0..4u32 {
             if span.mask_bits() >> bit & 1 == 0 {
                 for val in 0..2u64 {
-                    let excluded = codes
-                        .iter()
-                        .any(|&c| c >> bit & 1 != val);
-                    prop_assert!(excluded, "bit {bit} could have been fixed");
+                    let excluded = codes.iter().any(|&c| c >> bit & 1 != val);
+                    assert!(excluded, "bit {bit} could have been fixed");
                 }
             }
         }

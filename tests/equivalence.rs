@@ -1,24 +1,23 @@
 //! Behavioural equivalence: for randomly generated machines and every
 //! encoding algorithm, the encoded + minimized PLA must agree with the
-//! symbolic table under random input sequences (property-based).
+//! symbolic table under random input sequences (deterministic,
+//! `SplitMix64`-seeded cases).
 
 use fsm::encode::encode;
 use fsm::generator::{generate, SplitMix64, SynthSpec};
 use fsm::simulate::check_sequence;
 use fsm::StateId;
 use nova_core::driver::{run, Algorithm};
-use proptest::prelude::*;
 
-fn machine_strategy() -> impl Strategy<Value = fsm::Fsm> {
-    (2usize..9, 1usize..4, 1usize..4, any::<u64>()).prop_map(|(states, inputs, outputs, seed)| {
-        generate(&SynthSpec {
-            name: "prop".into(),
-            states,
-            inputs,
-            outputs,
-            terms: states * 3,
-            seed,
-        })
+fn random_machine(rng: &mut SplitMix64) -> fsm::Fsm {
+    let states = 2 + rng.below(7);
+    generate(&SynthSpec {
+        name: "prop".into(),
+        states,
+        inputs: 1 + rng.below(3),
+        outputs: 1 + rng.below(3),
+        terms: states * 3,
+        seed: rng.next_u64(),
     })
 }
 
@@ -29,40 +28,51 @@ fn random_walk(m: &fsm::Fsm, seed: u64, steps: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn encoded_pla_simulates_like_the_table(m in machine_strategy(), seed in any::<u64>()) {
+#[test]
+fn encoded_pla_simulates_like_the_table() {
+    let mut rng = SplitMix64::new(0xe901);
+    for _ in 0..24 {
+        let m = random_machine(&mut rng);
+        let seed = rng.next_u64();
         for alg in [Algorithm::IHybrid, Algorithm::IGreedy, Algorithm::IoHybrid] {
-            let Some(r) = run(&m, alg, None) else { continue };
+            let Some(r) = run(&m, alg, None) else {
+                continue;
+            };
             let mut pla = encode(&m, &r.encoding);
             pla.on = espresso::minimize(&pla.on, &pla.dc);
             let walk = random_walk(&m, seed, 40);
             check_sequence(&m, &r.encoding, &pla, StateId(0), &walk)
-                .map_err(|e| TestCaseError::fail(format!("{}: {e}", alg.name())))?;
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
         }
     }
+}
 
-    #[test]
-    fn one_hot_is_always_behaviourally_correct(m in machine_strategy(), seed in any::<u64>()) {
+#[test]
+fn one_hot_is_always_behaviourally_correct() {
+    let mut rng = SplitMix64::new(0x0407);
+    for _ in 0..24 {
+        let m = random_machine(&mut rng);
+        let seed = rng.next_u64();
         let enc = fsm::Encoding::one_hot(m.num_states());
         let mut pla = encode(&m, &enc);
         pla.on = espresso::minimize(&pla.on, &pla.dc);
         let walk = random_walk(&m, seed, 40);
-        check_sequence(&m, &enc, &pla, StateId(0), &walk)
-            .map_err(TestCaseError::fail)?;
+        check_sequence(&m, &enc, &pla, StateId(0), &walk).unwrap_or_else(|e| panic!("{e}"));
     }
+}
 
-    #[test]
-    fn unminimized_encoding_matches_too(m in machine_strategy(), seed in any::<u64>()) {
+#[test]
+fn unminimized_encoding_matches_too() {
+    let mut rng = SplitMix64::new(0x7ab1);
+    for _ in 0..24 {
+        let m = random_machine(&mut rng);
+        let seed = rng.next_u64();
         // The raw encoded cover (before espresso) is the reference
         // implementation; it must match the table as well.
         let r = run(&m, Algorithm::IGreedy, None).expect("igreedy");
         let pla = encode(&m, &r.encoding);
         let walk = random_walk(&m, seed, 40);
-        check_sequence(&m, &r.encoding, &pla, StateId(0), &walk)
-            .map_err(TestCaseError::fail)?;
+        check_sequence(&m, &r.encoding, &pla, StateId(0), &walk).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

@@ -2,9 +2,10 @@
 //! heuristic result with an exact minimum cover computed by brute force
 //! (all primes + exact set covering). ESPRESSO is allowed to be off by at
 //! most one cube on these sizes — in practice it matches the minimum.
+//! Cases are drawn deterministically from the repo's own `SplitMix64`.
 
 use espresso::{cube_in_cover, minimize, Cover, Cube, CubeSpace};
-use proptest::prelude::*;
+use fsm::generator::SplitMix64;
 
 const VARS: usize = 4;
 
@@ -132,32 +133,46 @@ fn random_cover(space: &CubeSpace, rows: &[(u8, u8, u8, u8)]) -> Cover {
     f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_rows(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<(u8, u8, u8, u8)> {
+    let n = min + rng.below(max - min + 1);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(3) as u8,
+                rng.below(3) as u8,
+                rng.below(3) as u8,
+                rng.below(3) as u8,
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn espresso_is_near_minimal_on_small_functions(
-        rows in proptest::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3), 1..7)
-    ) {
+#[test]
+fn espresso_is_near_minimal_on_small_functions() {
+    let mut rng = SplitMix64::new(0xe4c7);
+    for _ in 0..32 {
+        let rows = random_rows(&mut rng, 1, 6);
         let space = CubeSpace::binary_with_output(VARS, 1);
         let f = random_cover(&space, &rows);
         let d = Cover::empty(space.clone());
         let m = minimize(&f, &d);
         let exact = exact_minimum(&space, &f, &d);
-        prop_assert!(
+        assert!(
             m.len() <= exact + 1,
             "espresso {} cubes vs exact {}",
             m.len(),
             exact
         );
-        prop_assert!(m.len() >= exact, "espresso beat the exact minimum?!");
+        assert!(m.len() >= exact, "espresso beat the exact minimum?!");
     }
+}
 
-    #[test]
-    fn espresso_with_dc_is_near_minimal(
-        rows in proptest::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3), 1..5),
-        dcs in proptest::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3), 0..3),
-    ) {
+#[test]
+fn espresso_with_dc_is_near_minimal() {
+    let mut rng = SplitMix64::new(0xdc01);
+    for _ in 0..32 {
+        let rows = random_rows(&mut rng, 1, 4);
+        let dcs = random_rows(&mut rng, 1, 3);
         let space = CubeSpace::binary_with_output(VARS, 1);
         let f = random_cover(&space, &rows);
         let d = random_cover(&space, &dcs);
@@ -165,7 +180,7 @@ proptest! {
         let exact = exact_minimum(&space, &f, &d);
         // With DC overlap the on-set may shrink below the simple bound;
         // espresso must stay within one cube of the true optimum.
-        prop_assert!(
+        assert!(
             m.len() <= exact + 1,
             "espresso {} cubes vs exact {}",
             m.len(),

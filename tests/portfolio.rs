@@ -1,0 +1,141 @@
+//! Integration tests of the portfolio engine against the sequential driver:
+//! the acceptance criteria of the engine subsystem.
+
+use nova_core::driver::{run, Algorithm};
+use nova_engine::{run_portfolio, EngineConfig, Outcome};
+use std::time::Duration;
+
+const SMALL_MACHINES: [&str; 5] = ["lion", "bbtas", "shiftreg", "dk27", "tav"];
+
+fn machine(name: &str) -> fsm::Fsm {
+    fsm::benchmarks::by_name(name)
+        .unwrap_or_else(|| panic!("embedded benchmark {name}"))
+        .fsm
+}
+
+/// The portfolio's winner must equal the best sequential run: same minimum
+/// area, and — because ties break on the paper's fixed order — the same
+/// algorithm and encoding.
+#[test]
+fn portfolio_winner_matches_best_sequential_run() {
+    for name in SMALL_MACHINES {
+        let m = machine(name);
+        let sequential: Vec<(Algorithm, _)> = Algorithm::ALL
+            .into_iter()
+            .filter_map(|alg| run(&m, alg, None).map(|r| (alg, r)))
+            .collect();
+        let (best_alg, best) = sequential
+            .iter()
+            .min_by_key(|(_, r)| r.area)
+            .unwrap_or_else(|| panic!("{name}: no sequential run finished"));
+
+        let report = run_portfolio(&m, name, &EngineConfig::default());
+        let (i, winner) = report
+            .best()
+            .unwrap_or_else(|| panic!("{name}: portfolio found no winner"));
+        assert_eq!(winner.area, best.area, "{name}: area mismatch");
+        assert_eq!(
+            report.runs[i].algorithm, *best_alg,
+            "{name}: tie-break order violated"
+        );
+        assert_eq!(winner.encoding, best.encoding, "{name}: encoding mismatch");
+    }
+}
+
+/// A zero deadline must yield a clean all-timeout report — no hang, no
+/// partial winner, every algorithm accounted for.
+#[test]
+fn zero_deadline_times_out_every_algorithm() {
+    let m = machine("bbtas");
+    let cfg = EngineConfig {
+        timeout: Some(Duration::ZERO),
+        ..EngineConfig::default()
+    };
+    let report = run_portfolio(&m, "bbtas", &cfg);
+    assert_eq!(report.runs.len(), Algorithm::ALL.len());
+    for run in &report.runs {
+        assert!(
+            matches!(run.outcome, Outcome::Timeout),
+            "{}: expected timeout, got {}",
+            run.algorithm.name(),
+            run.outcome.tag()
+        );
+    }
+    assert!(report.best().is_none());
+}
+
+/// With a node budget (instead of a wall clock), outcomes and encodings are
+/// identical whatever the worker count.
+#[test]
+fn node_budget_portfolio_is_deterministic_across_jobs() {
+    for name in ["bbtas", "dk27"] {
+        let m = machine(name);
+        let base = EngineConfig {
+            node_budget: Some(20_000),
+            ..EngineConfig::default()
+        };
+        let seq = run_portfolio(
+            &m,
+            name,
+            &EngineConfig {
+                jobs: 1,
+                ..base.clone()
+            },
+        );
+        let par = run_portfolio(
+            &m,
+            name,
+            &EngineConfig {
+                jobs: 4,
+                ..base.clone()
+            },
+        );
+        assert_eq!(seq.runs.len(), par.runs.len());
+        for (a, b) in seq.runs.iter().zip(par.runs.iter()) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!(
+                a.outcome.tag(),
+                b.outcome.tag(),
+                "{name}/{}: outcome differs across jobs",
+                a.algorithm.name()
+            );
+            if let (Outcome::Done(x), Outcome::Done(y)) = (&a.outcome, &b.outcome) {
+                assert_eq!(x.encoding, y.encoding, "{name}/{}", a.algorithm.name());
+                assert_eq!(x.area, y.area);
+                assert_eq!(x.cubes, y.cubes);
+            }
+        }
+        match (seq.best(), par.best()) {
+            (Some((i, x)), Some((j, y))) => {
+                assert_eq!(i, j, "{name}: different winner across jobs");
+                assert_eq!(x.encoding, y.encoding);
+            }
+            (None, None) => {}
+            other => panic!("{name}: winner presence differs: {other:?}"),
+        }
+    }
+}
+
+/// The portfolio under unlimited limits reproduces `run()` exactly for every
+/// algorithm (the traced pipeline is the same code path).
+#[test]
+fn traced_pipeline_matches_untraced_runs() {
+    let m = machine("lion9");
+    let report = run_portfolio(&m, "lion9", &EngineConfig::default());
+    for algo_run in &report.runs {
+        let sequential = run(&m, algo_run.algorithm, None);
+        match (&algo_run.outcome, sequential) {
+            (Outcome::Done(a), Some(b)) => {
+                assert_eq!(a.encoding, b.encoding, "{}", algo_run.algorithm.name());
+                assert_eq!(a.area, b.area);
+            }
+            (Outcome::Unsolved, None) => {}
+            (got, want) => panic!(
+                "{}: portfolio {:?} vs sequential {:?}",
+                algo_run.algorithm.name(),
+                got.tag(),
+                want.map(|r| r.area)
+            ),
+        }
+    }
+}
