@@ -3,29 +3,39 @@
 //! encoding, statistics, and (optionally) the minimized encoded PLA.
 //!
 //! ```text
-//! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [FILE.kiss2]
-//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--json] [FILE.kiss2]
-//! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--json]
+//! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2]
+//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--json] [--trace FILE] [FILE.kiss2]
+//! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--json] [--bench-out FILE]
 //!
-//!   -e ALG        encoding algorithm (default ihybrid)
-//!   -b BITS       target code length (default: minimum)
-//!   -m            state-minimize the machine first
-//!   -p            print the minimized encoded PLA
-//!   -s            print machine statistics only
-//!   --json        emit the run report as JSON instead of text
-//!   --portfolio   race all algorithms concurrently, keep the best area
-//!   --batch       sweep the embedded benchmark suite (portfolio mode)
-//!   --timeout-ms  wall-clock deadline for the whole portfolio
-//!   --budget N    deterministic node budget per algorithm
-//!   --jobs N      worker threads (default: available parallelism)
+//!   -e ALG         encoding algorithm (default ihybrid)
+//!   -b BITS        target code length (default: minimum)
+//!   -m             state-minimize the machine first
+//!   -p             print the minimized encoded PLA
+//!   -s             print machine statistics only
+//!   --json         emit the run report as JSON instead of text
+//!   --portfolio    race all algorithms concurrently, keep the best area
+//!   --batch        sweep the embedded benchmark suite (portfolio mode)
+//!   --timeout-ms   wall-clock deadline for the whole portfolio
+//!   --budget N     deterministic node budget per algorithm
+//!   --jobs N       worker threads (default: available parallelism)
+//!   --trace FILE   write a structured trace of the run to FILE
+//!   --trace-format chrome (default; open in Perfetto / chrome://tracing)
+//!                  or jsonl (one event per line, schema nova-trace/1)
+//!   --bench NAME   run on the embedded benchmark NAME instead of a file
+//!   --bench-out F  --batch: where to write the machine-readable bench
+//!                  report (default BENCH_portfolio.json)
+//!   --filter A,B   --batch: sweep only the named machines (comma-separated)
 //! ```
 //!
 //! Reads stdin when no file is given.
 
 use fsm::minimize_states::minimize_states;
 use fsm::Fsm;
-use nova_core::driver::{run, Algorithm};
-use nova_engine::{json::Json, run_one, run_portfolio, run_suite, EngineConfig};
+use nova_core::driver::Algorithm;
+use nova_engine::{
+    json::Json, run_one, run_portfolio, run_suite_filtered, suite_to_json, EngineConfig,
+};
+use nova_trace::Tracer;
 use std::io::Read as _;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,12 +43,21 @@ use std::time::Duration;
 fn usage() -> ! {
     let algs: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
-        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [FILE.kiss2]\n\
-         \u{20}      nova --portfolio [--batch] [--timeout-ms N] [--budget N] [--jobs N] [--json] [FILE.kiss2]\n\
+        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [FILE.kiss2]\n\
+         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--json] [--trace FILE] [FILE.kiss2]\n\
          ALG: {} (or onehot)",
         algs.join(" | ")
     );
     std::process::exit(2);
+}
+
+/// Trace sink format selected by `--trace-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    /// Chrome trace-event JSON (default): one document, Perfetto-loadable.
+    Chrome,
+    /// `nova-trace/1` JSONL: one event per line.
+    Jsonl,
 }
 
 fn parse_algorithm(s: &str) -> Algorithm {
@@ -57,6 +76,11 @@ struct Args {
     timeout_ms: Option<u64>,
     budget: Option<u64>,
     jobs: usize,
+    trace: Option<String>,
+    trace_format: TraceFormat,
+    bench: Option<String>,
+    bench_out: Option<String>,
+    filter: Vec<String>,
     file: Option<String>,
 }
 
@@ -73,6 +97,11 @@ fn parse_args() -> Args {
         timeout_ms: None,
         budget: None,
         jobs: 0,
+        trace: None,
+        trace_format: TraceFormat::Chrome,
+        bench: None,
+        bench_out: None,
+        filter: Vec::new(),
         file: None,
     };
     let mut args = std::env::args().skip(1);
@@ -94,6 +123,20 @@ fn parse_args() -> Args {
             "--timeout-ms" => out.timeout_ms = Some(num(&mut args)),
             "--budget" => out.budget = Some(num(&mut args)),
             "--jobs" => out.jobs = num(&mut args) as usize,
+            "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-format" => {
+                out.trace_format = match args.next().as_deref() {
+                    Some("chrome") => TraceFormat::Chrome,
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    _ => usage(),
+                }
+            }
+            "--bench" => out.bench = Some(args.next().unwrap_or_else(|| usage())),
+            "--bench-out" => out.bench_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--filter" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                out.filter = list.split(',').map(str::to_string).collect();
+            }
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') => out.file = Some(other.to_string()),
             _ => usage(),
@@ -102,13 +145,34 @@ fn parse_args() -> Args {
     out
 }
 
-fn engine_config(args: &Args) -> EngineConfig {
+fn engine_config(args: &Args, tracer: &Tracer) -> EngineConfig {
     EngineConfig {
         jobs: args.jobs,
         timeout: args.timeout_ms.map(Duration::from_millis),
         node_budget: args.budget,
         target_bits: args.bits,
+        tracer: tracer.clone(),
         ..EngineConfig::default()
+    }
+}
+
+/// Writes the session trace to `--trace` in the selected format. Returns
+/// `false` (after printing a diagnostic) when the file cannot be written.
+fn write_trace(args: &Args, tracer: &Tracer) -> bool {
+    let Some(path) = &args.trace else { return true };
+    let result = std::fs::File::create(path).and_then(|f| {
+        let mut w = std::io::BufWriter::new(f);
+        match args.trace_format {
+            TraceFormat::Chrome => tracer.write_chrome(&mut w),
+            TraceFormat::Jsonl => tracer.write_jsonl(&mut w),
+        }
+    });
+    match result {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("nova: cannot write trace {path}: {e}");
+            false
+        }
     }
 }
 
@@ -149,7 +213,29 @@ fn print_portfolio_text(report: &nova_engine::PortfolioReport) {
     }
 }
 
+fn print_counters_text(c: &espresso::RunCounters) {
+    println!(
+        "# counters: work {} faces {} backtracks {} espresso-iters {} cubes {}->{}",
+        c.work, c.faces_tried, c.backtracks, c.espresso_iterations, c.cubes_in, c.cubes_out
+    );
+}
+
 fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
+    if let Some(name) = &args.bench {
+        let Some(b) = fsm::benchmarks::by_name(name) else {
+            eprintln!("nova: unknown embedded benchmark {name:?}");
+            return Err(ExitCode::FAILURE);
+        };
+        let mut machine = b.fsm;
+        if args.state_minimize {
+            let r = minimize_states(&machine);
+            if r.merged > 0 {
+                eprintln!("nova: state minimization removed {} states", r.merged);
+            }
+            machine = r.fsm;
+        }
+        return Ok(machine);
+    }
     let text = match &args.file {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -192,6 +278,11 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    let tracer = if args.trace.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
 
     // Batch mode: sweep the embedded benchmark suite, no input machine.
     if args.batch {
@@ -199,8 +290,14 @@ fn main() -> ExitCode {
             eprintln!("nova: --batch requires --portfolio");
             return ExitCode::FAILURE;
         }
-        let cfg = engine_config(&args);
-        let reports = run_suite(&cfg);
+        for name in &args.filter {
+            if fsm::benchmarks::by_name(name).is_none() {
+                eprintln!("nova: unknown embedded benchmark '{name}'");
+                return ExitCode::FAILURE;
+            }
+        }
+        let cfg = engine_config(&args, &tracer);
+        let reports = run_suite_filtered(&cfg, &args.filter);
         if args.json {
             let arr = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
             println!("{}", arr.to_pretty());
@@ -208,6 +305,17 @@ fn main() -> ExitCode {
             for report in &reports {
                 print_portfolio_text(report);
             }
+        }
+        let bench_path = args.bench_out.as_deref().unwrap_or("BENCH_portfolio.json");
+        if let Err(e) = std::fs::write(bench_path, suite_to_json(&reports).to_pretty()) {
+            eprintln!("nova: cannot write {bench_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.json {
+            println!("# bench report written to {bench_path}");
+        }
+        if !write_trace(&args, &tracer) {
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }
@@ -218,7 +326,7 @@ fn main() -> ExitCode {
     };
 
     if args.portfolio {
-        let cfg = engine_config(&args);
+        let cfg = engine_config(&args, &tracer);
         let report = run_portfolio(&machine, machine.name(), &cfg);
         if args.json {
             println!("{}", report.to_json().to_pretty());
@@ -235,6 +343,9 @@ fn main() -> ExitCode {
                     );
                 }
             }
+        }
+        if !write_trace(&args, &tracer) {
+            return ExitCode::FAILURE;
         }
         return if report.best().is_some() {
             ExitCode::SUCCESS
@@ -266,14 +377,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // Single-run JSON goes through the engine for stage times and counters.
+    // Single runs go through the engine for stage times, counters and the
+    // tracer — one telemetry path for every mode.
+    let algo_run = run_one(&machine, args.algorithm, &engine_config(&args, &tracer));
     if args.json {
-        let algo_run = run_one(&machine, args.algorithm, &engine_config(&args));
         let mut pairs = vec![("machine".into(), Json::str(machine.name()))];
         if let Json::Obj(rest) = algo_run.to_json() {
             pairs.extend(rest);
         }
         println!("{}", Json::Obj(pairs).to_pretty());
+        if !write_trace(&args, &tracer) {
+            return ExitCode::FAILURE;
+        }
         return if algo_run.outcome.result().is_some() {
             ExitCode::SUCCESS
         } else {
@@ -281,8 +396,12 @@ fn main() -> ExitCode {
         };
     }
 
-    let Some(result) = run(&machine, args.algorithm, args.bits) else {
-        eprintln!("nova: {} failed on this machine", args.algorithm.name());
+    let Some(result) = algo_run.outcome.result() else {
+        eprintln!(
+            "nova: {} {} on this machine",
+            args.algorithm.name(),
+            algo_run.outcome.tag()
+        );
         return ExitCode::FAILURE;
     };
     println!(
@@ -293,6 +412,7 @@ fn main() -> ExitCode {
         result.area,
         result.literals
     );
+    print_counters_text(&algo_run.counters);
     println!("# codes:");
     for (s, sname) in machine.state_names().iter().enumerate() {
         println!(
@@ -310,6 +430,9 @@ fn main() -> ExitCode {
             "{}",
             espresso::pla::write_pla(&pla.on, &espresso::Cover::empty(pla.on.space().clone()))
         );
+    }
+    if !write_trace(&args, &tracer) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

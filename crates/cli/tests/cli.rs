@@ -130,6 +130,136 @@ fn nova_portfolio_json() {
     assert!(stdout.contains("\"runs\""), "{stdout}");
 }
 
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nova-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn nova_counters_in_text_mode() {
+    let (stdout, stderr, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &[], TOY_KISS);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("# counters: work"), "{stdout}");
+    assert!(stdout.contains("espresso-iters"), "{stdout}");
+}
+
+#[test]
+fn nova_trace_chrome_is_valid_and_balanced() {
+    let path = temp_path("chrome.json");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--portfolio", "--trace", path_s],
+        TOY_KISS,
+    );
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    let doc = nova_engine::json::parse(&text).expect("chrome trace parses");
+    let Some(nova_engine::json::Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("no traceEvents: {text}");
+    };
+    let count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(nova_engine::json::Json::Str(s)) if s == ph))
+            .count()
+    };
+    assert!(count("B") > 0);
+    assert_eq!(count("B"), count("E"));
+    // One span per algorithm.
+    for alg in nova_core::Algorithm::ALL {
+        let name = format!("algo.{}", alg.name());
+        assert!(
+            events.iter().any(
+                |e| matches!(e.get("name"), Some(nova_engine::json::Json::Str(s)) if *s == name)
+            ),
+            "missing {name}"
+        );
+    }
+}
+
+#[test]
+fn nova_trace_jsonl_has_schema_header() {
+    let path = temp_path("trace.jsonl");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--trace", path_s, "--trace-format", "jsonl"],
+        TOY_KISS,
+    );
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    let first = text.lines().next().expect("non-empty");
+    assert!(first.contains("\"schema\":\"nova-trace/1\""), "{first}");
+    for line in text.lines() {
+        nova_engine::json::parse(line).expect("every jsonl line parses");
+    }
+}
+
+#[test]
+fn nova_bench_flag_loads_embedded_machine() {
+    let (stdout, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--bench", "lion", "--json"],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"machine\": \"lion\""), "{stdout}");
+    let (_, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--bench", "no-such-machine"],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown embedded benchmark"), "{stderr}");
+}
+
+#[test]
+fn nova_batch_writes_bench_report() {
+    let path = temp_path("bench.json");
+    let path_s = path.to_str().unwrap();
+    // A filtered sweep over small machines with a tight budget keeps the
+    // test fast; the report shape is what's under test, not the areas.
+    let (stdout, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &[
+            "--portfolio",
+            "--batch",
+            "--filter",
+            "shiftreg,lion",
+            "--budget",
+            "2000",
+            "--bench-out",
+            path_s,
+        ],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("bench report written"), "{stdout}");
+    let text = std::fs::read_to_string(&path).expect("bench report written");
+    std::fs::remove_file(&path).ok();
+    let doc = nova_engine::json::parse(&text).expect("bench report parses");
+    assert_eq!(
+        doc.get("schema"),
+        Some(&nova_engine::json::Json::str("nova-bench/1"))
+    );
+    let Some(nova_engine::json::Json::Arr(machines)) = doc.get("machines") else {
+        panic!("machines missing");
+    };
+    assert_eq!(machines.len(), 2, "--filter restricts the sweep");
+    // An unknown name in --filter is an error, not a silent empty sweep.
+    let (_, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--portfolio", "--batch", "--filter", "nope"],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown embedded benchmark"), "{stderr}");
+}
+
 #[test]
 fn nova_rejects_bad_input() {
     let (_, stderr, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &[], "not kiss at all");

@@ -16,7 +16,8 @@ use espresso::{minimize, minimize_with_ctl, Cancelled, MinimizeOptions, RunCtl};
 use fsm::encode::encode;
 use fsm::generator::SplitMix64;
 use fsm::{Encoding, Fsm};
-use std::time::{Duration, Instant};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// The state-assignment algorithms of the paper plus its baselines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,10 +202,43 @@ pub struct TracedRun {
     pub stages: StageTimes,
 }
 
-fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
-    let t = Instant::now();
-    let out = f();
-    *slot += t.elapsed();
+/// A shareable accumulator of [`StageTimes`], readable at any point of a run
+/// — in particular by the engine *after* a worker panicked, so partial stage
+/// telemetry survives (the panicking stage's own time is lost, but every
+/// completed stage is in the cell).
+#[derive(Debug, Default)]
+pub struct StageCell(Mutex<StageTimes>);
+
+impl StageCell {
+    /// An empty cell.
+    pub fn new() -> StageCell {
+        StageCell::default()
+    }
+
+    /// The stage times accumulated so far.
+    pub fn snapshot(&self) -> StageTimes {
+        *self.0.lock().expect("stage cell poisoned")
+    }
+
+    /// Applies `f` to the accumulated times (the write side of the cell).
+    pub fn add(&self, f: impl FnOnce(&mut StageTimes)) {
+        f(&mut self.0.lock().expect("stage cell poisoned"));
+    }
+}
+
+/// Runs one pipeline stage: wall time flows through the tracer
+/// ([`nova_trace::Tracer::scope_timed`] always measures; the span is only
+/// recorded when tracing is enabled) and into the shared cell — one
+/// telemetry path for both the stage report and the trace file.
+fn stage<T>(
+    ctl: &RunCtl,
+    cell: &StageCell,
+    name: &'static str,
+    slot: fn(&mut StageTimes) -> &mut Duration,
+    f: impl FnOnce() -> T,
+) -> T {
+    let (out, elapsed) = ctl.tracer().scope_timed(name, f);
+    cell.add(|s| *slot(s) += elapsed);
     out
 }
 
@@ -218,20 +252,28 @@ pub fn run_traced(
     target_bits: Option<u32>,
     ctl: &RunCtl,
 ) -> TracedRun {
-    let mut stages = StageTimes::default();
-    match run_traced_inner(fsm, algorithm, target_bits, ctl, &mut stages) {
-        Ok(Some(result)) => TracedRun {
-            status: RunStatus::Done(result),
-            stages,
-        },
-        Ok(None) => TracedRun {
-            status: RunStatus::Unsolved,
-            stages,
-        },
-        Err(Cancelled) => TracedRun {
-            status: RunStatus::Cancelled,
-            stages,
-        },
+    let cell = StageCell::new();
+    run_traced_shared(fsm, algorithm, target_bits, ctl, &cell)
+}
+
+/// [`run_traced`] with the stage-time accumulator owned by the caller: the
+/// engine passes a cell it keeps *outside* its `catch_unwind`, so stage
+/// times recorded before a worker panic are still reported.
+pub fn run_traced_shared(
+    fsm: &Fsm,
+    algorithm: Algorithm,
+    target_bits: Option<u32>,
+    ctl: &RunCtl,
+    cell: &StageCell,
+) -> TracedRun {
+    let status = match run_traced_inner(fsm, algorithm, target_bits, ctl, cell) {
+        Ok(Some(result)) => RunStatus::Done(result),
+        Ok(None) => RunStatus::Unsolved,
+        Err(Cancelled) => RunStatus::Cancelled,
+    };
+    TracedRun {
+        status,
+        stages: cell.snapshot(),
     }
 }
 
@@ -240,19 +282,27 @@ fn run_traced_inner(
     algorithm: Algorithm,
     target_bits: Option<u32>,
     ctl: &RunCtl,
-    stages: &mut StageTimes,
+    cell: &StageCell,
 ) -> Result<Option<EvalResult>, Cancelled> {
     let opts = HybridOptions::default();
     let enc = match algorithm {
         Algorithm::IExact => {
-            let ics = timed(&mut stages.constraints, || {
-                extract_input_constraints_ctl(fsm, ctl)
-            })?;
+            let ics = stage(
+                ctl,
+                cell,
+                "stage.constraints",
+                |s| &mut s.constraints,
+                || extract_input_constraints_ctl(fsm, ctl),
+            )?;
             let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
             let ig = poset::InputGraph::build(ics.num_states, &sets);
-            let embedding = timed(&mut stages.embed, || {
-                exact::iexact_code_ctl(&ig, exact::ExactOptions::default(), ctl)
-            })?;
+            let embedding = stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || exact::iexact_code_ctl(&ig, exact::ExactOptions::default(), ctl),
+            )?;
             let Some(embedding) = embedding else {
                 return Ok(None);
             };
@@ -265,56 +315,111 @@ fn run_traced_inner(
             }
         }
         Algorithm::IHybrid => {
-            let ics = timed(&mut stages.constraints, || {
-                extract_input_constraints_ctl(fsm, ctl)
-            })?;
-            timed(&mut stages.embed, || {
-                ihybrid_code_ctl(&ics, target_bits, opts, ctl)
-            })?
+            let ics = stage(
+                ctl,
+                cell,
+                "stage.constraints",
+                |s| &mut s.constraints,
+                || extract_input_constraints_ctl(fsm, ctl),
+            )?;
+            stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || ihybrid_code_ctl(&ics, target_bits, opts, ctl),
+            )?
             .encoding
         }
         Algorithm::IGreedy => {
-            let ics = timed(&mut stages.constraints, || {
-                extract_input_constraints_ctl(fsm, ctl)
-            })?;
-            timed(&mut stages.embed, || {
-                igreedy_code_ctl(&ics, target_bits, ctl)
-            })?
+            let ics = stage(
+                ctl,
+                cell,
+                "stage.constraints",
+                |s| &mut s.constraints,
+                || extract_input_constraints_ctl(fsm, ctl),
+            )?;
+            stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || igreedy_code_ctl(&ics, target_bits, ctl),
+            )?
             .encoding
         }
         Algorithm::IoHybrid => {
-            let sym = timed(&mut stages.constraints, || {
-                symbolic_minimize_ctl(fsm, SymbolicMinOptions::default(), ctl)
-            })?;
-            timed(&mut stages.embed, || {
-                iohybrid_code_ctl(&sym, target_bits, opts, ctl)
-            })?
+            let sym = stage(
+                ctl,
+                cell,
+                "stage.constraints",
+                |s| &mut s.constraints,
+                || symbolic_minimize_ctl(fsm, SymbolicMinOptions::default(), ctl),
+            )?;
+            stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || iohybrid_code_ctl(&sym, target_bits, opts, ctl),
+            )?
             .hybrid
             .encoding
         }
         Algorithm::IoVariant => {
-            let sym = timed(&mut stages.constraints, || {
-                symbolic_minimize_ctl(fsm, SymbolicMinOptions::default(), ctl)
-            })?;
-            timed(&mut stages.embed, || {
-                iovariant_code_ctl(&sym, target_bits, opts, ctl)
-            })?
+            let sym = stage(
+                ctl,
+                cell,
+                "stage.constraints",
+                |s| &mut s.constraints,
+                || symbolic_minimize_ctl(fsm, SymbolicMinOptions::default(), ctl),
+            )?;
+            stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || iovariant_code_ctl(&sym, target_bits, opts, ctl),
+            )?
             .hybrid
             .encoding
         }
         Algorithm::Kiss => {
-            let ics = timed(&mut stages.constraints, || {
-                extract_input_constraints_ctl(fsm, ctl)
-            })?;
-            timed(&mut stages.embed, || kiss_code_ctl(&ics, opts, ctl))?.encoding
+            let ics = stage(
+                ctl,
+                cell,
+                "stage.constraints",
+                |s| &mut s.constraints,
+                || extract_input_constraints_ctl(fsm, ctl),
+            )?;
+            stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || kiss_code_ctl(&ics, opts, ctl),
+            )?
+            .encoding
         }
         Algorithm::MustangP => {
             ctl.charge(1)?;
-            timed(&mut stages.embed, || mustang_code(fsm, MustangMode::Fanout))
+            stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || mustang_code(fsm, MustangMode::Fanout),
+            )
         }
         Algorithm::MustangN => {
             ctl.charge(1)?;
-            timed(&mut stages.embed, || mustang_code(fsm, MustangMode::Fanin))
+            stage(
+                ctl,
+                cell,
+                "stage.embed",
+                |s| &mut s.embed,
+                || mustang_code(fsm, MustangMode::Fanin),
+            )
         }
         Algorithm::OneHot => {
             ctl.charge(1)?;
@@ -324,10 +429,20 @@ fn run_traced_inner(
             Encoding::one_hot(fsm.num_states())
         }
     };
-    let pla = timed(&mut stages.encode, || encode(fsm, &enc));
-    let (min, _) = timed(&mut stages.espresso, || {
-        minimize_with_ctl(&pla.on, &pla.dc, MinimizeOptions::default(), ctl)
-    })?;
+    let pla = stage(
+        ctl,
+        cell,
+        "stage.encode",
+        |s| &mut s.encode,
+        || encode(fsm, &enc),
+    );
+    let (min, _) = stage(
+        ctl,
+        cell,
+        "stage.espresso",
+        |s| &mut s.espresso,
+        || minimize_with_ctl(&pla.on, &pla.dc, MinimizeOptions::default(), ctl),
+    )?;
     Ok(Some(EvalResult {
         bits: enc.bits(),
         cubes: min.len(),

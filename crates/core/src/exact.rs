@@ -179,6 +179,9 @@ struct Search<'a> {
     ctl: &'a RunCtl,
     aborted: bool,
     last: Option<usize>,
+    /// Current recursion depth of [`Search::extend`] (for the backtrack
+    /// depth histogram).
+    depth: u64,
     /// Output covering constraints `(u, v)`: code(u) must bit-wise strictly
     /// cover code(v) (used by `io_semiexact_code`).
     covers: Vec<(usize, usize)>,
@@ -453,6 +456,13 @@ impl<'a> Search<'a> {
     /// Full recursive search. Returns `true` when a complete valid
     /// assignment has been reached (stored in `self.faces`).
     fn extend(&mut self) -> bool {
+        self.depth += 1;
+        let found = self.extend_inner();
+        self.depth -= 1;
+        found
+    }
+
+    fn extend_inner(&mut self) -> bool {
         let Some(node) = self.select_next() else {
             return self.finalize();
         };
@@ -490,6 +500,9 @@ impl<'a> Search<'a> {
                     return false;
                 }
                 self.ctl.count_backtrack();
+                self.ctl
+                    .tracer()
+                    .observe("exact.backtrack_depth", self.depth);
                 self.used.remove(&face);
                 self.faces[node] = None;
                 self.last = prev_last;
@@ -675,11 +688,19 @@ pub fn pos_equiv_covers_ctl(
         ctl,
         aborted: false,
         last: None,
+        depth: 0,
         covers: covers.to_vec(),
         singleton_of,
     };
+    let tracer = ctl.tracer().clone();
+    tracer.incr("exact.pos_equiv_calls", 1);
+    let _span = tracer.span("exact.pos_equiv");
     search.used.insert(Face::full(k));
-    if search.extend() {
+    let found = search.extend();
+    // Flush the per-call node-visit count once (keeps the hot loop free of
+    // tracer traffic beyond the depth histogram).
+    tracer.incr("exact.nodes_visited", search.work);
+    if found {
         let n = ig.num_states();
         let mut codes = vec![0u64; n];
         for (s, code) in codes.iter_mut().enumerate() {
@@ -722,6 +743,8 @@ pub fn iexact_code_ctl(
     opts: ExactOptions,
     ctl: &RunCtl,
 ) -> Result<Option<Embedding>, Cancelled> {
+    let tracer = ctl.tracer().clone();
+    let _span = tracer.span("exact.iexact_code");
     let mut remaining = opts.max_work;
     let start = mincube_dim(ig);
     let primaries: Vec<usize> = ig
@@ -730,6 +753,8 @@ pub fn iexact_code_ctl(
         .filter(|&i| ig.set(i).len() > 1)
         .collect();
     for k in start..=opts.max_k.min(ig.num_states() as u32) {
+        tracer.incr("exact.dimensions_tried", 1);
+        tracer.gauge("exact.dimension", k as i64);
         // Level ranges for the odometer.
         let ranges: Vec<(u32, u32)> = primaries
             .iter()
@@ -778,6 +803,7 @@ pub fn iexact_code_ctl(
                 }
                 pos -= 1;
                 if dimvect[pos] < ranges[pos].1 {
+                    tracer.incr("exact.level_switches", 1);
                     dimvect[pos] += 1;
                     for p in pos + 1..dimvect.len() {
                         dimvect[p] = ranges[p].0;

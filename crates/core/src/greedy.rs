@@ -36,6 +36,8 @@ pub fn igreedy_code_ctl(
     target_bits: Option<u32>,
     ctl: &espresso::RunCtl,
 ) -> Result<HybridOutcome, espresso::Cancelled> {
+    let tracer = ctl.tracer().clone();
+    let _span = tracer.span("greedy.assign");
     let n = ics.num_states;
     let min_length = min_code_length(n);
     assert!(min_length <= 63, "u64 codes support at most 63 state bits");
@@ -65,30 +67,43 @@ pub fn igreedy_code_ctl(
             .then(ig.set(a).cmp(&ig.set(b)))
     });
 
-    // First-fit face assignment, never undone.
+    // First-fit face assignment, never undone. Face trials are accumulated
+    // locally and flushed to the tracer once, keeping the hot loop at the
+    // existing ctl.charge cost.
     let mut assigned: Vec<(StateSet, Face)> = Vec::new();
     let mut used: HashSet<Face> = HashSet::new();
-    for i in order {
-        let set = ig.set(i);
-        let min_level = ig.min_level(i);
-        let mut placed = None;
-        'levels: for level in min_level..k {
-            for face in faces_of_level(k, level) {
-                ctl.charge(1)?;
-                if used.contains(&face) {
-                    continue;
-                }
-                if fits(&set, &face, &assigned) {
-                    placed = Some(face);
-                    break 'levels;
+    let mut face_trials: u64 = 0;
+    let mut dropped: u64 = 0;
+    {
+        let _faces_span = tracer.span("greedy.assign_faces");
+        for i in order {
+            let set = ig.set(i);
+            let min_level = ig.min_level(i);
+            let mut placed = None;
+            'levels: for level in min_level..k {
+                for face in faces_of_level(k, level) {
+                    ctl.charge(1)?;
+                    face_trials += 1;
+                    if used.contains(&face) {
+                        continue;
+                    }
+                    if fits(&set, &face, &assigned) {
+                        placed = Some(face);
+                        break 'levels;
+                    }
                 }
             }
-        }
-        if let Some(face) = placed {
-            used.insert(face);
-            assigned.push((set, face));
+            if let Some(face) = placed {
+                used.insert(face);
+                assigned.push((set, face));
+            } else {
+                dropped += 1;
+            }
         }
     }
+    tracer.incr("greedy.face_trials", face_trials);
+    tracer.incr("greedy.constraints_dropped", dropped);
+    let _pack_span = tracer.span("greedy.pack_codes");
 
     // Pack state codes: states constrained by the most faces first.
     let mut codes = vec![u64::MAX; n];

@@ -102,6 +102,8 @@ pub fn symbolic_minimize_ctl(
     opts: SymbolicMinOptions,
     ctl: &RunCtl,
 ) -> Result<SymbolicMin, Cancelled> {
+    let tracer = ctl.tracer().clone();
+    let _span = tracer.span("symbolic.minimize");
     let sc = symbolic_cover(fsm);
     let n = sc.states;
     let space = sc.space().clone();
@@ -241,7 +243,10 @@ pub fn symbolic_minimize_ctl(
             single_pass,
             ..MinimizeOptions::default()
         };
+        tracer.incr("symbolic.passes", 1);
+        let pass_span = tracer.span("symbolic.state_pass");
         let (mb, _) = minimize_with_ctl(&f, &d, min_opts, ctl)?;
+        drop(pass_span);
         let m_i: Vec<Cube> = mb
             .iter()
             .filter(|c| c.has_part(&rspace, rov, 0))
@@ -295,6 +300,7 @@ pub fn symbolic_minimize_ctl(
     }
 
     let p = Cover::from_cubes(space.clone(), final_cubes);
+    let final_span = tracer.span("symbolic.final_minimize");
     let (final_cover, _) = minimize_with_ctl(
         &p,
         &sc.dc,
@@ -305,6 +311,7 @@ pub fn symbolic_minimize_ctl(
         },
         ctl,
     )?;
+    drop(final_span);
 
     let ic = constraints_from_cover(&sc, &final_cover);
 

@@ -1,179 +1,6 @@
-//! A hand-rolled JSON value tree and writer. The workspace builds offline
-//! (no serde); the engine's telemetry surface is small enough that a tiny
-//! writer with correct string escaping covers it.
+//! Re-export of [`nova_trace::json`]: the hand-rolled JSON tree moved into
+//! the trace crate (which sits below the engine in the dependency graph) so
+//! the sinks and the engine share one writer. Existing `nova_engine::json`
+//! users keep working unchanged.
 
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (covers every counter and area in the telemetry).
-    Int(i128),
-    /// A float (stage times in milliseconds).
-    Float(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object: insertion-ordered key/value pairs.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for strings.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Convenience constructor for unsigned integers.
-    pub fn uint(v: u64) -> Json {
-        Json::Int(v as i128)
-    }
-
-    /// Serializes compactly (no whitespace).
-    pub fn to_compact(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
-    /// Serializes with 2-space indentation.
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(v) => out.push_str(&v.to_string()),
-            Json::Float(v) => {
-                if v.is_finite() {
-                    // `{}` prints the shortest round-trip form; force a
-                    // fractional part so the value stays a JSON number that
-                    // reads back as a float.
-                    let s = format!("{v}");
-                    out.push_str(&s);
-                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-                        out.push_str(".0");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
-                    items[i].write(out, indent, depth + 1);
-                });
-            }
-            Json::Obj(pairs) => {
-                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
-                    let (k, v) = &pairs[i];
-                    write_escaped(out, k);
-                    out.push(':');
-                    if indent.is_some() {
-                        out.push(' ');
-                    }
-                    v.write(out, indent, depth + 1);
-                });
-            }
-        }
-    }
-}
-
-fn write_seq(
-    out: &mut String,
-    indent: Option<usize>,
-    depth: usize,
-    open: char,
-    close: char,
-    len: usize,
-    mut item: impl FnMut(&mut String, usize),
-) {
-    out.push(open);
-    if len == 0 {
-        out.push(close);
-        return;
-    }
-    for i in 0..len {
-        if i > 0 {
-            out.push(',');
-        }
-        if let Some(w) = indent {
-            out.push('\n');
-            for _ in 0..w * (depth + 1) {
-                out.push(' ');
-            }
-        }
-        item(out, i);
-    }
-    if let Some(w) = indent {
-        out.push('\n');
-        for _ in 0..w * depth {
-            out.push(' ');
-        }
-    }
-    out.push(close);
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars() {
-        assert_eq!(Json::Null.to_compact(), "null");
-        assert_eq!(Json::Bool(true).to_compact(), "true");
-        assert_eq!(Json::Int(-7).to_compact(), "-7");
-        assert_eq!(Json::uint(42).to_compact(), "42");
-        assert_eq!(Json::Float(1.5).to_compact(), "1.5");
-        assert_eq!(Json::Float(2.0).to_compact(), "2.0");
-        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
-    }
-
-    #[test]
-    fn string_escaping() {
-        assert_eq!(
-            Json::str("a\"b\\c\nd\te\u{1}").to_compact(),
-            r#""a\"b\\c\nd\te\u0001""#
-        );
-    }
-
-    #[test]
-    fn compact_composites() {
-        let v = Json::Obj(vec![
-            ("xs".into(), Json::Arr(vec![Json::Int(1), Json::Int(2)])),
-            ("e".into(), Json::Arr(vec![])),
-        ]);
-        assert_eq!(v.to_compact(), r#"{"xs":[1,2],"e":[]}"#);
-    }
-
-    #[test]
-    fn pretty_indents() {
-        let v = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::Int(1)]))]);
-        assert_eq!(v.to_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
-    }
-}
+pub use nova_trace::json::*;

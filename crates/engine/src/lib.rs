@@ -37,7 +37,10 @@ pub mod json;
 use espresso::{RunCounters, RunCtl};
 use fsm::Fsm;
 use json::Json;
-use nova_core::driver::{run_traced, Algorithm, EvalResult, RunStatus, StageTimes};
+use nova_core::driver::{
+    run_traced_shared, Algorithm, EvalResult, RunStatus, StageCell, StageTimes,
+};
+use nova_trace::{MetricsSnapshot, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -58,6 +61,11 @@ pub struct EngineConfig {
     pub node_budget: Option<u64>,
     /// Code-length override passed to the algorithms that accept one.
     pub target_bits: Option<u32>,
+    /// Session tracer. Each algorithm run gets a [`Tracer::fork`] of it
+    /// (shared clock and trace file, separate per-run metrics). Defaults to
+    /// [`Tracer::disabled`], which costs one atomic load per instrumentation
+    /// point.
+    pub tracer: Tracer,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +76,7 @@ impl Default for EngineConfig {
             timeout: None,
             node_budget: None,
             target_bits: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -132,6 +141,9 @@ pub struct AlgoRun {
     pub stages: StageTimes,
     /// Work / faces / backtracks / espresso-iteration / cube counters.
     pub counters: RunCounters,
+    /// Tracer counter/gauge/histogram snapshot of this run (empty when
+    /// tracing is disabled).
+    pub metrics: MetricsSnapshot,
     /// Total wall time of this algorithm's worker.
     pub wall: Duration,
 }
@@ -194,18 +206,7 @@ impl AlgoRun {
             _ => {}
         }
         pairs.push(("wall_ms".into(), Json::Float(millis(self.wall))));
-        pairs.push((
-            "stages_ms".into(),
-            Json::Obj(vec![
-                (
-                    "constraints".into(),
-                    Json::Float(millis(self.stages.constraints)),
-                ),
-                ("embed".into(), Json::Float(millis(self.stages.embed))),
-                ("encode".into(), Json::Float(millis(self.stages.encode))),
-                ("espresso".into(), Json::Float(millis(self.stages.espresso))),
-            ]),
-        ));
+        pairs.push(("stages_ms".into(), stages_to_json(&self.stages)));
         pairs.push((
             "counters".into(),
             Json::Obj(vec![
@@ -220,6 +221,9 @@ impl AlgoRun {
                 ("cubes_out".into(), Json::uint(self.counters.cubes_out)),
             ]),
         ));
+        if !self.metrics.is_empty() {
+            pairs.push(("metrics".into(), self.metrics.to_json()));
+        }
         Json::Obj(pairs)
     }
 }
@@ -258,15 +262,7 @@ where
                 if i >= items {
                     break;
                 }
-                let out = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|e| {
-                    if let Some(s) = e.downcast_ref::<&str>() {
-                        (*s).to_string()
-                    } else if let Some(s) = e.downcast_ref::<String>() {
-                        s.clone()
-                    } else {
-                        "worker panicked".to_string()
-                    }
-                });
+                let out = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
                 *slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
@@ -289,6 +285,7 @@ where
 pub fn run_portfolio(fsm: &Fsm, machine: &str, cfg: &EngineConfig) -> PortfolioReport {
     let start = Instant::now();
     let deadline = cfg.timeout.map(|t| start + t);
+    let _span = cfg.tracer.span("portfolio");
     let runs = run_jobs(cfg.algorithms.len(), cfg.effective_jobs(), |i| {
         run_one_under(fsm, cfg.algorithms[i], cfg, deadline)
     })
@@ -296,11 +293,15 @@ pub fn run_portfolio(fsm: &Fsm, machine: &str, cfg: &EngineConfig) -> PortfolioR
     .enumerate()
     .map(|(i, r)| match r {
         Ok(run) => run,
+        // run_one_under contains its own panic guard and reports Failed with
+        // partial telemetry; this arm only fires if the *containment itself*
+        // panicked, where no telemetry can be recovered.
         Err(msg) => AlgoRun {
             algorithm: cfg.algorithms[i],
             outcome: Outcome::Failed(msg),
             stages: StageTimes::default(),
             counters: RunCounters::default(),
+            metrics: MetricsSnapshot::default(),
             wall: Duration::default(),
         },
     })
@@ -319,24 +320,60 @@ pub fn run_one(fsm: &Fsm, algorithm: Algorithm, cfg: &EngineConfig) -> AlgoRun {
     run_one_under(fsm, algorithm, cfg, deadline)
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 fn run_one_under(
     fsm: &Fsm,
     algorithm: Algorithm,
     cfg: &EngineConfig,
     deadline: Option<Instant>,
 ) -> AlgoRun {
-    let ctl = RunCtl::with_limits(cfg.node_budget, deadline);
+    let tracer = cfg.tracer.fork();
+    let ctl = RunCtl::with_limits_traced(cfg.node_budget, deadline, tracer.clone());
+    run_contained(algorithm, &ctl, &tracer, |ctl, cell| {
+        run_traced_shared(fsm, algorithm, cfg.target_bits, ctl, cell).status
+    })
+}
+
+/// Runs `body` under the engine's panic containment. The ctl, tracer fork
+/// and stage cell live *outside* the guard: a panicking worker still reports
+/// every counter, span and completed-stage time it produced before dying.
+fn run_contained(
+    algorithm: Algorithm,
+    ctl: &RunCtl,
+    tracer: &Tracer,
+    body: impl FnOnce(&RunCtl, &StageCell) -> RunStatus,
+) -> AlgoRun {
+    let cell = StageCell::new();
     let t = Instant::now();
-    let traced = run_traced(fsm, algorithm, cfg.target_bits, &ctl);
+    let span = if tracer.is_enabled() {
+        Some(tracer.span_dyn(format!("algo.{}", algorithm.name())))
+    } else {
+        None
+    };
+    let status = catch_unwind(AssertUnwindSafe(|| body(ctl, &cell)));
+    drop(span);
+    let outcome = match status {
+        Ok(RunStatus::Done(r)) => Outcome::Done(r),
+        Ok(RunStatus::Unsolved) => Outcome::Unsolved,
+        Ok(RunStatus::Cancelled) => Outcome::Timeout,
+        Err(e) => Outcome::Failed(panic_message(e)),
+    };
     AlgoRun {
         algorithm,
-        outcome: match traced.status {
-            RunStatus::Done(r) => Outcome::Done(r),
-            RunStatus::Unsolved => Outcome::Unsolved,
-            RunStatus::Cancelled => Outcome::Timeout,
-        },
-        stages: traced.stages,
+        outcome,
+        stages: cell.snapshot(),
         counters: ctl.counters(),
+        metrics: tracer.metrics_snapshot(),
         wall: t.elapsed(),
     }
 }
@@ -346,10 +383,81 @@ fn run_one_under(
 /// parallelism lives inside each portfolio, keeping per-machine reports
 /// directly comparable to single-machine runs.
 pub fn run_suite(cfg: &EngineConfig) -> Vec<PortfolioReport> {
+    run_suite_filtered(cfg, &[])
+}
+
+/// [`run_suite`] restricted to the named machines; an empty `names` slice
+/// sweeps the whole suite. Unknown names are silently skipped — callers that
+/// care (the CLI) validate against [`fsm::benchmarks::by_name`] up front.
+pub fn run_suite_filtered(cfg: &EngineConfig, names: &[String]) -> Vec<PortfolioReport> {
     fsm::benchmarks::suite()
         .iter()
+        .filter(|b| names.is_empty() || names.iter().any(|n| n == b.name))
         .map(|b| run_portfolio(&b.fsm, b.name, cfg))
         .collect()
+}
+
+fn stages_to_json(stages: &StageTimes) -> Json {
+    Json::Obj(vec![
+        (
+            "constraints".into(),
+            Json::Float(millis(stages.constraints)),
+        ),
+        ("embed".into(), Json::Float(millis(stages.embed))),
+        ("encode".into(), Json::Float(millis(stages.encode))),
+        ("espresso".into(), Json::Float(millis(stages.espresso))),
+    ])
+}
+
+/// Machine-readable benchmark trajectory of a suite sweep (the
+/// `BENCH_portfolio.json` the `--batch` CLI writes): per machine the winning
+/// algorithm with its area/cubes/bits, and per algorithm the outcome, area
+/// and stage wall times — enough to diff performance between PRs.
+pub fn suite_to_json(reports: &[PortfolioReport]) -> Json {
+    let machines = reports
+        .iter()
+        .map(|rep| {
+            let mut pairs = vec![("machine".into(), Json::str(&rep.machine))];
+            match rep.best() {
+                Some((i, best)) => {
+                    pairs.push(("best".into(), Json::str(rep.runs[i].algorithm.name())));
+                    pairs.push(("area".into(), Json::uint(best.area)));
+                    pairs.push(("cubes".into(), Json::uint(best.cubes as u64)));
+                    pairs.push(("bits".into(), Json::uint(best.bits as u64)));
+                    pairs.push(("literals".into(), Json::uint(best.literals as u64)));
+                }
+                None => pairs.push(("best".into(), Json::Null)),
+            }
+            pairs.push(("wall_ms".into(), Json::Float(millis(rep.wall))));
+            pairs.push((
+                "runs".into(),
+                Json::Arr(
+                    rep.runs
+                        .iter()
+                        .map(|run| {
+                            let mut rp = vec![
+                                ("algorithm".into(), Json::str(run.algorithm.name())),
+                                ("outcome".into(), Json::str(run.outcome.tag())),
+                            ];
+                            if let Some(res) = run.outcome.result() {
+                                rp.push(("area".into(), Json::uint(res.area)));
+                                rp.push(("cubes".into(), Json::uint(res.cubes as u64)));
+                            }
+                            rp.push(("wall_ms".into(), Json::Float(millis(run.wall))));
+                            rp.push(("stages_ms".into(), stages_to_json(&run.stages)));
+                            rp
+                        })
+                        .map(Json::Obj)
+                        .collect(),
+                ),
+            ));
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str("nova-bench/1")),
+        ("machines".into(), Json::Arr(machines)),
+    ])
 }
 
 #[cfg(test)]
@@ -474,6 +582,110 @@ mod tests {
             if let (Outcome::Done(x), Outcome::Done(y)) = (&a.outcome, &b.outcome) {
                 assert_eq!(x.encoding, y.encoding, "{}", a.algorithm.name());
                 assert_eq!(x.area, y.area);
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_run_keeps_pre_panic_telemetry() {
+        // Drive run_contained with a body that emits counters, a span, a
+        // stage time and a metric before panicking: all four must survive
+        // into the Failed AlgoRun (the satellite fix — panicked workers used
+        // to report empty telemetry).
+        let tracer = Tracer::enabled();
+        let fork = tracer.fork();
+        let ctl = RunCtl::with_limits_traced(None, None, fork.clone());
+        let run = run_contained(Algorithm::IExact, &ctl, &fork, |ctl, cell| {
+            ctl.count_face();
+            ctl.count_backtrack();
+            ctl.tracer().incr("test.partial", 7);
+            let _s = ctl.tracer().span("dies-inside");
+            cell.add(|s| s.embed = Duration::from_millis(3));
+            panic!("injected failure");
+        });
+        match &run.outcome {
+            Outcome::Failed(msg) => assert!(msg.contains("injected failure"), "{msg}"),
+            other => panic!("expected Failed, got {}", other.tag()),
+        }
+        assert_eq!(run.counters.faces_tried, 1);
+        assert_eq!(run.counters.backtracks, 1);
+        assert_eq!(run.stages.embed, Duration::from_millis(3));
+        assert_eq!(run.metrics.counters, vec![("test.partial".to_string(), 7)]);
+        // The span guard unwound during the panic, so B/E still balance.
+        let evs = tracer.collected_events();
+        let b = evs.iter().filter(|e| e.phase == nova_trace::Phase::Begin);
+        let e = evs.iter().filter(|e| e.phase == nova_trace::Phase::End);
+        assert_eq!(b.count(), e.count());
+    }
+
+    #[test]
+    fn traced_portfolio_collects_per_algorithm_spans_and_metrics() {
+        let tracer = Tracer::enabled();
+        let cfg = EngineConfig {
+            tracer: tracer.clone(),
+            ..EngineConfig::default()
+        };
+        let report = run_portfolio(&machine("lion"), "lion", &cfg);
+        let evs = tracer.collected_events();
+        for alg in Algorithm::ALL {
+            let name = format!("algo.{}", alg.name());
+            assert!(evs.iter().any(|e| e.name == name), "missing span {name}");
+        }
+        // espresso iterations show up both as spans and per-run histograms.
+        assert!(evs.iter().any(|e| e.name == "espresso.minimize"));
+        let with_metrics = report.runs.iter().filter(|r| !r.metrics.is_empty());
+        assert!(with_metrics.count() > 0, "no run captured metrics");
+        let j = report.to_json().to_compact();
+        assert!(j.contains("\"metrics\""), "report JSON lacks metrics: {j}");
+        // The whole trace round-trips through both sinks.
+        let mut chrome = Vec::new();
+        tracer.write_chrome(&mut chrome).unwrap();
+        json::parse(std::str::from_utf8(&chrome).unwrap()).unwrap();
+        let mut jsonl = Vec::new();
+        tracer.write_jsonl(&mut jsonl).unwrap();
+        for line in std::str::from_utf8(&jsonl).unwrap().lines() {
+            json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_leaves_metrics_empty() {
+        let report = run_portfolio(&machine("lion"), "lion", &EngineConfig::default());
+        for run in &report.runs {
+            assert!(run.metrics.is_empty(), "{}", run.algorithm.name());
+        }
+        assert!(!report.to_json().to_compact().contains("\"metrics\""));
+    }
+
+    #[test]
+    fn suite_json_shape_is_machine_readable() {
+        let cfg = EngineConfig {
+            algorithms: vec![Algorithm::OneHot, Algorithm::IGreedy],
+            ..EngineConfig::default()
+        };
+        let reports = vec![
+            run_portfolio(&machine("lion"), "lion", &cfg),
+            run_portfolio(&machine("bbtas"), "bbtas", &cfg),
+        ];
+        let j = suite_to_json(&reports);
+        let text = j.to_compact();
+        let parsed = json::parse(&text).expect("suite json parses");
+        assert_eq!(parsed.get("schema"), Some(&Json::str("nova-bench/1")));
+        let Some(Json::Arr(machines)) = parsed.get("machines") else {
+            panic!("machines missing: {text}");
+        };
+        assert_eq!(machines.len(), 2);
+        for m in machines {
+            assert!(m.get("machine").is_some());
+            assert!(m.get("best").is_some());
+            assert!(m.get("area").is_some());
+            assert!(m.get("cubes").is_some());
+            let Some(Json::Arr(runs)) = m.get("runs") else {
+                panic!("runs missing");
+            };
+            assert_eq!(runs.len(), 2);
+            for r in runs {
+                assert!(r.get("stages_ms").is_some());
             }
         }
     }

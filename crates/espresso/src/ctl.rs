@@ -15,6 +15,7 @@
 //! hanging. The same handle accumulates the run counters surfaced in the
 //! engine's telemetry.
 
+use nova_trace::Tracer;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,6 +46,9 @@ struct CtlInner {
     fuel: AtomicU64,
     /// Wall-clock deadline, checked every [`DEADLINE_CHECK_PERIOD`] charges.
     deadline: Option<Instant>,
+    /// Structured tracer for this run (disabled by default: one relaxed
+    /// atomic load per span/metric call, no allocation).
+    tracer: Tracer,
     // --- telemetry counters (all relaxed; they are statistics, not locks) --
     work: AtomicU64,
     faces_tried: AtomicU64,
@@ -78,12 +82,13 @@ pub struct RunCounters {
 }
 
 impl RunCtl {
-    fn build(fuel: Option<u64>, deadline: Option<Instant>) -> Self {
+    fn build(fuel: Option<u64>, deadline: Option<Instant>, tracer: Tracer) -> Self {
         RunCtl {
             inner: Arc::new(CtlInner {
                 stop: AtomicBool::new(false),
                 fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
                 deadline,
+                tracer,
                 work: AtomicU64::new(0),
                 faces_tried: AtomicU64::new(0),
                 backtracks: AtomicU64::new(0),
@@ -96,13 +101,30 @@ impl RunCtl {
 
     /// A handle that never cancels: counters only.
     pub fn unlimited() -> Self {
-        RunCtl::build(None, None)
+        RunCtl::build(None, None, Tracer::disabled())
     }
 
     /// A handle with a node-count budget (deterministic across machines and
     /// thread counts) and/or a wall-clock deadline.
     pub fn with_limits(fuel: Option<u64>, deadline: Option<Instant>) -> Self {
-        RunCtl::build(fuel, deadline)
+        RunCtl::build(fuel, deadline, Tracer::disabled())
+    }
+
+    /// [`RunCtl::with_limits`] plus a [`Tracer`]: every ctl-aware entry
+    /// point records spans and metrics through it. Pass `Tracer::disabled()`
+    /// (or use [`RunCtl::with_limits`]) to opt out at near-zero cost.
+    pub fn with_limits_traced(
+        fuel: Option<u64>,
+        deadline: Option<Instant>,
+        tracer: Tracer,
+    ) -> Self {
+        RunCtl::build(fuel, deadline, tracer)
+    }
+
+    /// The tracer carried by this run (disabled unless the run was built
+    /// with [`RunCtl::with_limits_traced`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     /// Latches the stop flag; every subsequent [`RunCtl::charge`] fails.
@@ -288,5 +310,21 @@ mod tests {
         let b = a.clone();
         b.cancel();
         assert!(a.cancelled());
+    }
+
+    #[test]
+    fn default_tracer_is_disabled() {
+        let ctl = RunCtl::unlimited();
+        assert!(!ctl.tracer().is_enabled());
+    }
+
+    #[test]
+    fn traced_ctl_carries_tracer_through_clones() {
+        let ctl = RunCtl::with_limits_traced(None, None, Tracer::enabled());
+        let clone = ctl.clone();
+        {
+            let _s = clone.tracer().span("from-clone");
+        }
+        assert_eq!(ctl.tracer().collected_events().len(), 2);
     }
 }

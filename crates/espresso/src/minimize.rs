@@ -90,6 +90,8 @@ pub fn minimize_with_ctl(
     opts: MinimizeOptions,
     ctl: &RunCtl,
 ) -> Result<(Cover, MinimizeStats), Cancelled> {
+    let tracer = ctl.tracer().clone();
+    let _minimize_span = tracer.span("espresso.minimize");
     let initial_cubes = f.len();
     let mut cur = f.clone();
     cur.absorb();
@@ -105,8 +107,8 @@ pub fn minimize_with_ctl(
     }
 
     ctl.charge(1 + cur.len() as u64)?;
-    expand(&mut cur, d);
-    irredundant(&mut cur, d);
+    tracer.scope("espresso.expand", || expand(&mut cur, d));
+    tracer.scope("espresso.irredundant", || irredundant(&mut cur, d));
 
     // Essential primes never leave any prime cover: peel them off into the
     // don't-care set so the improvement loop works on a smaller problem.
@@ -146,9 +148,11 @@ pub fn minimize_with_ctl(
                 ctl.charge(1 + cur.len() as u64)?;
                 ctl.count_espresso_iteration();
                 iterations += 1;
-                reduce(&mut cur, &d_aug);
-                expand(&mut cur, &d_aug);
-                irredundant(&mut cur, &d_aug);
+                let _iter_span = tracer.span("espresso.iteration");
+                tracer.observe("espresso.cubes_per_iteration", cur.len() as u64);
+                tracer.scope("espresso.reduce", || reduce(&mut cur, &d_aug));
+                tracer.scope("espresso.expand", || expand(&mut cur, &d_aug));
+                tracer.scope("espresso.irredundant", || irredundant(&mut cur, &d_aug));
                 let full = with_essentials(&cur);
                 let cost = full.cost();
                 if cost < best_cost {
@@ -163,7 +167,7 @@ pub fn minimize_with_ctl(
                 break;
             }
             ctl.charge(1 + cur.len() as u64)?;
-            let gasped = last_gasp(&mut cur, &d_aug);
+            let gasped = tracer.scope("espresso.last_gasp", || last_gasp(&mut cur, &d_aug));
             if !gasped {
                 break;
             }
@@ -179,8 +183,11 @@ pub fn minimize_with_ctl(
     }
 
     if opts.verify {
+        // verify_minimized is containment checking, i.e. the tautology
+        // kernel — worth its own span when enabled.
+        let ok = tracer.scope("espresso.tautology", || verify_minimized(&best, f, d));
         assert!(
-            verify_minimized(&best, f, d),
+            ok,
             "espresso contract violated: F ⊆ M ⊆ F ∪ D does not hold"
         );
     }

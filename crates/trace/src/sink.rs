@@ -1,0 +1,220 @@
+//! Trace sinks: a JSONL event log and a Chrome trace-event JSON document.
+//!
+//! ## JSONL schema (`nova-trace/1`)
+//!
+//! Line 1 is a header object: `{"schema":"nova-trace/1","unit":"ns"}`.
+//! Every following line is one object:
+//!
+//! * span events — `{"ev":"B"|"E","name":..,"id":..,"parent":..,"tid":..,
+//!   "ts":<ns>,"seq":..}`; `B`/`E` pairs share `id` and are well-nested per
+//!   thread;
+//! * metric lines (after all events) —
+//!   `{"ev":"counter","name":..,"value":..}`,
+//!   `{"ev":"gauge","name":..,"value":..}`, and
+//!   `{"ev":"histogram","name":..,"count":..,"sum":..,"min":..,"max":..,
+//!   "buckets":[{"lt":..,"n":..},...]}`.
+//!
+//! ## Chrome trace-event format
+//!
+//! One JSON document `{"traceEvents":[...],"displayTimeUnit":"ms"}` with
+//! duration events (`ph` of `B`/`E`, `pid` 1, per-thread `tid`, `ts` in
+//! fractional microseconds). Load it at <https://ui.perfetto.dev> or
+//! `chrome://tracing`.
+
+use crate::json::Json;
+use crate::{Event, MetricsSnapshot, JSONL_SCHEMA};
+use std::io::Write;
+
+fn event_json(e: &Event) -> Json {
+    Json::Obj(vec![
+        ("ev".into(), Json::str(e.phase.letter())),
+        ("name".into(), Json::str(e.name.as_ref())),
+        ("id".into(), Json::uint(e.id)),
+        ("parent".into(), Json::uint(e.parent)),
+        ("tid".into(), Json::uint(e.tid)),
+        ("ts".into(), Json::uint(e.ts_ns)),
+        ("seq".into(), Json::uint(e.seq)),
+    ])
+}
+
+/// Writes the `nova-trace/1` JSONL log: header line, one line per span
+/// event (in sequence order), then one line per metric.
+pub fn write_jsonl<W: Write>(
+    events: &[Event],
+    metrics: &MetricsSnapshot,
+    w: &mut W,
+) -> std::io::Result<()> {
+    let header = Json::Obj(vec![
+        ("schema".into(), Json::str(JSONL_SCHEMA)),
+        ("unit".into(), Json::str("ns")),
+    ]);
+    writeln!(w, "{}", header.to_compact())?;
+    for e in events {
+        writeln!(w, "{}", event_json(e).to_compact())?;
+    }
+    for (name, v) in &metrics.counters {
+        let line = Json::Obj(vec![
+            ("ev".into(), Json::str("counter")),
+            ("name".into(), Json::str(name.clone())),
+            ("value".into(), Json::uint(*v)),
+        ]);
+        writeln!(w, "{}", line.to_compact())?;
+    }
+    for (name, v) in &metrics.gauges {
+        let line = Json::Obj(vec![
+            ("ev".into(), Json::str("gauge")),
+            ("name".into(), Json::str(name.clone())),
+            ("value".into(), Json::Int(*v as i128)),
+        ]);
+        writeln!(w, "{}", line.to_compact())?;
+    }
+    for (name, h) in &metrics.histograms {
+        let mut pairs = vec![
+            ("ev".into(), Json::str("histogram")),
+            ("name".into(), Json::str(name.clone())),
+        ];
+        if let Json::Obj(body) = h.to_json() {
+            pairs.extend(body);
+        }
+        writeln!(w, "{}", Json::Obj(pairs).to_compact())?;
+    }
+    Ok(())
+}
+
+/// Writes the Chrome trace-event document for `events`.
+pub fn write_chrome<W: Write>(events: &[Event], w: &mut W) -> std::io::Result<()> {
+    let trace_events: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(e.name.as_ref())),
+                ("cat".into(), Json::str("nova")),
+                ("ph".into(), Json::str(e.phase.letter())),
+                ("pid".into(), Json::uint(1)),
+                ("tid".into(), Json::uint(e.tid)),
+                // Chrome traces use microseconds; keep sub-µs precision.
+                ("ts".into(), Json::Float(e.ts_ns as f64 / 1000.0)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(trace_events)),
+        ("displayTimeUnit".into(), Json::str("ms")),
+    ]);
+    w.write_all(doc.to_compact().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::{self, Json};
+    use crate::{Phase, Tracer};
+
+    fn sample_tracer() -> Tracer {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("alpha");
+            let _b = t.span("beta");
+            t.incr("faces", 4);
+            t.gauge("depth", -1);
+            t.observe("cubes", 9);
+        }
+        t
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_and_start_with_schema() {
+        let t = sample_tracer();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 1 + 4 + 3, "header + 4 events + 3 metrics");
+        let header = json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("schema"), Some(&Json::str("nova-trace/1")));
+        for line in &lines {
+            json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn jsonl_span_nesting_balances() {
+        let t = sample_tracer();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut stack: Vec<i128> = Vec::new();
+        for line in text.lines().skip(1) {
+            let v = json::parse(line).unwrap();
+            let ev = match v.get("ev") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => panic!("line without ev: {line}"),
+            };
+            match ev.as_str() {
+                "B" => {
+                    if let Some(Json::Int(id)) = v.get("id") {
+                        stack.push(*id);
+                    }
+                }
+                "E" => {
+                    let top = stack.pop().expect("E without matching B");
+                    if let Some(Json::Int(id)) = v.get("id") {
+                        assert_eq!(top, *id, "spans must close innermost-first");
+                    }
+                }
+                _ => {} // metric lines
+            }
+        }
+        assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_matched_pairs() {
+        let t = sample_tracer();
+        let mut buf = Vec::new();
+        t.write_chrome(&mut buf).unwrap();
+        let doc = json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(evs)) => evs.clone(),
+            other => panic!("missing traceEvents: {other:?}"),
+        };
+        assert_eq!(events.len(), 4);
+        let count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph") == Some(&Json::str(ph)))
+                .count()
+        };
+        assert_eq!(count("B"), count("E"));
+        for e in &events {
+            assert!(matches!(e.get("ts"), Some(Json::Float(f)) if *f >= 0.0));
+            assert_eq!(e.get("pid"), Some(&Json::uint(1)));
+        }
+        assert_eq!(doc.get("displayTimeUnit"), Some(&Json::str("ms")));
+    }
+
+    #[test]
+    fn chrome_timestamps_are_microseconds() {
+        let t = Tracer::enabled();
+        {
+            let _s = t.span("x");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let evs = t.collected_events();
+        let end = evs.iter().find(|e| e.phase == Phase::End).unwrap();
+        let mut buf = Vec::new();
+        t.write_chrome(&mut buf).unwrap();
+        let doc = json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        if let Some(Json::Arr(events)) = doc.get("traceEvents") {
+            let last = events.last().unwrap();
+            if let Some(Json::Float(ts)) = last.get("ts") {
+                let expect = end.ts_ns as f64 / 1000.0;
+                assert!((ts - expect).abs() < 1e-6);
+                assert!(*ts >= 1000.0, "1ms sleep = at least 1000µs, got {ts}");
+            } else {
+                panic!("ts not a float");
+            }
+        } else {
+            panic!("no traceEvents");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Telemetry invariants across the tracer, the engine and the sinks:
+//! stage-time accounting, span nesting in the JSONL sink, and the
+//! Chrome-trace golden shape.
+
+use nova_engine::{json, json::Json, run_one, run_portfolio, EngineConfig};
+use nova_trace::Tracer;
+use std::time::Duration;
+
+fn lion() -> fsm::Fsm {
+    fsm::benchmarks::by_name("lion").expect("embedded").fsm
+}
+
+fn traced_config(tracer: &Tracer) -> EngineConfig {
+    EngineConfig {
+        tracer: tracer.clone(),
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn stage_times_are_nonnegative_and_bounded_by_wall() {
+    let tracer = Tracer::enabled();
+    let report = run_portfolio(&lion(), "lion", &traced_config(&tracer));
+    for run in &report.runs {
+        let s = &run.stages;
+        // Durations are non-negative by type; the meaningful invariant is
+        // that the stage sum never exceeds the run's wall time (stages are
+        // disjoint sections of one sequential pipeline).
+        assert!(
+            s.total() <= run.wall + Duration::from_millis(1),
+            "{}: stages {:?} exceed wall {:?}",
+            run.algorithm.name(),
+            s.total(),
+            run.wall
+        );
+    }
+}
+
+#[test]
+fn stage_times_flow_through_disabled_tracer_too() {
+    // One telemetry path: stage times must be measured even when tracing is
+    // off (the default engine config).
+    let run = run_one(
+        &lion(),
+        nova_core::driver::Algorithm::IHybrid,
+        &EngineConfig::default(),
+    );
+    assert!(run.outcome.result().is_some());
+    assert!(run.stages.total() > Duration::ZERO);
+    assert!(run.metrics.is_empty());
+}
+
+/// Replays JSONL span events through per-thread stacks; panics on any
+/// enter/exit imbalance. Returns the number of span pairs seen.
+fn check_jsonl_nesting(text: &str) -> usize {
+    let mut lines = text.lines();
+    let header = json::parse(lines.next().expect("header line")).expect("header parses");
+    assert_eq!(header.get("schema"), Some(&Json::str("nova-trace/1")));
+    let mut stacks: std::collections::BTreeMap<i128, Vec<i128>> = Default::default();
+    let mut pairs = 0;
+    for line in lines {
+        let v = json::parse(line).expect("jsonl line parses");
+        let ev = match v.get("ev") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => panic!("line without ev: {line}"),
+        };
+        if ev != "B" && ev != "E" {
+            continue; // metric lines
+        }
+        let field = |k: &str| -> i128 {
+            match v.get(k) {
+                Some(Json::Int(n)) => *n,
+                other => panic!("span event missing {k}: {other:?}"),
+            }
+        };
+        let (tid, id) = (field("tid"), field("id"));
+        let stack = stacks.entry(tid).or_default();
+        if ev == "B" {
+            stack.push(id);
+        } else {
+            let top = stack.pop().unwrap_or_else(|| panic!("E without B: {line}"));
+            assert_eq!(top, id, "spans must close innermost-first on tid {tid}");
+            pairs += 1;
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+    pairs
+}
+
+#[test]
+fn jsonl_span_nesting_balances_across_worker_threads() {
+    let tracer = Tracer::enabled();
+    let _ = run_portfolio(&lion(), "lion", &traced_config(&tracer));
+    let mut buf = Vec::new();
+    tracer.write_jsonl(&mut buf).unwrap();
+    let pairs = check_jsonl_nesting(std::str::from_utf8(&buf).unwrap());
+    // At least one span per algorithm plus the portfolio root.
+    assert!(pairs > 9, "only {pairs} span pairs");
+}
+
+#[test]
+fn chrome_trace_golden_shape() {
+    let tracer = Tracer::enabled();
+    let _ = run_portfolio(&lion(), "lion", &traced_config(&tracer));
+    let mut buf = Vec::new();
+    tracer.write_chrome(&mut buf).unwrap();
+    let doc = json::parse(std::str::from_utf8(&buf).unwrap()).expect("chrome trace is valid JSON");
+    assert_eq!(doc.get("displayTimeUnit"), Some(&Json::str("ms")));
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing");
+    };
+    assert!(!events.is_empty());
+    // Matching B/E counts per (tid, name), with B-before-E timestamps
+    // guaranteed by per-thread monotonic clocks.
+    let mut balance: std::collections::BTreeMap<(i128, String), i128> = Default::default();
+    for e in events {
+        let Some(Json::Str(ph)) = e.get("ph") else {
+            panic!("event without ph");
+        };
+        let Some(Json::Int(tid)) = e.get("tid") else {
+            panic!("event without tid");
+        };
+        let Some(Json::Str(name)) = e.get("name") else {
+            panic!("event without name");
+        };
+        assert_eq!(e.get("pid"), Some(&Json::uint(1)));
+        assert!(matches!(e.get("ts"), Some(Json::Float(f)) if *f >= 0.0));
+        let slot = balance.entry((*tid, name.clone())).or_insert(0);
+        match ph.as_str() {
+            "B" => *slot += 1,
+            "E" => *slot -= 1,
+            other => panic!("unexpected phase {other}"),
+        }
+        assert!(*slot >= 0, "E before B for {name} on tid {tid}");
+    }
+    for ((tid, name), v) in &balance {
+        assert_eq!(*v, 0, "unbalanced {name} on tid {tid}");
+    }
+}
+
+#[test]
+fn per_algorithm_metrics_match_run_counters() {
+    // The tracer metrics and the RunCtl counters are two views of the same
+    // run; where they overlap (espresso iteration counts as histogram
+    // observations) they must agree.
+    let tracer = Tracer::enabled();
+    let report = run_portfolio(&lion(), "lion", &traced_config(&tracer));
+    for run in &report.runs {
+        if let Some((_, h)) = run
+            .metrics
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "espresso.cubes_per_iteration")
+        {
+            assert_eq!(
+                h.count,
+                run.counters.espresso_iterations,
+                "{}: histogram count vs counter",
+                run.algorithm.name()
+            );
+        }
+    }
+}
