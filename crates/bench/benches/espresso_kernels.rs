@@ -1,10 +1,51 @@
 //! Bench for the espresso substrate itself: multiple-valued minimization of
 //! symbolic covers and kernel extraction (std-only harness).
+//!
+//! Besides wall time this binary measures *heap allocation counts* through a
+//! counting global allocator, and runs every kernel in two flavours — the
+//! arena-backed hot path and the frozen `espresso::legacy` reference — so
+//! the allocation and latency win of the flat-matrix rewrite is a printed,
+//! regression-checkable number rather than a claim.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use espresso::factor::output_expr;
-use espresso::{complement, minimize, tautology};
+use espresso::{complement, legacy, minimize, tautology};
 use fsm::symbolic_cover;
 use nova_bench::microbench::Harness;
+
+/// Counts every allocation and reallocation (frees are not counted: the
+/// interesting number is how often the kernels go to the allocator at all).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_of<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let r = f();
+    std::hint::black_box(r);
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
 
 fn bench_mv_minimize(h: &mut Harness) {
     let mut g = h.group("espresso_mv_minimize");
@@ -13,6 +54,9 @@ fn bench_mv_minimize(h: &mut Harness) {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         let sc = symbolic_cover(&b.fsm);
         g.bench(&format!("minimize/{name}"), || minimize(&sc.on, &sc.dc));
+        g.bench(&format!("minimize_legacy/{name}"), || {
+            legacy::minimize(&sc.on, &sc.dc)
+        });
     }
 }
 
@@ -22,7 +66,13 @@ fn bench_unate_paradigm(h: &mut Harness) {
         let b = fsm::benchmarks::by_name(name).expect("embedded");
         let sc = symbolic_cover(&b.fsm);
         g.bench(&format!("tautology/{name}"), || tautology(&sc.on));
+        g.bench(&format!("tautology_legacy/{name}"), || {
+            legacy::tautology(&sc.on)
+        });
         g.bench(&format!("complement/{name}"), || complement(&sc.on));
+        g.bench(&format!("complement_legacy/{name}"), || {
+            legacy::complement(&sc.on)
+        });
     }
 }
 
@@ -39,9 +89,55 @@ fn bench_kernels(h: &mut Harness) {
     });
 }
 
+/// Heap-allocation comparison of the arena hot path against the frozen
+/// legacy kernels (steady state, after the scratch pool is warm).
+fn report_allocations() {
+    println!();
+    println!("heap allocations per call, arena vs legacy (steady state):");
+    for name in ["lion", "bbtas", "dk27", "shiftreg", "train11"] {
+        let b = fsm::benchmarks::by_name(name).expect("embedded");
+        let sc = symbolic_cover(&b.fsm);
+        // Warm the thread-local scratch pool so the arena numbers reflect
+        // steady state, which is what the minimization loop runs in.
+        for _ in 0..3 {
+            std::hint::black_box(tautology(&sc.on));
+            std::hint::black_box(complement(&sc.on));
+            std::hint::black_box(minimize(&sc.on, &sc.dc));
+        }
+        let rows = [
+            (
+                "tautology",
+                allocs_of(|| tautology(&sc.on)),
+                allocs_of(|| legacy::tautology(&sc.on)),
+            ),
+            (
+                "complement",
+                allocs_of(|| complement(&sc.on)),
+                allocs_of(|| legacy::complement(&sc.on)),
+            ),
+            (
+                "minimize",
+                allocs_of(|| minimize(&sc.on, &sc.dc)),
+                allocs_of(|| legacy::minimize(&sc.on, &sc.dc)),
+            ),
+        ];
+        for (kernel, arena, leg) in rows {
+            let ratio = leg as f64 / (arena.max(1)) as f64;
+            println!(
+                "  {:<24} arena {:>8}  legacy {:>8}  ({:.1}x fewer)",
+                format!("{kernel}/{name}"),
+                arena,
+                leg,
+                ratio
+            );
+        }
+    }
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_mv_minimize(&mut h);
     bench_unate_paradigm(&mut h);
     bench_kernels(&mut h);
+    report_allocations();
 }

@@ -1,7 +1,17 @@
 //! Complementation and sharp (set difference) of covers.
+//!
+//! The recursive Shannon expansion runs on flat [`CubeMatrix`] arenas from
+//! the per-thread [`Scratch`](crate::scratch::Scratch) pool: every recursion
+//! level appends its result rows to one shared output matrix and branch
+//! covers are written into reused buffers, so complementation performs no
+//! heap allocation after warm-up. Results are bit-identical to the frozen
+//! [`crate::legacy`] reference.
 
+use crate::containment::absorb_matrix;
 use crate::cover::Cover;
 use crate::cube::Cube;
+use crate::matrix::CubeMatrix;
+use crate::scratch::{with_scratch, Scratch};
 use crate::space::CubeSpace;
 
 /// Complement of a single cube: one result cube per non-full variable,
@@ -43,55 +53,55 @@ pub fn complement_cube(space: &CubeSpace, c: &Cube) -> Vec<Cube> {
 /// assert!(tautology(&f.union(&g)));
 /// ```
 pub fn complement(f: &Cover) -> Cover {
-    let cubes = comp_rec(f.space(), f.cubes().to_vec());
-    let mut out = Cover::from_cubes(f.space().clone(), cubes);
+    let space = f.space();
+    let cubes = with_scratch(|s| {
+        let mut m = s.acquire(space);
+        m.extend_cubes(space, f.cubes());
+        let mut out = s.acquire(space);
+        comp_mat(space, &mut m, &mut out, s);
+        let cubes = out.to_cubes(space);
+        s.release(m);
+        s.release(out);
+        cubes
+    });
+    let mut out = Cover::from_cubes(space.clone(), cubes);
     out.absorb();
     out
 }
 
-fn comp_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> Vec<Cube> {
-    cubes.retain(|c| !c.is_empty(space));
-    if cubes.iter().any(|c| c.is_full(space)) {
-        return Vec::new();
+/// Appends the complement of the cover held in `m` to `out`. `m` is consumed
+/// as work space; `out` rows below the entry length are left untouched, so
+/// recursion levels can share one output arena.
+fn comp_mat(space: &CubeSpace, m: &mut CubeMatrix, out: &mut CubeMatrix, s: &mut Scratch) {
+    m.drop_degenerate();
+    if (0..m.len()).any(|i| m.row_is_full(space, i)) {
+        return;
     }
-    if cubes.is_empty() {
-        return vec![Cube::full(space)];
+    if m.is_empty() {
+        out.push_full(space);
+        return;
     }
-    if cubes.len() == 1 {
-        return complement_cube(space, &cubes[0]);
+    if m.len() > 1 {
+        // Absorption keeps the recursion small.
+        let mut keep = s.acquire_flags();
+        absorb_matrix(m, &mut keep);
+        s.release_flags(keep);
     }
-
-    // Absorption keeps the recursion small.
-    let mut keep = vec![true; cubes.len()];
-    for i in 0..cubes.len() {
-        if !keep[i] {
-            continue;
-        }
-        for j in 0..cubes.len() {
-            if i != j
-                && keep[j]
-                && cubes[i].is_subset_of(&cubes[j])
-                && (cubes[i] != cubes[j] || i > j)
-            {
-                keep[i] = false;
-                break;
+    if m.len() == 1 {
+        for v in space.vars() {
+            if !m.row_var_is_full(space, 0, v) {
+                out.push_complement_var(space, m.row(0), v);
             }
         }
-    }
-    let mut idx = 0;
-    cubes.retain(|_| {
-        let k = keep[idx];
-        idx += 1;
-        k
-    });
-    if cubes.len() == 1 {
-        return complement_cube(space, &cubes[0]);
+        return;
     }
 
     // Most binate variable.
     let mut best: Option<(usize, usize, u32)> = None;
     for v in space.vars() {
-        let count = cubes.iter().filter(|c| !c.var_is_full(space, v)).count();
+        let count = (0..m.len())
+            .filter(|&i| !m.row_var_is_full(space, i, v))
+            .count();
         if count == 0 {
             continue;
         }
@@ -113,56 +123,39 @@ fn comp_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> Vec<Cube> {
         .0;
 
     // complement(F) = ⋃_p [ (v = p) ∧ complement(F cofactored at v = p) ]
-    let mut out: Vec<Cube> = Vec::new();
+    let level_start = out.len();
     for p in 0..space.parts(v) {
-        let mut branch: Vec<Cube> = Vec::new();
-        for c in &cubes {
-            if c.has_part(space, v, p) {
-                let mut cf = c.clone();
-                cf.set_var_full(space, v);
-                branch.push(cf);
+        let mut branch = s.acquire(space);
+        for i in 0..m.len() {
+            if m.row_has_part(space, i, v, p) {
+                branch.push_var_full(space, m.row(i), v);
             }
         }
-        let comp = comp_rec(space, branch);
-        for mut c in comp {
-            // Restrict the branch complement to v = p.
-            c.clear_var(space, v);
-            c.set_part(space, v, p);
-            out.push(c);
+        let mark = out.len();
+        comp_mat(space, &mut branch, out, s);
+        s.release(branch);
+        // Restrict the branch complement to v = p.
+        for i in mark..out.len() {
+            out.restrict_var_to_part(space, i, v, p);
         }
     }
 
     // Merge sibling cubes that differ only in v (reduces blow-up from the
-    // value partition): two cubes identical outside v merge by OR-ing their
-    // v fields.
-    merge_on_var(space, v, &mut out);
-    out
-}
-
-fn merge_on_var(space: &CubeSpace, v: usize, cubes: &mut Vec<Cube>) {
-    let mut i = 0;
-    while i < cubes.len() {
+    // value partition): two rows identical outside v merge by OR-ing their
+    // v fields. Only this level's rows (a suffix of `out`) participate.
+    let mut i = level_start;
+    while i < out.len() {
         let mut j = i + 1;
-        while j < cubes.len() {
-            if equal_outside_var(space, v, &cubes[i], &cubes[j]) {
-                let merged = cubes[i].or(&cubes[j]);
-                cubes[i] = merged;
-                cubes.swap_remove(j);
+        while j < out.len() {
+            if out.rows_equal_outside_var(space, i, j, v) {
+                out.or_var_from(space, i, j, v);
+                out.swap_remove(j);
             } else {
                 j += 1;
             }
         }
         i += 1;
     }
-}
-
-fn equal_outside_var(space: &CubeSpace, v: usize, a: &Cube, b: &Cube) -> bool {
-    let mask = space.mask(v);
-    a.words()
-        .iter()
-        .zip(b.words())
-        .zip(mask)
-        .all(|((x, y), m)| x & !m == y & !m)
 }
 
 /// Sharp of a cube by a cube: `a ∖ b` as a (non-disjoint) list of cubes.
@@ -216,6 +209,7 @@ pub fn sharp(f: &Cover, g: &Cover) -> Cover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::legacy;
     use crate::tautology::{covers_equivalent, cube_in_cover, tautology};
 
     fn cover(space: &CubeSpace, strs: &[&str]) -> Cover {
@@ -272,6 +266,25 @@ mod tests {
         let f = cover(&sp, &["10 11 01", "01 10 11"]);
         let ff = complement(&complement(&f));
         assert!(covers_equivalent(&f, &ff));
+    }
+
+    #[test]
+    fn complement_matches_legacy_exactly() {
+        let sp = CubeSpace::binary(4);
+        let cases: &[&[&str]] = &[
+            &[],
+            &["10 11 01 11"],
+            &["10 11 01 11", "11 10 10 11", "01 01 11 10"],
+            &["10 10 10 10", "01 01 01 01", "11 11 10 01", "10 01 11 11"],
+        ];
+        for strs in cases {
+            let f = cover(&sp, strs);
+            assert_eq!(
+                complement(&f).cubes(),
+                legacy::complement(&f).cubes(),
+                "case {strs:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Single-cube containment, deduplicated and signature-pruned.
+//!
+//! Historically `Cover::absorb` and `tautology::absorb_in_place` carried two
+//! copies of the same O(n²) full-word scan. This module is the one shared
+//! implementation, in two storage flavours (`Vec<Cube>` and
+//! [`CubeMatrix`]), both pruned by [`Sig`]natures: most non-contained pairs
+//! are rejected on three integer compares before any cube word is read.
+//!
+//! The keep/remove decisions are bit-for-bit identical to the legacy
+//! routine (see [`crate::legacy::absorb_in_place`]): degenerate cubes are
+//! dropped first, then a cube is removed when it is contained in another
+//! kept cube, keeping the earliest copy of exact duplicates.
+
+use crate::cube::Cube;
+use crate::matrix::{row_subset, CubeMatrix, Sig};
+use crate::space::CubeSpace;
+
+/// Single-cube containment minimization over a cube list (the shared
+/// implementation behind [`Cover::absorb`](crate::cover::Cover::absorb)).
+pub fn absorb_cubes(space: &CubeSpace, cubes: &mut Vec<Cube>) {
+    cubes.retain(|c| !c.is_empty(space));
+    let n = cubes.len();
+    if n < 2 {
+        return;
+    }
+    let sigs: Vec<Sig> = cubes.iter().map(|c| Sig::of(space, c.words())).collect();
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !keep[j] || !sigs[i].may_be_subset_of(sigs[j]) {
+                continue;
+            }
+            let (a, b) = (cubes[i].words(), cubes[j].words());
+            if row_subset(a, b) && (a != b || i > j) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut idx = 0;
+    cubes.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+/// Single-cube containment minimization over matrix rows (the arena-kernel
+/// flavour used inside the unate recursion).
+pub fn absorb_matrix(m: &mut CubeMatrix, keep_buf: &mut Vec<bool>) {
+    m.drop_degenerate();
+    let n = m.len();
+    if n < 2 {
+        return;
+    }
+    keep_buf.clear();
+    keep_buf.resize(n, true);
+    for i in 0..n {
+        if !keep_buf[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !keep_buf[j] || !m.sig(i).may_be_subset_of(m.sig(j)) {
+                continue;
+            }
+            let (a, b) = (m.row(i), m.row(j));
+            if row_subset(a, b) && (a != b || i > j) {
+                keep_buf[i] = false;
+                break;
+            }
+        }
+    }
+    m.retain_flags(keep_buf);
+}
+
+/// Signature-pruned scan: does any row of `m` contain `c` outright?
+/// (Sufficient but not necessary for cover containment — the fast accept in
+/// front of the exact tautology test.)
+pub fn any_row_contains(m: &CubeMatrix, c: &[u64], sig_c: Sig) -> bool {
+    (0..m.len()).any(|i| sig_c.may_be_subset_of(m.sig(i)) && row_subset(c, m.row(i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::Cover;
+    use crate::legacy;
+
+    fn cover(strs: &[&str]) -> Cover {
+        let sp = CubeSpace::binary_with_output(2, 2);
+        let mut f = Cover::empty(sp);
+        for s in strs {
+            f.push_parsed(s).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn matches_legacy_on_duplicates_and_containment() {
+        let cases: &[&[&str]] = &[
+            &["10 11 11", "10 01 01", "10 11 11", "01 10 10"],
+            &["10 00 11", "01 11 10"],
+            &["11 11 11", "10 10 10", "01 01 01"],
+            &["10 10 10", "10 10 10", "10 10 10"],
+            &[],
+        ];
+        for strs in cases {
+            let f = cover(strs);
+            let sp = f.space().clone();
+            let mut ours = f.cubes().to_vec();
+            let mut theirs = f.cubes().to_vec();
+            absorb_cubes(&sp, &mut ours);
+            legacy::absorb_in_place(&sp, &mut theirs);
+            assert_eq!(ours, theirs, "case {strs:?}");
+
+            let mut m = CubeMatrix::new();
+            m.reset(&sp);
+            m.extend_cubes(&sp, f.cubes());
+            let mut keep = Vec::new();
+            absorb_matrix(&mut m, &mut keep);
+            assert_eq!(m.to_cubes(&sp), theirs, "matrix case {strs:?}");
+        }
+    }
+
+    #[test]
+    fn any_row_contains_is_single_cube_containment() {
+        let f = cover(&["10 11 11", "01 10 10"]);
+        let sp = f.space().clone();
+        let mut m = CubeMatrix::new();
+        m.reset(&sp);
+        m.extend_cubes(&sp, f.cubes());
+        let c = Cube::parse(&sp, "10 01 01").unwrap();
+        assert!(any_row_contains(&m, c.words(), Sig::of(&sp, c.words())));
+        let d = Cube::parse(&sp, "11 10 10").unwrap();
+        assert!(!any_row_contains(&m, d.words(), Sig::of(&sp, d.words())));
+    }
+}

@@ -114,33 +114,11 @@ impl Cover {
     }
 
     /// Single-cube containment minimization: removes every cube contained in
-    /// another cube of the cover (and degenerate cubes). O(n²) but cheap for
-    /// the sizes ESPRESSO works with.
+    /// another cube of the cover (and degenerate cubes). O(n²) with a
+    /// signature prune in front of each pairwise word compare; see
+    /// [`crate::containment::absorb_cubes`] (the one shared implementation).
     pub fn absorb(&mut self) {
-        self.drop_degenerate();
-        let mut keep = vec![true; self.cubes.len()];
-        for i in 0..self.cubes.len() {
-            if !keep[i] {
-                continue;
-            }
-            for j in 0..self.cubes.len() {
-                if i == j || !keep[j] {
-                    continue;
-                }
-                if self.cubes[i].is_subset_of(&self.cubes[j])
-                    && (self.cubes[i] != self.cubes[j] || i > j)
-                {
-                    keep[i] = false;
-                    break;
-                }
-            }
-        }
-        let mut idx = 0;
-        self.cubes.retain(|_| {
-            let k = keep[idx];
-            idx += 1;
-            k
-        });
+        crate::containment::absorb_cubes(&self.space, &mut self.cubes);
     }
 
     /// The smallest single cube containing the whole cover.

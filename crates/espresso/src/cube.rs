@@ -48,15 +48,21 @@ impl Cube {
 
     /// The universal cube: every part of every variable admitted.
     pub fn full(space: &CubeSpace) -> Self {
-        let mut bits = vec![0u64; space.words()];
-        for v in space.vars() {
-            for (w, m) in bits.iter_mut().zip(space.mask(v)) {
-                *w |= m;
-            }
-        }
         Cube {
-            bits: bits.into_boxed_slice(),
+            bits: space.full_words().into(),
         }
+    }
+
+    /// Builds a cube directly from its word representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice length does not match `space.words()`. Bits
+    /// outside the space's fields are not checked (they are a logic error
+    /// just like mixing spaces).
+    pub fn from_words(space: &CubeSpace, words: &[u64]) -> Self {
+        assert_eq!(words.len(), space.words(), "word count mismatch");
+        Cube { bits: words.into() }
     }
 
     /// Raw word access (read-only).
@@ -213,12 +219,14 @@ impl Cube {
         if self.distance(space, p) > 0 {
             return None;
         }
-        let mut bits: Box<[u64]> = self.bits.iter().zip(&p.bits).map(|(a, b)| a | !b).collect();
-        // Trim to the space's fields.
-        let full = Cube::full(space);
-        for (w, f) in bits.iter_mut().zip(&full.bits) {
-            *w &= f;
-        }
+        // Trim to the space's fields with the cached universal-cube mask.
+        let bits: Box<[u64]> = self
+            .bits
+            .iter()
+            .zip(&p.bits)
+            .zip(space.full_words())
+            .map(|((a, b), f)| (a | !b) & f)
+            .collect();
         Some(Cube { bits })
     }
 

@@ -9,10 +9,17 @@
 //! Raising is monotone (a raise rejected once can never become valid as the
 //! cube grows), so a single pass over the candidate parts per cube yields a
 //! prime.
+//!
+//! The oracle lives in a scratch [`CubeMatrix`](crate::matrix::CubeMatrix)
+//! rebuilt in place per cube (no per-candidate `Cover` clones), and each
+//! candidate raise is tested through the signature-pruned, arena-backed
+//! [`cube_in_matrix`] oracle.
 
 use crate::cover::Cover;
 use crate::cube::Cube;
-use crate::tautology::cube_in_cover;
+use crate::matrix::Sig;
+use crate::scratch::with_scratch;
+use crate::tautology::{cube_in_cover, cube_in_matrix};
 
 /// Expands every cube of `f` against the don't-care cover `d` into a prime,
 /// removing cubes that become covered by an expanded one.
@@ -46,47 +53,60 @@ pub fn expand(f: &mut Cover, d: &Cover) {
     order.sort_by_key(|&i| f.cubes()[i].count_ones());
 
     let mut covered = vec![false; n];
-    for &i in &order {
-        if covered[i] {
-            continue;
-        }
-        let mut c = f.cubes()[i].clone();
-        let oracle = oracle_without(f, d, i, &covered);
+    with_scratch(|s| {
+        let mut t_words: Vec<u64> = Vec::with_capacity(space.words());
+        for &i in &order {
+            if covered[i] {
+                continue;
+            }
+            let mut c = f.cubes()[i].clone();
 
-        // Candidate parts: currently absent from c, in descending column count.
-        let mut cands: Vec<(usize, u32)> = Vec::new();
-        for v in space.vars() {
-            for p in 0..space.parts(v) {
-                if !c.has_part(&space, v, p) {
-                    cands.push((v, p));
+            // Oracle: the non-covered cubes of f (including i, in its current
+            // committed form — the denotation is exactly ON ∪ DC) plus D. A
+            // candidate t strictly contains the original cube i, so keeping
+            // row i in the oracle cannot spuriously accept a raise on the
+            // single-cube fast path.
+            let mut oracle = s.acquire(&space);
+            for (j, other) in f.iter().enumerate() {
+                if !covered[j] {
+                    oracle.push_cube(&space, other);
+                }
+            }
+            oracle.extend_cubes(&space, d.iter());
+
+            // Candidate parts: currently absent from c, in descending column
+            // count.
+            let mut cands: Vec<(usize, u32)> = Vec::new();
+            for v in space.vars() {
+                for p in 0..space.parts(v) {
+                    if !c.has_part(&space, v, p) {
+                        cands.push((v, p));
+                    }
+                }
+            }
+            cands.sort_by_key(|&(v, p)| std::cmp::Reverse(col[space.bit(v, p) as usize]));
+
+            for (v, p) in cands {
+                t_words.clear();
+                t_words.extend_from_slice(c.words());
+                let b = space.bit(v, p) as usize;
+                t_words[b / 64] |= 1u64 << (b % 64);
+                let sig = Sig::of(&space, &t_words);
+                if cube_in_matrix(&space, &oracle, &t_words, sig, s) {
+                    c.set_part(&space, v, p);
+                }
+            }
+            s.release(oracle);
+
+            // Commit and mark covered cubes.
+            f.cubes_mut()[i] = c.clone();
+            for (j, cov) in covered.iter_mut().enumerate() {
+                if j != i && !*cov && f.cubes()[j].is_subset_of(&c) {
+                    *cov = true;
                 }
             }
         }
-        cands.sort_by_key(|&(v, p)| std::cmp::Reverse(col[space.bit(v, p) as usize]));
-
-        for (v, p) in cands {
-            let mut t = c.clone();
-            t.set_part(&space, v, p);
-            // Quick accept: single-cube containment in f or d.
-            let ok = f
-                .iter()
-                .enumerate()
-                .any(|(j, other)| j != i && !covered[j] && t.is_subset_of(other))
-                || d.single_cube_contains(&t)
-                || cube_in_cover(&oracle, &t);
-            if ok {
-                c = t;
-            }
-        }
-
-        // Commit and mark covered cubes.
-        f.cubes_mut()[i] = c.clone();
-        for (j, cov) in covered.iter_mut().enumerate() {
-            if j != i && !*cov && f.cubes()[j].is_subset_of(&c) {
-                *cov = true;
-            }
-        }
-    }
+    });
 
     let mut idx = 0;
     f.cubes_mut().retain(|_| {
@@ -94,20 +114,6 @@ pub fn expand(f: &mut Cover, d: &Cover) {
         idx += 1;
         k
     });
-}
-
-/// `F ∪ D` as the expansion oracle. The cube being expanded stays in the
-/// oracle in its *current committed* form, which is correct: the oracle's
-/// denotation is exactly `ON ∪ DC` at all times.
-fn oracle_without(f: &Cover, d: &Cover, _i: usize, covered: &[bool]) -> Cover {
-    let mut cubes = Vec::with_capacity(f.len() + d.len());
-    for (j, c) in f.iter().enumerate() {
-        if !covered[j] {
-            cubes.push(c.clone());
-        }
-    }
-    cubes.extend(d.iter().cloned());
-    Cover::from_cubes(f.space().clone(), cubes)
 }
 
 /// Is `c` a prime implicant of the function denoted by `fd = F ∪ D`
@@ -209,5 +215,26 @@ mod tests {
             assert!(is_prime(&fd, c));
         }
         assert!(verify_minimized(&f, &orig, &d));
+    }
+
+    #[test]
+    fn expand_matches_legacy() {
+        use crate::legacy;
+        let sp = CubeSpace::binary_with_output(3, 2);
+        let cases: &[(&[&str], &[&str])] = &[
+            (
+                &["10 10 10 10", "10 10 01 10", "01 10 10 01"],
+                &["10 01 11 11"],
+            ),
+            (&["11 10 11 10", "10 11 10 10", "11 11 01 01"], &[]),
+        ];
+        for (fs, ds) in cases {
+            let mut ours = cover(&sp, fs);
+            let mut theirs = ours.clone();
+            let d = cover(&sp, ds);
+            expand(&mut ours, &d);
+            legacy::expand(&mut theirs, &d);
+            assert_eq!(ours, theirs, "case {fs:?} / {ds:?}");
+        }
     }
 }

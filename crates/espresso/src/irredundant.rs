@@ -1,8 +1,13 @@
 //! IRREDUNDANT: drop cubes whose minterms are already covered elsewhere.
+//!
+//! The "rest of the cover" oracle lives in a scratch
+//! [`CubeMatrix`](crate::matrix::CubeMatrix) rebuilt in place per candidate
+//! cube, so redundancy testing performs no per-cube `Cover` allocation.
 
 use crate::cover::Cover;
-use crate::cube::Cube;
-use crate::tautology::cube_in_cover;
+use crate::matrix::Sig;
+use crate::scratch::with_scratch;
+use crate::tautology::cube_in_matrix;
 
 /// Removes redundant cubes from `f` (greedy, smallest-first) so that no
 /// remaining cube is covered by the rest of the cover plus `d`.
@@ -18,19 +23,23 @@ pub fn irredundant(f: &mut Cover, d: &Cover) {
     order.sort_by_key(|&i| f.cubes()[i].count_ones());
 
     let mut removed = vec![false; f.len()];
-    for &i in &order {
-        let mut rest: Vec<Cube> = Vec::with_capacity(f.len() + d.len());
-        for (j, c) in f.iter().enumerate() {
-            if j != i && !removed[j] {
-                rest.push(c.clone());
+    with_scratch(|s| {
+        for &i in &order {
+            let mut rest = s.acquire(&space);
+            for (j, c) in f.iter().enumerate() {
+                if j != i && !removed[j] {
+                    rest.push_cube(&space, c);
+                }
             }
+            rest.extend_cubes(&space, d.iter());
+            let c = &f.cubes()[i];
+            let sig = Sig::of(&space, c.words());
+            if cube_in_matrix(&space, &rest, c.words(), sig, s) {
+                removed[i] = true;
+            }
+            s.release(rest);
         }
-        rest.extend(d.iter().cloned());
-        let rest = Cover::from_cubes(space.clone(), rest);
-        if cube_in_cover(&rest, &f.cubes()[i]) {
-            removed[i] = true;
-        }
-    }
+    });
     let mut idx = 0;
     f.cubes_mut().retain(|_| {
         let k = !removed[idx];
@@ -45,19 +54,23 @@ pub fn irredundant(f: &mut Cover, d: &Cover) {
 pub fn relatively_essential(f: &Cover, d: &Cover) -> Vec<usize> {
     let space = f.space().clone();
     let mut out = Vec::new();
-    for i in 0..f.len() {
-        let mut rest: Vec<Cube> = Vec::with_capacity(f.len() + d.len());
-        for (j, c) in f.iter().enumerate() {
-            if j != i {
-                rest.push(c.clone());
+    with_scratch(|s| {
+        for i in 0..f.len() {
+            let mut rest = s.acquire(&space);
+            for (j, c) in f.iter().enumerate() {
+                if j != i {
+                    rest.push_cube(&space, c);
+                }
             }
+            rest.extend_cubes(&space, d.iter());
+            let c = &f.cubes()[i];
+            let sig = Sig::of(&space, c.words());
+            if !cube_in_matrix(&space, &rest, c.words(), sig, s) {
+                out.push(i);
+            }
+            s.release(rest);
         }
-        rest.extend(d.iter().cloned());
-        let rest = Cover::from_cubes(space.clone(), rest);
-        if !cube_in_cover(&rest, &f.cubes()[i]) {
-            out.push(i);
-        }
-    }
+    });
     out
 }
 
@@ -146,5 +159,23 @@ mod tests {
         irredundant(&mut f, &d);
         assert!(verify_minimized(&f, &orig, &d));
         assert!(f.len() < orig.len());
+    }
+
+    #[test]
+    fn irredundant_matches_legacy() {
+        use crate::legacy;
+        let sp = CubeSpace::binary_with_output(3, 2);
+        let cases: &[&[&str]] = &[
+            &["10 11 11 10", "11 10 11 10", "10 10 11 10", "11 11 01 01"],
+            &["10 11 11 11", "11 10 11 11", "10 10 11 11", "01 01 11 11"],
+        ];
+        for fs in cases {
+            let mut ours = cover(&sp, fs);
+            let mut theirs = ours.clone();
+            let d = Cover::empty(sp.clone());
+            irredundant(&mut ours, &d);
+            legacy::irredundant(&mut theirs, &d);
+            assert_eq!(ours, theirs, "case {fs:?}");
+        }
     }
 }

@@ -36,6 +36,7 @@
 //! minimality.
 
 pub mod complement;
+pub mod containment;
 pub mod cover;
 pub mod ctl;
 pub mod cube;
@@ -43,9 +44,12 @@ pub mod exact;
 pub mod expand;
 pub mod factor;
 pub mod irredundant;
+pub mod legacy;
+pub mod matrix;
 pub mod minimize;
 pub mod pla;
 pub mod reduce;
+pub mod scratch;
 pub mod space;
 pub mod tautology;
 
@@ -54,7 +58,9 @@ pub use cover::{Cover, CoverCost};
 pub use ctl::{Cancelled, RunCounters, RunCtl};
 pub use cube::{supercube, Cube};
 pub use exact::{all_primes, minimize_exact, ExactLimits};
+pub use matrix::{CubeMatrix, Sig};
 pub use minimize::{minimize, minimize_with, minimize_with_ctl, MinimizeOptions, MinimizeStats};
+pub use scratch::{thread_stats as scratch_thread_stats, Scratch, ScratchStats};
 pub use space::{CubeSpace, VarKind};
 pub use tautology::{
     cover_in_cover, covers_equivalent, cube_in_cover, tautology, verify_minimized,

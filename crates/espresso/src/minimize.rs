@@ -92,10 +92,21 @@ pub fn minimize_with_ctl(
 ) -> Result<(Cover, MinimizeStats), Cancelled> {
     let tracer = ctl.tracer().clone();
     let _minimize_span = tracer.span("espresso.minimize");
+    let scratch_before = crate::scratch::thread_stats();
     let initial_cubes = f.len();
+    // Scratch-pool reuse telemetry: flushed as espresso.scratch.* counters so
+    // allocation regressions in the arena kernels show up in --trace output.
+    let flush_scratch = |t: &nova_trace::Tracer| {
+        let d = crate::scratch::thread_stats().delta_from(&scratch_before);
+        t.incr("espresso.scratch.acquires", d.acquires);
+        t.incr("espresso.scratch.reuses", d.reuses());
+        t.incr("espresso.scratch.fresh_allocs", d.fresh_allocs);
+        t.gauge("espresso.scratch.live_peak", d.live_peak as i64);
+    };
     let mut cur = f.clone();
     cur.absorb();
     if cur.is_empty() {
+        flush_scratch(&tracer);
         return Ok((
             cur,
             MinimizeStats {
@@ -193,6 +204,7 @@ pub fn minimize_with_ctl(
     }
     let final_cubes = best.len();
     ctl.count_cubes(initial_cubes as u64, final_cubes as u64);
+    flush_scratch(&tracer);
     Ok((
         best,
         MinimizeStats {

@@ -8,10 +8,17 @@
 //! don't-care set. The condition is monotone in the shrinking cube, so
 //! looping greedy passes converge to the maximally reduced cube (ESPRESSO's
 //! "smallest cube containing the complement's cofactor").
+//!
+//! The "rest of the cover" oracle is staged in a scratch
+//! [`CubeMatrix`](crate::matrix::CubeMatrix) and candidate slices are built
+//! in a reused word buffer, so the inner loop allocates nothing.
 
 use crate::cover::Cover;
 use crate::cube::Cube;
-use crate::tautology::cube_in_cover;
+use crate::matrix::{CubeMatrix, Sig};
+use crate::scratch::{with_scratch, Scratch};
+use crate::space::CubeSpace;
+use crate::tautology::cube_in_matrix;
 
 /// Reduces every cube of `f` in place against don't-care cover `d`.
 ///
@@ -23,76 +30,52 @@ pub fn reduce(f: &mut Cover, d: &Cover) {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(f.cubes()[i].count_ones()));
 
-    for &i in &order {
-        // Oracle: everything except cube i, plus D.
-        let mut rest_cubes: Vec<Cube> = Vec::with_capacity(n - 1 + d.len());
-        for (j, c) in f.iter().enumerate() {
-            if j != i {
-                rest_cubes.push(c.clone());
+    with_scratch(|s| {
+        let mut slice_words: Vec<u64> = Vec::with_capacity(space.words());
+        for &i in &order {
+            // Oracle: everything except cube i, plus D.
+            let mut rest = s.acquire(&space);
+            for (j, c) in f.iter().enumerate() {
+                if j != i {
+                    rest.push_cube(&space, c);
+                }
             }
-        }
-        rest_cubes.extend(d.iter().cloned());
-        let rest = Cover::from_cubes(space.clone(), rest_cubes);
+            rest.extend_cubes(&space, d.iter());
 
-        let mut c = f.cubes()[i].clone();
-        loop {
-            let mut changed = false;
-            for v in space.vars() {
-                if c.var_count(&space, v) <= 1 {
-                    continue; // lowering would empty the field
-                }
-                for p in 0..space.parts(v) {
-                    if !c.has_part(&space, v, p) {
-                        continue;
-                    }
-                    if c.var_count(&space, v) <= 1 {
-                        break;
-                    }
-                    // Slice of c at v = p: the minterms lowering would orphan.
-                    let mut slice = c.clone();
-                    slice.clear_var(&space, v);
-                    slice.set_part(&space, v, p);
-                    if cube_in_cover(&rest, &slice) {
-                        c.clear_part(&space, v, p);
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
+            let mut c = f.cubes()[i].clone();
+            max_reduce(&space, &rest, &mut c, &mut slice_words, s);
+            s.release(rest);
+            f.cubes_mut()[i] = c;
         }
-        f.cubes_mut()[i] = c;
-    }
+    });
 }
 
-/// Maximally reduces cube `i` of `f` against the *unchanged* rest of the
-/// cover plus `d`, without mutating `f` (the independent reduction used by
-/// LAST_GASP).
-pub fn reduce_cube_against(f: &Cover, d: &Cover, i: usize) -> Cube {
-    let space = f.space().clone();
-    let mut rest_cubes: Vec<Cube> = Vec::with_capacity(f.len() - 1 + d.len());
-    for (j, c) in f.iter().enumerate() {
-        if j != i {
-            rest_cubes.push(c.clone());
-        }
-    }
-    rest_cubes.extend(d.iter().cloned());
-    let rest = Cover::from_cubes(space.clone(), rest_cubes);
-
-    let mut c = f.cubes()[i].clone();
+/// Greedy-to-convergence lowering of `c` against the oracle matrix `rest`.
+fn max_reduce(
+    space: &CubeSpace,
+    rest: &CubeMatrix,
+    c: &mut Cube,
+    slice_words: &mut Vec<u64>,
+    s: &mut Scratch,
+) {
     loop {
         let mut changed = false;
         for v in space.vars() {
             for p in 0..space.parts(v) {
-                if !c.has_part(&space, v, p) || c.var_count(&space, v) <= 1 {
+                if !c.has_part(space, v, p) || c.var_count(space, v) <= 1 {
                     continue;
                 }
-                let mut slice = c.clone();
-                slice.clear_var(&space, v);
-                slice.set_part(&space, v, p);
-                if cube_in_cover(&rest, &slice) {
-                    c.clear_part(&space, v, p);
+                // Slice of c at v = p: the minterms lowering would orphan.
+                slice_words.clear();
+                slice_words.extend_from_slice(c.words());
+                for (w, m) in slice_words.iter_mut().zip(space.mask(v)) {
+                    *w &= !m;
+                }
+                let b = space.bit(v, p) as usize;
+                slice_words[b / 64] |= 1u64 << (b % 64);
+                let sig = Sig::of(space, slice_words);
+                if cube_in_matrix(space, rest, slice_words, sig, s) {
+                    c.clear_part(space, v, p);
                     changed = true;
                 }
             }
@@ -101,7 +84,28 @@ pub fn reduce_cube_against(f: &Cover, d: &Cover, i: usize) -> Cube {
             break;
         }
     }
-    c
+}
+
+/// Maximally reduces cube `i` of `f` against the *unchanged* rest of the
+/// cover plus `d`, without mutating `f` (the independent reduction used by
+/// LAST_GASP).
+pub fn reduce_cube_against(f: &Cover, d: &Cover, i: usize) -> Cube {
+    let space = f.space().clone();
+    with_scratch(|s| {
+        let mut rest = s.acquire(&space);
+        for (j, c) in f.iter().enumerate() {
+            if j != i {
+                rest.push_cube(&space, c);
+            }
+        }
+        rest.extend_cubes(&space, d.iter());
+
+        let mut c = f.cubes()[i].clone();
+        let mut slice_words: Vec<u64> = Vec::with_capacity(space.words());
+        max_reduce(&space, &rest, &mut c, &mut slice_words, s);
+        s.release(rest);
+        c
+    })
 }
 
 #[cfg(test)]
@@ -167,5 +171,26 @@ mod tests {
         // With no other cubes, the cube may shed only slices covered by D.
         assert!(verify_minimized(&f, &on, &d));
         assert_eq!(f.cubes()[0].display(&sp).to_string(), "10 10 1");
+    }
+
+    #[test]
+    fn reduce_matches_legacy() {
+        use crate::legacy;
+        let sp = CubeSpace::binary_with_output(3, 2);
+        let cases: &[(&[&str], &[&str])] = &[
+            (&["11 10 11 10", "10 11 10 10", "11 11 01 01"], &[]),
+            (
+                &["10 11 11 10", "11 10 11 10", "11 11 10 01"],
+                &["01 01 01 11"],
+            ),
+        ];
+        for (fs, ds) in cases {
+            let mut ours = cover(&sp, fs);
+            let mut theirs = ours.clone();
+            let d = cover(&sp, ds);
+            reduce(&mut ours, &d);
+            legacy::reduce(&mut theirs, &d);
+            assert_eq!(ours, theirs, "case {fs:?} / {ds:?}");
+        }
     }
 }

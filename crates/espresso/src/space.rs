@@ -10,6 +10,8 @@
 //! part per output.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Describes one variable of a [`CubeSpace`].
 ///
@@ -28,8 +30,9 @@ pub enum VarKind {
 /// The variable structure of a cover: how many variables there are, how many
 /// parts each one has, and where each field lives inside the cube bitvector.
 ///
-/// A `CubeSpace` is immutable once built. Cloning it is cheap relative to the
-/// cost of the algorithms that use it (a few small vectors).
+/// A `CubeSpace` is immutable once built and internally reference-counted:
+/// cloning is one `Arc` bump, so covers, cofactors and unions share the mask
+/// table instead of deep-copying it on every call.
 ///
 /// # Examples
 ///
@@ -43,8 +46,12 @@ pub enum VarKind {
 /// assert_eq!(space.parts(2), 3);
 /// assert_eq!(space.total_bits(), 7);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct CubeSpace {
+    inner: Arc<SpaceData>,
+}
+
+struct SpaceData {
     sizes: Vec<u32>,
     kinds: Vec<VarKind>,
     offsets: Vec<u32>,
@@ -52,13 +59,32 @@ pub struct CubeSpace {
     words: usize,
     /// Per-variable full-field mask, each `words` long.
     masks: Vec<Vec<u64>>,
+    /// OR of all field masks: the universal-cube bit pattern.
+    full: Vec<u64>,
+}
+
+impl PartialEq for CubeSpace {
+    fn eq(&self, other: &Self) -> bool {
+        // Shared spaces (the common case after cloning) compare in O(1).
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.sizes == other.inner.sizes && self.inner.kinds == other.inner.kinds)
+    }
+}
+
+impl Eq for CubeSpace {}
+
+impl Hash for CubeSpace {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.sizes.hash(state);
+        self.inner.kinds.hash(state);
+    }
 }
 
 impl fmt::Debug for CubeSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CubeSpace")
-            .field("sizes", &self.sizes)
-            .field("kinds", &self.kinds)
+            .field("sizes", &self.inner.sizes)
+            .field("kinds", &self.inner.kinds)
             .finish()
     }
 }
@@ -90,21 +116,28 @@ impl CubeSpace {
         let total_bits = acc;
         let words = (total_bits as usize).div_ceil(64).max(1);
         let mut masks = Vec::with_capacity(sizes.len());
+        let mut full = vec![0u64; words];
         for (v, &s) in sizes.iter().enumerate() {
             let mut m = vec![0u64; words];
             for p in 0..s {
                 let bit = (offsets[v] + p) as usize;
                 m[bit / 64] |= 1u64 << (bit % 64);
             }
+            for (f, w) in full.iter_mut().zip(&m) {
+                *f |= w;
+            }
             masks.push(m);
         }
         CubeSpace {
-            sizes: sizes.to_vec(),
-            kinds: kinds.to_vec(),
-            offsets,
-            total_bits,
-            words,
-            masks,
+            inner: Arc::new(SpaceData {
+                sizes: sizes.to_vec(),
+                kinds: kinds.to_vec(),
+                offsets,
+                total_bits,
+                words,
+                masks,
+                full,
+            }),
         }
     }
 
@@ -126,22 +159,22 @@ impl CubeSpace {
 
     /// Number of variables (including the output variable, if any).
     pub fn num_vars(&self) -> usize {
-        self.sizes.len()
+        self.inner.sizes.len()
     }
 
     /// Number of parts of variable `v`.
     pub fn parts(&self, v: usize) -> u32 {
-        self.sizes[v]
+        self.inner.sizes[v]
     }
 
     /// Kind of variable `v`.
     pub fn kind(&self, v: usize) -> VarKind {
-        self.kinds[v]
+        self.inner.kinds[v]
     }
 
     /// Index of the output variable, if this space has one.
     pub fn output_var(&self) -> Option<usize> {
-        self.kinds.iter().position(|k| *k == VarKind::Output)
+        self.inner.kinds.iter().position(|k| *k == VarKind::Output)
     }
 
     /// Bit index of part `p` of variable `v`.
@@ -150,39 +183,49 @@ impl CubeSpace {
     ///
     /// Panics if `p` is out of range for variable `v`.
     pub fn bit(&self, v: usize, p: u32) -> u32 {
-        assert!(p < self.sizes[v], "part {p} out of range for variable {v}");
-        self.offsets[v] + p
+        assert!(
+            p < self.inner.sizes[v],
+            "part {p} out of range for variable {v}"
+        );
+        self.inner.offsets[v] + p
     }
 
     /// First bit of variable `v`'s field.
     pub fn offset(&self, v: usize) -> u32 {
-        self.offsets[v]
+        self.inner.offsets[v]
     }
 
     /// Total number of part bits across all variables.
     pub fn total_bits(&self) -> u32 {
-        self.total_bits
+        self.inner.total_bits
     }
 
     /// Number of `u64` words a cube of this space occupies.
     pub fn words(&self) -> usize {
-        self.words
+        self.inner.words
     }
 
     /// The full-field mask of variable `v` (a `words()`-long slice).
     pub fn mask(&self, v: usize) -> &[u64] {
-        &self.masks[v]
+        &self.inner.masks[v]
+    }
+
+    /// The universal-cube bit pattern (OR of every field mask), cached so
+    /// cofactoring does not rebuild it per call.
+    pub fn full_words(&self) -> &[u64] {
+        &self.inner.full
     }
 
     /// Iterator over variable indices.
     pub fn vars(&self) -> std::ops::Range<usize> {
-        0..self.sizes.len()
+        0..self.inner.sizes.len()
     }
 
     /// Total number of minterms of the space (product of part counts),
     /// saturating at `u64::MAX`.
     pub fn num_minterms(&self) -> u64 {
-        self.sizes
+        self.inner
+            .sizes
             .iter()
             .fold(1u64, |acc, &s| acc.saturating_mul(s as u64))
     }
@@ -232,6 +275,34 @@ mod tests {
         assert_eq!(s.total_bits(), 132);
         assert_eq!(s.words(), 3);
         assert_eq!(s.bit(2, 29), 131);
+    }
+
+    #[test]
+    fn clones_share_storage_and_compare_equal() {
+        let s = CubeSpace::binary_with_output(3, 4);
+        let t = s.clone();
+        assert!(std::sync::Arc::ptr_eq(&s.inner, &t.inner));
+        assert_eq!(s, t);
+        // Structurally identical but separately built spaces still compare
+        // equal (and hash equal) without sharing storage.
+        let u = CubeSpace::binary_with_output(3, 4);
+        assert_eq!(s, u);
+        assert_ne!(s, CubeSpace::binary_with_output(3, 5));
+    }
+
+    #[test]
+    fn full_words_is_or_of_masks() {
+        let s = CubeSpace::new(
+            &[2, 5, 3],
+            &[VarKind::Binary, VarKind::Multi, VarKind::Output],
+        );
+        let mut acc = vec![0u64; s.words()];
+        for v in s.vars() {
+            for (w, m) in acc.iter_mut().zip(s.mask(v)) {
+                *w |= m;
+            }
+        }
+        assert_eq!(acc, s.full_words());
     }
 
     #[test]

@@ -5,9 +5,18 @@
 //! oracle of this crate: cube-in-cover containment, irredundancy, expansion
 //! validity and reduction validity all reduce to it through the ESPRESSO
 //! cofactor identity `c ⊆ F ⇔ tautology(F cofactored by c)`.
+//!
+//! The recursion runs on flat [`CubeMatrix`] arenas drawn from the
+//! per-thread [`Scratch`] pool: branch covers are written into reused
+//! buffers instead of fresh `Vec<Cube>`s, so the descent performs no heap
+//! allocation after warm-up. Results are bit-identical to the frozen
+//! [`crate::legacy`] reference (pinned by differential tests).
 
+use crate::containment::{absorb_matrix, any_row_contains};
 use crate::cover::Cover;
-use crate::cube::{supercube, Cube};
+use crate::cube::Cube;
+use crate::matrix::{CubeMatrix, Sig};
+use crate::scratch::{with_scratch, Scratch};
 use crate::space::CubeSpace;
 
 /// Is the cover a tautology (covers every minterm of its space)?
@@ -27,48 +36,36 @@ use crate::space::CubeSpace;
 /// assert!(tautology(&f)); // x + x' = 1
 /// ```
 pub fn tautology(f: &Cover) -> bool {
-    taut_rec(f.space(), f.cubes().to_vec())
+    with_scratch(|s| {
+        let mut m = s.acquire(f.space());
+        m.extend_cubes(f.space(), f.cubes());
+        let r = taut_mat(f.space(), &mut m, s);
+        s.release(m);
+        r
+    })
 }
 
-fn absorb_in_place(space: &CubeSpace, cubes: &mut Vec<Cube>) {
-    cubes.retain(|c| !c.is_empty(space));
-    let n = cubes.len();
-    let mut keep = vec![true; n];
-    for i in 0..n {
-        if !keep[i] {
-            continue;
-        }
-        for j in 0..n {
-            if i == j || !keep[j] {
-                continue;
-            }
-            if cubes[i].is_subset_of(&cubes[j]) && (cubes[i] != cubes[j] || i > j) {
-                keep[i] = false;
-                break;
-            }
-        }
-    }
-    let mut idx = 0;
-    cubes.retain(|_| {
-        let k = keep[idx];
-        idx += 1;
-        k
-    });
-}
-
-fn taut_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> bool {
+/// The unate recursive tautology check over an arena cover. `m` is consumed
+/// as work space (its contents are destroyed).
+pub(crate) fn taut_mat(space: &CubeSpace, m: &mut CubeMatrix, s: &mut Scratch) -> bool {
     loop {
-        cubes.retain(|c| !c.is_empty(space));
-        if cubes.iter().any(|c| c.is_full(space)) {
+        m.drop_degenerate();
+        if (0..m.len()).any(|i| m.row_is_full(space, i)) {
             return true;
         }
-        if cubes.is_empty() {
+        if m.is_empty() {
             return false;
         }
         // Column check: the supercube of a tautology must be the universe.
-        let sup = supercube(space, &cubes);
-        if !sup.is_full(space) {
-            return false;
+        // Folded word-wise without materializing the supercube.
+        for (k, full) in space.full_words().iter().enumerate() {
+            let mut or = 0u64;
+            for i in 0..m.len() {
+                or |= m.row(i)[k];
+            }
+            if or != *full {
+                return false;
+            }
         }
 
         // Weakly-unate variable deletion: if some part p of variable v is
@@ -79,19 +76,16 @@ fn taut_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> bool {
         // alone are.
         let mut reduced = false;
         for v in space.vars() {
-            let mut non_full_union = Cube::zero(space);
-            let mut any_non_full = false;
-            for c in &cubes {
-                if !c.var_is_full(space, v) {
-                    any_non_full = true;
-                    non_full_union = non_full_union.or(c);
-                }
-            }
+            let any_non_full = (0..m.len()).any(|i| !m.row_var_is_full(space, i, v));
             if !any_non_full {
                 continue;
             }
-            if !non_full_union.var_is_full(space, v) {
-                cubes.retain(|c| c.var_is_full(space, v));
+            let union_full = (0..space.parts(v)).all(|p| {
+                (0..m.len())
+                    .any(|i| !m.row_var_is_full(space, i, v) && m.row_has_part(space, i, v, p))
+            });
+            if !union_full {
+                m.retain_var_full(space, v);
                 reduced = true;
                 break;
             }
@@ -100,9 +94,11 @@ fn taut_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> bool {
             continue;
         }
 
-        absorb_in_place(space, &mut cubes);
-        if cubes.len() == 1 {
-            return cubes[0].is_full(space);
+        let mut keep = s.acquire_flags();
+        absorb_matrix(m, &mut keep);
+        s.release_flags(keep);
+        if m.len() == 1 {
+            return m.row_is_full(space, 0);
         }
 
         // Select the most binate variable: the active variable with the most
@@ -110,7 +106,9 @@ fn taut_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> bool {
         // narrow).
         let mut best: Option<(usize, usize, u32)> = None; // (var, count, parts)
         for v in space.vars() {
-            let count = cubes.iter().filter(|c| !c.var_is_full(space, v)).count();
+            let count = (0..m.len())
+                .filter(|&i| !m.row_var_is_full(space, i, v))
+                .count();
             if count == 0 {
                 continue;
             }
@@ -136,15 +134,15 @@ fn taut_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> bool {
 
         // Branch over every part of v: all cofactors must be tautologies.
         for p in 0..space.parts(v) {
-            let mut branch: Vec<Cube> = Vec::with_capacity(cubes.len());
-            for c in &cubes {
-                if c.has_part(space, v, p) {
-                    let mut cf = c.clone();
-                    cf.set_var_full(space, v);
-                    branch.push(cf);
+            let mut branch = s.acquire(space);
+            for i in 0..m.len() {
+                if m.row_has_part(space, i, v, p) {
+                    branch.push_var_full(space, m.row(i), v);
                 }
             }
-            if !taut_rec(space, branch) {
+            let ok = taut_mat(space, &mut branch, s);
+            s.release(branch);
+            if !ok {
                 return false;
             }
         }
@@ -152,15 +150,54 @@ fn taut_rec(space: &CubeSpace, mut cubes: Vec<Cube>) -> bool {
     }
 }
 
+/// Exact containment of the cube with words `c` (signature `sig_c`) in the
+/// cover held by matrix `m`: the fast single-cube accept, then tautology of
+/// the cofactor written into a scratch matrix. This is the oracle behind the
+/// EXPAND/REDUCE/IRREDUNDANT inner loops.
+pub(crate) fn cube_in_matrix(
+    space: &CubeSpace,
+    m: &CubeMatrix,
+    c: &[u64],
+    sig_c: Sig,
+    s: &mut Scratch,
+) -> bool {
+    if sig_c.empty {
+        return true;
+    }
+    // Sufficient fast path: some single row contains c outright.
+    if any_row_contains(m, c, sig_c) {
+        return true;
+    }
+    let mut cf = s.acquire(space);
+    for i in 0..m.len() {
+        cf.push_cofactor(space, m.row(i), c);
+    }
+    let r = taut_mat(space, &mut cf, s);
+    s.release(cf);
+    r
+}
+
 /// Exact cube-in-cover containment: is every minterm of `c` covered by `f`?
 ///
 /// Computed as tautology of the cofactor of `f` with respect to `c`.
 pub fn cube_in_cover(f: &Cover, c: &Cube) -> bool {
-    if c.is_empty(f.space()) {
+    let space = f.space();
+    if c.is_empty(space) {
         return true;
     }
-    let cf = f.cofactor(c);
-    taut_rec(f.space(), cf.into_iter().collect())
+    with_scratch(|s| {
+        // Sufficient fast path: some single cube contains c outright.
+        if f.iter().any(|d| c.is_subset_of(d)) {
+            return true;
+        }
+        let mut cf = s.acquire(space);
+        for d in f.iter() {
+            cf.push_cofactor(space, d.words(), c.words());
+        }
+        let r = taut_mat(space, &mut cf, s);
+        s.release(cf);
+        r
+    })
 }
 
 /// Exact cover containment: `g ⊆ f`?
@@ -271,5 +308,32 @@ mod tests {
         assert!(verify_minimized(&m, &f, &d));
         let bad = cover(&sp, &["11 11"]);
         assert!(!verify_minimized(&bad, &f, &d));
+    }
+
+    #[test]
+    fn scratch_pool_stops_allocating_after_warmup() {
+        use crate::scratch::thread_stats;
+        let sp = CubeSpace::binary(4);
+        let f = cover(
+            &sp,
+            &[
+                "10 11 11 11",
+                "01 10 11 11",
+                "01 01 10 11",
+                "01 01 01 10",
+                "01 01 01 01",
+            ],
+        );
+        tautology(&f); // warm-up
+        let before = thread_stats();
+        for _ in 0..16 {
+            assert!(tautology(&f));
+        }
+        let delta = thread_stats().delta_from(&before);
+        assert!(delta.acquires > 0, "the kernel used the pool");
+        assert_eq!(
+            delta.fresh_allocs, 0,
+            "steady-state tautology must not allocate new matrices"
+        );
     }
 }

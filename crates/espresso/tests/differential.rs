@@ -1,0 +1,232 @@
+//! Differential tests: the arena-backed kernels must produce results
+//! bit-identical to the frozen pre-arena implementations in
+//! `espresso::legacy`, across randomized covers in mixed binary /
+//! multiple-valued spaces.
+//!
+//! The RNG is a local SplitMix64 (no external crates, reproducible offline),
+//! matching the convention used by the synthetic FSM generator.
+
+use espresso::legacy;
+use espresso::{
+    complement, containment, cube_in_cover, minimize_with, tautology, Cover, Cube, CubeSpace,
+    MinimizeOptions, VarKind,
+};
+
+/// SplitMix64 (Steele et al.): tiny, deterministic, good enough to drive
+/// structural test-case generation.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// The space zoo: plain binary, binary+output, and mixed multi-valued shapes
+/// (NOVA's symbolic covers are exactly the latter).
+fn spaces() -> Vec<CubeSpace> {
+    vec![
+        CubeSpace::binary(3),
+        CubeSpace::binary(5),
+        CubeSpace::binary_with_output(3, 2),
+        CubeSpace::binary_with_output(4, 3),
+        CubeSpace::new(
+            &[4, 2, 2],
+            &[VarKind::Multi, VarKind::Binary, VarKind::Binary],
+        ),
+        CubeSpace::new(
+            &[5, 3, 2, 2],
+            &[
+                VarKind::Multi,
+                VarKind::Multi,
+                VarKind::Binary,
+                VarKind::Output,
+            ],
+        ),
+    ]
+}
+
+/// A random cube: each variable keeps a random non-trivial subset of parts,
+/// with occasional full fields and (rarely) an empty field to exercise the
+/// degenerate paths.
+fn random_cube(rng: &mut SplitMix64, space: &CubeSpace) -> Cube {
+    let mut c = Cube::full(space);
+    for v in space.vars() {
+        let parts = space.parts(v);
+        match rng.below(8) {
+            0 | 1 => {} // keep full
+            2 if parts > 1 => {
+                // empty field (degenerate cube)
+                for p in 0..parts {
+                    c.clear_part(space, v, p);
+                }
+            }
+            _ => {
+                // random proper subset, biased toward keeping parts
+                let mut kept = 0;
+                for p in 0..parts {
+                    if rng.below(3) == 0 {
+                        c.clear_part(space, v, p);
+                    } else {
+                        kept += 1;
+                    }
+                }
+                if kept == 0 {
+                    c.set_part(space, v, (rng.below(parts as u64)) as u32);
+                }
+            }
+        }
+    }
+    c
+}
+
+fn random_cover(rng: &mut SplitMix64, space: &CubeSpace, max_cubes: u64) -> Cover {
+    let n = rng.below(max_cubes + 1);
+    let cubes = (0..n).map(|_| random_cube(rng, space)).collect();
+    Cover::from_cubes(space.clone(), cubes)
+}
+
+#[test]
+fn tautology_matches_legacy_on_random_covers() {
+    let mut rng = SplitMix64::new(0x7a75_7431);
+    for space in spaces() {
+        for _ in 0..60 {
+            let f = random_cover(&mut rng, &space, 10);
+            assert_eq!(
+                tautology(&f),
+                legacy::tautology(&f),
+                "tautology diverged on {f:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn complement_matches_legacy_exactly() {
+    let mut rng = SplitMix64::new(0x00c0_4911);
+    for space in spaces() {
+        for _ in 0..40 {
+            let f = random_cover(&mut rng, &space, 8);
+            let ours = complement(&f);
+            let theirs = legacy::complement(&f);
+            // Cube-list identity, not mere equivalence: the arena recursion
+            // must retrace the legacy recursion exactly.
+            assert_eq!(ours.cubes(), theirs.cubes(), "complement diverged on {f:?}");
+        }
+    }
+}
+
+#[test]
+fn cube_in_cover_matches_legacy() {
+    let mut rng = SplitMix64::new(0x0051_b5e7);
+    for space in spaces() {
+        for _ in 0..60 {
+            let f = random_cover(&mut rng, &space, 8);
+            let c = random_cube(&mut rng, &space);
+            assert_eq!(
+                cube_in_cover(&f, &c),
+                legacy::cube_in_cover(&f, &c),
+                "cube_in_cover diverged on {f:?} / {c:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn absorb_matches_legacy() {
+    let mut rng = SplitMix64::new(0x00ab_504b);
+    for space in spaces() {
+        for _ in 0..60 {
+            let f = random_cover(&mut rng, &space, 12);
+            let mut ours = f.cubes().to_vec();
+            let mut theirs = f.cubes().to_vec();
+            containment::absorb_cubes(&space, &mut ours);
+            legacy::absorb_in_place(&space, &mut theirs);
+            assert_eq!(ours, theirs, "absorb diverged on {f:?}");
+        }
+    }
+}
+
+#[test]
+fn expand_reduce_irredundant_match_legacy() {
+    let mut rng = SplitMix64::new(0x00e7_8a9d);
+    for space in spaces() {
+        for _ in 0..25 {
+            let f = random_cover(&mut rng, &space, 8);
+            let d = random_cover(&mut rng, &space, 3);
+
+            let mut a = f.clone();
+            let mut b = f.clone();
+            espresso::expand::expand(&mut a, &d);
+            legacy::expand(&mut b, &d);
+            assert_eq!(a, b, "expand diverged on {f:?} / {d:?}");
+
+            let mut a = f.clone();
+            let mut b = f.clone();
+            espresso::reduce::reduce(&mut a, &d);
+            legacy::reduce(&mut b, &d);
+            assert_eq!(a, b, "reduce diverged on {f:?} / {d:?}");
+
+            let mut a = f.clone();
+            let mut b = f.clone();
+            espresso::irredundant::irredundant(&mut a, &d);
+            legacy::irredundant(&mut b, &d);
+            assert_eq!(a, b, "irredundant diverged on {f:?} / {d:?}");
+        }
+    }
+}
+
+#[test]
+fn full_minimize_matches_legacy_cover_and_cost() {
+    let mut rng = SplitMix64::new(0x3141_5926);
+    let opts = MinimizeOptions {
+        verify: true,
+        ..MinimizeOptions::default()
+    };
+    for space in spaces() {
+        for _ in 0..12 {
+            let f = random_cover(&mut rng, &space, 7);
+            let d = random_cover(&mut rng, &space, 3);
+            let (ours, our_stats) = minimize_with(&f, &d, opts);
+            let (theirs, their_stats) = legacy::minimize_with(&f, &d, opts);
+            assert_eq!(ours, theirs, "minimize diverged on {f:?} / {d:?}");
+            assert_eq!(ours.cost(), theirs.cost());
+            assert_eq!(our_stats, their_stats);
+        }
+    }
+}
+
+#[test]
+fn minimize_still_satisfies_contract_on_larger_random_covers() {
+    // Not a differential check (legacy would be slow here): property-test the
+    // ESPRESSO contract itself on bigger instances that stress the arena
+    // recursion depth and the scratch pool.
+    let mut rng = SplitMix64::new(0xdead_bee5);
+    let space = CubeSpace::binary_with_output(6, 3);
+    for _ in 0..8 {
+        let f = random_cover(&mut rng, &space, 24);
+        let d = random_cover(&mut rng, &space, 6);
+        let (m, _) = minimize_with(
+            &f,
+            &d,
+            MinimizeOptions {
+                verify: true, // panics internally on contract violation
+                ..MinimizeOptions::default()
+            },
+        );
+        assert!(m.len() <= f.len() + d.len());
+    }
+}
