@@ -16,7 +16,14 @@ fn bench_max_work(h: &mut Harness) {
     let ics = extract_input_constraints(&b.fsm);
     for max_work in [1_000u64, 10_000, 100_000] {
         g.bench(&format!("ihybrid/{max_work}"), || {
-            ihybrid_code(&ics, None, HybridOptions { max_work })
+            ihybrid_code(
+                &ics,
+                None,
+                HybridOptions {
+                    max_work,
+                    ..HybridOptions::default()
+                },
+            )
         });
     }
 }

@@ -1,0 +1,125 @@
+//! Bench for the face-embedding engine: the pos_equiv backtracking search
+//! and the iexact pipeline built on it (std-only harness).
+//!
+//! Besides wall time this binary measures *heap allocation counts* through a
+//! counting global allocator: after the thread-local `EmbedScratch` pool is
+//! warm, a whole embedding search should make essentially no allocator
+//! calls, so the steady-state number printed here is a regression check on
+//! the pooled hot path, not a claim.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nova_core::driver::input_constraints;
+use nova_core::exact::{iexact_code, pos_equiv_covers_jobs_ctl, ExactOptions};
+use nova_core::{mincube_dim, InputGraph, RunCtl};
+
+/// Counts every allocation and reallocation (frees are not counted: the
+/// interesting number is how often the search goes to the allocator at all).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_of<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let r = f();
+    std::hint::black_box(r);
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// Input graph of a named suite machine, as the encoders see it.
+fn graph_of(name: &str) -> InputGraph {
+    let b = fsm::benchmarks::by_name(name).expect("embedded");
+    let ics = input_constraints(&b.fsm);
+    let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
+    InputGraph::build(ics.num_states, &sets)
+}
+
+/// Work cap per search: lets the satisfiable machines solve and the
+/// unsatisfiable ones cap deterministically instead of running away.
+const BUDGET: u64 = 200_000;
+
+fn bench_pos_equiv(h: &mut nova_bench::microbench::Harness) {
+    let mut g = h.group("embed_pos_equiv");
+    let no_levels = BTreeMap::new();
+    let ctl = RunCtl::unlimited();
+    for name in ["lion", "bbtas", "dk27", "shiftreg", "train11"] {
+        let ig = graph_of(name);
+        let k = mincube_dim(&ig);
+        g.bench(&format!("pos_equiv/{name}"), || {
+            pos_equiv_covers_jobs_ctl(&ig, k, &no_levels, &[], Some(BUDGET), 1, &ctl)
+        });
+        g.bench(&format!("pos_equiv_par/{name}"), || {
+            pos_equiv_covers_jobs_ctl(&ig, k, &no_levels, &[], Some(BUDGET), 4, &ctl)
+        });
+    }
+}
+
+fn bench_iexact(h: &mut nova_bench::microbench::Harness) {
+    let mut g = h.group("embed_iexact");
+    g.sample_size(10);
+    for name in ["bbtas", "dk27", "bbara"] {
+        let ig = graph_of(name);
+        let opts = ExactOptions {
+            max_work: Some(BUDGET),
+            ..ExactOptions::default()
+        };
+        g.bench(&format!("iexact/{name}"), || iexact_code(&ig, opts));
+    }
+}
+
+/// Steady-state heap traffic of a full embedding search once the pooled
+/// scratch is warm — the number this PR drove to (near) zero.
+fn report_allocations() {
+    println!();
+    println!("heap allocations per embedding search (steady state, pooled scratch):");
+    let no_levels = BTreeMap::new();
+    let ctl = RunCtl::unlimited();
+    for name in ["lion", "bbtas", "dk27", "shiftreg", "train11"] {
+        let ig = graph_of(name);
+        let k = mincube_dim(&ig);
+        // Warm the thread-local scratch pool so the count reflects the
+        // steady state the encoder loops actually run in.
+        for _ in 0..3 {
+            std::hint::black_box(pos_equiv_covers_jobs_ctl(
+                &ig,
+                k,
+                &no_levels,
+                &[],
+                Some(BUDGET),
+                1,
+                &ctl,
+            ));
+        }
+        let allocs =
+            allocs_of(|| pos_equiv_covers_jobs_ctl(&ig, k, &no_levels, &[], Some(BUDGET), 1, &ctl));
+        println!("  {:<24} {:>8}", format!("pos_equiv/{name}"), allocs);
+    }
+}
+
+fn main() {
+    let mut h = nova_bench::microbench::Harness::from_args();
+    bench_pos_equiv(&mut h);
+    bench_iexact(&mut h);
+    report_allocations();
+}

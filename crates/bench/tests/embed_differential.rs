@@ -1,0 +1,125 @@
+//! Suite-level embedding identity: on every benchmark FSM of the NOVA
+//! suite, the parallel face-embedding search (`embed_jobs > 1`) must
+//! produce exactly the codes the sequential search produces, for both the
+//! iexact pipeline and the ihybrid semiexact pipeline. This pins the
+//! subtree parallelism and its budget replay to the real workload, not
+//! just to random posets.
+//!
+//! Debug builds skip the larger machines: the unoptimized backtracking is
+//! slow enough that the full suite only fits a release-build budget
+//! (`cargo test --release -p nova-bench` diffs everything).
+
+use fsm::benchmarks::suite;
+use nova_core::driver::input_constraints;
+use nova_core::{iexact_code, ihybrid_code_ctl, ExactOptions, HybridOptions, InputGraph, RunCtl};
+
+/// Debug (unoptimized) builds only diff machines up to this many states.
+const DEBUG_MAX_STATES: usize = 10;
+
+/// Skipped in every build: constraint *extraction* (not embedding) on the
+/// largest machines costs minutes of ESPRESSO work, drowning the diff.
+const MAX_STATES: usize = 64;
+
+/// Work cap per embedding search: enough for the easy machines to solve
+/// and the hard ones to cap deterministically, small enough for CI.
+const MAX_WORK: u64 = 50_000;
+
+/// Dimension ceiling for the iexact diff: bounds the weak-search candidate
+/// scans (`O(2^k)` per node) on the hardest machines so the whole suite
+/// fits a CI budget.
+const MAX_K: u32 = 8;
+
+fn skip(num_states: usize) -> bool {
+    num_states > MAX_STATES || (cfg!(debug_assertions) && num_states > DEBUG_MAX_STATES)
+}
+
+#[test]
+fn iexact_embeds_identically_on_every_suite_fsm() {
+    for b in suite() {
+        if skip(b.fsm.num_states()) {
+            continue;
+        }
+        let ics = input_constraints(&b.fsm);
+        let sets: Vec<_> = ics.constraints.iter().map(|c| c.set).collect();
+        let ig = InputGraph::build(ics.num_states, &sets);
+        let opts = ExactOptions {
+            max_work: Some(MAX_WORK),
+            max_k: MAX_K,
+            ..ExactOptions::default()
+        };
+        let seq = iexact_code(
+            &ig,
+            ExactOptions {
+                embed_jobs: 1,
+                ..opts
+            },
+        );
+        let par = iexact_code(
+            &ig,
+            ExactOptions {
+                embed_jobs: 4,
+                ..opts
+            },
+        );
+        match (&seq, &par) {
+            (Some(a), Some(c)) => {
+                assert_eq!(
+                    a.bits,
+                    c.bits,
+                    "iexact bits diverged on {}",
+                    b.display_name()
+                );
+                assert_eq!(
+                    a.codes,
+                    c.codes,
+                    "iexact codes diverged on {}",
+                    b.display_name()
+                );
+            }
+            (None, None) => {}
+            other => panic!(
+                "iexact outcome diverged on {}: {:?}",
+                b.display_name(),
+                other
+            ),
+        }
+    }
+}
+
+#[test]
+fn ihybrid_embeds_identically_on_every_suite_fsm() {
+    let ctl = RunCtl::unlimited();
+    for b in suite() {
+        if skip(b.fsm.num_states()) {
+            continue;
+        }
+        let ics = input_constraints(&b.fsm);
+        let base = HybridOptions {
+            max_work: MAX_WORK,
+            embed_jobs: 1,
+        };
+        let seq = ihybrid_code_ctl(&ics, None, base, &ctl).expect("unlimited ctl");
+        let par = ihybrid_code_ctl(
+            &ics,
+            None,
+            HybridOptions {
+                embed_jobs: 4,
+                ..base
+            },
+            &ctl,
+        )
+        .expect("unlimited ctl");
+        assert_eq!(
+            seq.encoding.bits(),
+            par.encoding.bits(),
+            "ihybrid bits diverged on {}",
+            b.display_name()
+        );
+        assert_eq!(
+            seq.encoding.codes(),
+            par.encoding.codes(),
+            "ihybrid codes diverged on {}",
+            b.display_name()
+        );
+    }
+}

@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2]
-//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--json] [--trace FILE] [FILE.kiss2]
-//! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--json] [--bench-out FILE]
+//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [FILE.kiss2]
+//! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--bench-out FILE]
 //!
 //!   -e ALG         encoding algorithm (default ihybrid)
 //!   -b BITS        target code length (default: minimum)
@@ -18,6 +18,8 @@
 //!   --timeout-ms   wall-clock deadline for the whole portfolio
 //!   --budget N     deterministic node budget per algorithm
 //!   --jobs N       worker threads (default: available parallelism)
+//!   --embed-jobs N embedding-search subtree workers per run (0 = one per
+//!                  core, 1 = sequential; encodings identical either way)
 //!   --trace FILE   write a structured trace of the run to FILE
 //!   --trace-format chrome (default; open in Perfetto / chrome://tracing)
 //!                  or jsonl (one event per line, schema nova-trace/1)
@@ -44,7 +46,7 @@ fn usage() -> ! {
     let algs: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
         "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [FILE.kiss2]\n\
-         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--json] [--trace FILE] [FILE.kiss2]\n\
+         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [FILE.kiss2]\n\
          ALG: {} (or onehot)",
         algs.join(" | ")
     );
@@ -76,6 +78,7 @@ struct Args {
     timeout_ms: Option<u64>,
     budget: Option<u64>,
     jobs: usize,
+    embed_jobs: usize,
     trace: Option<String>,
     trace_format: TraceFormat,
     bench: Option<String>,
@@ -97,6 +100,7 @@ fn parse_args() -> Args {
         timeout_ms: None,
         budget: None,
         jobs: 0,
+        embed_jobs: 0,
         trace: None,
         trace_format: TraceFormat::Chrome,
         bench: None,
@@ -123,6 +127,7 @@ fn parse_args() -> Args {
             "--timeout-ms" => out.timeout_ms = Some(num(&mut args)),
             "--budget" => out.budget = Some(num(&mut args)),
             "--jobs" => out.jobs = num(&mut args) as usize,
+            "--embed-jobs" => out.embed_jobs = num(&mut args) as usize,
             "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-format" => {
                 out.trace_format = match args.next().as_deref() {
@@ -148,6 +153,7 @@ fn parse_args() -> Args {
 fn engine_config(args: &Args, tracer: &Tracer) -> EngineConfig {
     EngineConfig {
         jobs: args.jobs,
+        embed_jobs: args.embed_jobs,
         timeout: args.timeout_ms.map(Duration::from_millis),
         node_budget: args.budget,
         target_bits: args.bits,

@@ -256,6 +256,21 @@ pub fn run_traced(
     run_traced_shared(fsm, algorithm, target_bits, ctl, &cell)
 }
 
+/// [`run_traced`] with an explicit embedding worker count (`0` = one per
+/// core, `1` = sequential). Encodings are identical across job counts
+/// whenever no deadline fires mid-search; see
+/// [`crate::exact::pos_equiv_covers_jobs_ctl`].
+pub fn run_traced_jobs(
+    fsm: &Fsm,
+    algorithm: Algorithm,
+    target_bits: Option<u32>,
+    embed_jobs: usize,
+    ctl: &RunCtl,
+) -> TracedRun {
+    let cell = StageCell::new();
+    run_traced_shared_jobs(fsm, algorithm, target_bits, embed_jobs, ctl, &cell)
+}
+
 /// [`run_traced`] with the stage-time accumulator owned by the caller: the
 /// engine passes a cell it keeps *outside* its `catch_unwind`, so stage
 /// times recorded before a worker panic are still reported.
@@ -266,7 +281,20 @@ pub fn run_traced_shared(
     ctl: &RunCtl,
     cell: &StageCell,
 ) -> TracedRun {
-    let status = match run_traced_inner(fsm, algorithm, target_bits, ctl, cell) {
+    run_traced_shared_jobs(fsm, algorithm, target_bits, 0, ctl, cell)
+}
+
+/// [`run_traced_shared`] with an explicit embedding worker count (see
+/// [`run_traced_jobs`]).
+pub fn run_traced_shared_jobs(
+    fsm: &Fsm,
+    algorithm: Algorithm,
+    target_bits: Option<u32>,
+    embed_jobs: usize,
+    ctl: &RunCtl,
+    cell: &StageCell,
+) -> TracedRun {
+    let status = match run_traced_inner(fsm, algorithm, target_bits, embed_jobs, ctl, cell) {
         Ok(Some(result)) => RunStatus::Done(result),
         Ok(None) => RunStatus::Unsolved,
         Err(Cancelled) => RunStatus::Cancelled,
@@ -281,10 +309,14 @@ fn run_traced_inner(
     fsm: &Fsm,
     algorithm: Algorithm,
     target_bits: Option<u32>,
+    embed_jobs: usize,
     ctl: &RunCtl,
     cell: &StageCell,
 ) -> Result<Option<EvalResult>, Cancelled> {
-    let opts = HybridOptions::default();
+    let opts = HybridOptions {
+        embed_jobs,
+        ..HybridOptions::default()
+    };
     let enc = match algorithm {
         Algorithm::IExact => {
             let ics = stage(
@@ -301,7 +333,13 @@ fn run_traced_inner(
                 cell,
                 "stage.embed",
                 |s| &mut s.embed,
-                || exact::iexact_code_ctl(&ig, exact::ExactOptions::default(), ctl),
+                || {
+                    let opts = exact::ExactOptions {
+                        embed_jobs,
+                        ..exact::ExactOptions::default()
+                    };
+                    exact::iexact_code_ctl(&ig, opts, ctl)
+                },
             )?;
             let Some(embedding) = embedding else {
                 return Ok(None);

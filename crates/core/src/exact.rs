@@ -1,14 +1,31 @@
 //! `iexact_code` (Section III): exact face hypercube embedding by answering
 //! SUBPOSET EQUIVALENCE for increasing cube dimensions, plus the bounded
 //! variant `semiexact_code` (Section IV-4.1) at the core of `ihybrid_code`.
+//!
+//! The backtracking core is allocation-free after warm-up: all per-call
+//! buffers come from the per-thread [`crate::scratch`] pool, candidate faces
+//! stream from the iterators in [`crate::face`], pairwise `verify` facts
+//! come from the precomputed [`Relations`] table of the input graph, and
+//! deadline/telemetry traffic is batched ([`CHARGE_BATCH`] nodes per flush).
+//!
+//! Root-level subtrees can be searched in parallel (`jobs > 1`): each
+//! candidate face of the first selected node becomes an independent branch,
+//! a first-solution-wins flag preempts branches that can no longer matter,
+//! and a post-hoc replay of the per-branch work reconstructs the exact
+//! sequential outcome, so parallel and sequential runs return bit-identical
+//! results whenever no wall-clock deadline fires.
 
+use crate::assign::{assign_codes_ctl, AssignOutcome};
 use crate::constraint::StateSet;
-use crate::face::{faces_of_level, Face};
-use crate::poset::{Category, InputGraph};
+use crate::face::{faces_of_level, subfaces_of_level, Face};
+use crate::poset::{Category, InputGraph, Relations};
+use crate::scratch::{self, with_embed_scratch};
 use espresso::{Cancelled, RunCtl};
 use fsm::StateId;
 use std::collections::BTreeMap;
-use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Options controlling the exact search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,12 +34,22 @@ pub struct ExactOptions {
     /// (`None` = unlimited). The paper's `max_work` "magic number".
     pub max_work: Option<u64>,
     /// Restrict category-1 constraints to minimum-dimension faces
-    /// (the `semiexact_code` restriction; skips the primary-level-vector
-    /// enumeration entirely).
+    /// (the `semiexact_code` restriction; skips the free-level enumeration
+    /// entirely).
     pub min_dimension_faces_only: bool,
     /// Upper bound on the cube dimension tried (defaults to 16; the paper's
     /// trivial bound `#S` is impractical for face enumeration).
     pub max_k: u32,
+    /// After the strict subposet search exhausts a dimension, fall back to
+    /// the direct weak code assignment ([`crate::assign`]) before raising
+    /// `k`. The paper's acceptance criterion is the weak one (a constraint's
+    /// spanned face contains no non-member), so instances with no *strict*
+    /// subposet embedding — e.g. bbara — are still solved exactly.
+    pub complete: bool,
+    /// Worker threads for root-level subtree parallelism (`0` = one per
+    /// available core, `1` = sequential). Results are identical across all
+    /// values whenever no deadline fires mid-search.
+    pub embed_jobs: usize,
 }
 
 impl Default for ExactOptions {
@@ -31,6 +58,8 @@ impl Default for ExactOptions {
             max_work: Some(2_000_000),
             min_dimension_faces_only: false,
             max_k: 16,
+            complete: true,
+            embed_jobs: 0,
         }
     }
 }
@@ -162,43 +191,188 @@ fn count_cond3(ig: &InputGraph, mut k: u32) -> u32 {
     }
 }
 
+/// Nodes between `ctl` flushes: the deadline/fuel atomics and the shared
+/// counters are touched once per batch instead of once per candidate.
+const CHARGE_BATCH: u64 = 1024;
+
+/// Outcome of one (sequential or branch) search run, richer than the public
+/// [`PosEquiv`]: replay of parallel branches needs to distinguish a local
+/// cap from a `RunCtl` cancellation from a first-solution preemption.
+enum EmbedOutcome {
+    Found(Embedding),
+    Exhausted,
+    /// The local work budget ran out.
+    Capped,
+    /// The shared `RunCtl` deadline/fuel fired.
+    Cancelled,
+    /// A lower-index parallel branch already found a solution.
+    Preempted,
+}
+
+/// Why candidates were rejected, flushed once per search as
+/// `embed.prune.*` counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct PruneStats {
+    duplicate: u64,
+    cardinality: u64,
+    singleton_level: u64,
+    cover: u64,
+    containment: u64,
+    spurious_intersection: u64,
+    small_intersection: u64,
+    missing_intersection: u64,
+    father: u64,
+}
+
+impl PruneStats {
+    fn flush(&self, ctl: &RunCtl) {
+        let t = ctl.tracer();
+        for (name, v) in [
+            ("embed.prune.duplicate", self.duplicate),
+            ("embed.prune.cardinality", self.cardinality),
+            ("embed.prune.singleton_level", self.singleton_level),
+            ("embed.prune.cover", self.cover),
+            ("embed.prune.containment", self.containment),
+            (
+                "embed.prune.spurious_intersection",
+                self.spurious_intersection,
+            ),
+            ("embed.prune.small_intersection", self.small_intersection),
+            (
+                "embed.prune.missing_intersection",
+                self.missing_intersection,
+            ),
+            ("embed.prune.father", self.father),
+        ] {
+            if v > 0 {
+                t.incr(name, v);
+            }
+        }
+    }
+}
+
+/// A contiguous range of candidate levels with an iteration direction,
+/// replacing the old per-node `Vec<u32>` of levels.
+#[derive(Debug, Clone, Copy)]
+struct LevelRange {
+    lo: u32,
+    hi: u32,
+    descending: bool,
+}
+
+impl LevelRange {
+    const EMPTY: LevelRange = LevelRange {
+        lo: 1,
+        hi: 0,
+        descending: false,
+    };
+
+    fn at(l: u32) -> LevelRange {
+        LevelRange {
+            lo: l,
+            hi: l,
+            descending: false,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// First level in iteration order.
+    fn first(&self) -> u32 {
+        if self.descending {
+            self.hi
+        } else {
+            self.lo
+        }
+    }
+
+    fn contains(&self, l: u32) -> bool {
+        self.lo <= l && l <= self.hi
+    }
+
+    fn next_after(&self, l: u32) -> Option<u32> {
+        if self.descending {
+            (l > self.lo).then(|| l - 1)
+        } else {
+            (l < self.hi).then(|| l + 1)
+        }
+    }
+}
+
+/// What one candidate attempt decided.
+enum Step {
+    Found,
+    Abort,
+    Next,
+}
+
 /// Search state for `pos_equiv`.
 struct Search<'a> {
     ig: &'a InputGraph,
+    rel: &'a Relations,
     k: u32,
-    /// Level chosen for each primary node (parallel to `primaries`).
-    primary_level: BTreeMap<usize, u32>,
+    /// Explore levels above each primary's base level (the `iexact_code`
+    /// enumeration); `false` pins primaries to `level_lo` (the
+    /// `semiexact_code` restriction).
+    free_levels: bool,
+    /// Base (minimum) candidate level per node; only meaningful for
+    /// non-singleton primaries.
+    level_lo: &'a [u32],
     faces: Vec<Option<Face>>,
-    used: HashSet<Face>,
-    /// Assignment order (selected nodes only; derived cat-2 nodes are
-    /// tracked in `derived_by`).
+    /// Assignment stack `(node, face)` in assignment order, selected and
+    /// derived nodes alike; truncating to a mark undoes a subtree.
+    assigned: Vec<(usize, Face)>,
+    /// Category-2 node indices (derivation worklist).
+    multis: Vec<usize>,
     work: u64,
+    /// Work units not yet flushed to `ctl`.
+    pending: u64,
+    pending_backtracks: u64,
     budget: Option<u64>,
     /// Shared cancellation / telemetry handle: each candidate face costs one
     /// charge, so a portfolio deadline or node budget unwinds the search.
     ctl: &'a RunCtl,
     aborted: bool,
+    preempted: bool,
     last: Option<usize>,
     /// Current recursion depth of [`Search::extend`] (for the backtrack
     /// depth histogram).
     depth: u64,
     /// Output covering constraints `(u, v)`: code(u) must bit-wise strictly
     /// cover code(v) (used by `io_semiexact_code`).
-    covers: Vec<(usize, usize)>,
-    /// Node index of the singleton {s} for every state s.
-    singleton_of: Vec<usize>,
+    covers: &'a [(usize, usize)],
+    /// When running as a parallel branch: the first-solution-wins cell and
+    /// this branch's index. A decided index below ours preempts us.
+    branch: Option<(&'a AtomicUsize, usize)>,
+    prune: PruneStats,
 }
 
 impl<'a> Search<'a> {
+    /// Accounts one candidate. Deadline/fuel and preemption are only checked
+    /// at batch boundaries, keeping the per-node cost to two local counter
+    /// increments and one branch.
     fn charge(&mut self) -> bool {
         self.work += 1;
-        self.ctl.count_face();
-        if self.ctl.charge(1).is_err() {
-            self.aborted = true;
-            return false;
-        }
+        self.pending += 1;
         if let Some(b) = self.budget {
             if self.work > b {
+                self.flush_counters();
+                self.aborted = true;
+                return false;
+            }
+        }
+        if self.pending >= CHARGE_BATCH {
+            if let Some((decided, idx)) = self.branch {
+                if decided.load(Ordering::Relaxed) < idx {
+                    self.flush_counters();
+                    self.preempted = true;
+                    self.aborted = true;
+                    return false;
+                }
+            }
+            if !self.flush_counters() {
                 self.aborted = true;
                 return false;
             }
@@ -206,15 +380,38 @@ impl<'a> Search<'a> {
         true
     }
 
-    /// Candidate levels for a selectable node, best (largest) first.
-    fn feasible_levels(&self, i: usize) -> Vec<u32> {
-        let min = self.ig.min_level(i);
+    /// Pushes pending work/backtrack counts to the shared handle. Returns
+    /// `false` when the handle cancelled.
+    fn flush_counters(&mut self) -> bool {
+        let n = std::mem::take(&mut self.pending);
+        let bt = std::mem::take(&mut self.pending_backtracks);
+        if n > 0 {
+            self.ctl.count_faces(n);
+        }
+        if bt > 0 {
+            self.ctl.count_backtracks(bt);
+        }
+        n == 0 || self.ctl.charge(n).is_ok()
+    }
+
+    /// Candidate levels for a selectable node, in trial order.
+    fn feasible_levels(&self, i: usize) -> LevelRange {
         match self.ig.category(i) {
             Category::Primary => {
-                if self.ig.set(i).len() == 1 {
-                    vec![0]
+                if self.rel.card(i) == 1 {
+                    LevelRange::at(0)
                 } else {
-                    vec![self.primary_level[&i]]
+                    let lo = self.level_lo[i];
+                    let hi = if self.free_levels {
+                        (self.k - 1).max(lo)
+                    } else {
+                        lo
+                    };
+                    LevelRange {
+                        lo,
+                        hi,
+                        descending: false,
+                    }
                 }
             }
             Category::Single => {
@@ -222,18 +419,23 @@ impl<'a> Search<'a> {
                 match self.faces[father] {
                     Some(ff) if ff.level() > 0 => {
                         let top = ff.level() - 1;
+                        let min = self.rel.min_level(i);
                         if top < min {
-                            Vec::new()
-                        } else if self.ig.set(i).len() == 1 {
-                            vec![0]
+                            LevelRange::EMPTY
+                        } else if self.rel.card(i) == 1 {
+                            LevelRange::at(0)
                         } else {
-                            (min..=top).rev().collect()
+                            LevelRange {
+                                lo: min,
+                                hi: top,
+                                descending: true,
+                            }
                         }
                     }
-                    _ => Vec::new(),
+                    _ => LevelRange::EMPTY,
                 }
             }
-            _ => Vec::new(),
+            _ => LevelRange::EMPTY,
         }
     }
 
@@ -250,152 +452,158 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// `next_to_code`: the 6-branch priority scheme of Section 3.4.1.
+    /// `next_to_code`: the 6-branch priority scheme of Section 3.4.1, in a
+    /// single allocation-free pass over the nodes.
     fn select_next(&self) -> Option<usize> {
-        let candidates: Vec<usize> = (0..self.ig.len()).filter(|&i| self.selectable(i)).collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        // A node with no feasible level is a dead end: pick it immediately
-        // to fail fast.
-        if let Some(&dead) = candidates
-            .iter()
-            .find(|&&i| self.feasible_levels(i).is_empty())
-        {
-            return Some(dead);
-        }
         let last_level = self
             .last
             .and_then(|l| self.faces[l])
             .map(|f| f.level())
             .unwrap_or(self.k);
-        let shares = |i: usize| -> bool {
-            let Some(l) = self.last else { return false };
-            self.ig
-                .children(i)
-                .iter()
-                .any(|c| self.ig.children(l).contains(c))
-        };
-        let is_primary = |i: usize| self.ig.category(i) == Category::Primary;
-        let top_level = |i: usize| self.feasible_levels(i)[0];
-
-        // Branches 1-4: same level as the last assigned face.
-        let same: Vec<usize> = candidates
-            .iter()
-            .copied()
-            .filter(|&i| self.feasible_levels(i).contains(&last_level))
-            .collect();
-        for filt in [
-            Box::new(|i: usize| is_primary(i) && shares(i)) as Box<dyn Fn(usize) -> bool>,
-            Box::new(is_primary),
-            Box::new(shares),
-            Box::new(|_| true),
-        ] {
-            if let Some(&i) = same.iter().find(|&&i| filt(i)) {
+        let mut any = false;
+        // Branches 1-4: first candidate (index order) at the last face's
+        // level matching each priority filter.
+        let mut same = [usize::MAX; 4];
+        // Branches 5-6 and the fallback keep the *last* maximum-top-level
+        // candidate, matching the old `max_by_key` tie-break.
+        let mut below_primary: Option<(u32, usize)> = None;
+        let mut below_any: Option<(u32, usize)> = None;
+        let mut fallback: Option<(u32, usize)> = None;
+        for i in 0..self.ig.len() {
+            if !self.selectable(i) {
+                continue;
+            }
+            let range = self.feasible_levels(i);
+            // A node with no feasible level is a dead end: pick it
+            // immediately to fail fast.
+            if range.is_empty() {
                 return Some(i);
             }
-        }
-        // Branches 5-6: maximum level below the last one.
-        let below: Vec<usize> = candidates
-            .iter()
-            .copied()
-            .filter(|&i| top_level(i) < last_level)
-            .collect();
-        for filt in [
-            Box::new(is_primary) as Box<dyn Fn(usize) -> bool>,
-            Box::new(|_| true),
-        ] {
-            if let Some(i) = below
-                .iter()
-                .copied()
-                .filter(|&i| filt(i))
-                .max_by_key(|&i| top_level(i))
-            {
-                return Some(i);
+            any = true;
+            let tl = range.first();
+            let is_primary = self.ig.category(i) == Category::Primary;
+            let shares = match self.last {
+                Some(l) => self.rel.shares_child(i, l),
+                None => false,
+            };
+            if range.contains(last_level) {
+                if is_primary && shares && same[0] == usize::MAX {
+                    same[0] = i;
+                }
+                if is_primary && same[1] == usize::MAX {
+                    same[1] = i;
+                }
+                if shares && same[2] == usize::MAX {
+                    same[2] = i;
+                }
+                if same[3] == usize::MAX {
+                    same[3] = i;
+                }
+            }
+            if tl < last_level {
+                if is_primary && below_primary.is_none_or(|(b, _)| tl >= b) {
+                    below_primary = Some((tl, i));
+                }
+                if below_any.is_none_or(|(b, _)| tl >= b) {
+                    below_any = Some((tl, i));
+                }
+            }
+            if fallback.is_none_or(|(b, _)| tl >= b) {
+                fallback = Some((tl, i));
             }
         }
-        // Fallback: anything (e.g. levels above the last).
-        candidates.iter().copied().max_by_key(|&i| top_level(i))
+        if !any {
+            return None;
+        }
+        for &s in &same {
+            if s != usize::MAX {
+                return Some(s);
+            }
+        }
+        below_primary.or(below_any).or(fallback).map(|(_, i)| i)
     }
 
     /// `verify`: all pairwise conditions of Section 3.4.3 between the
-    /// proposed face for node `i` and every assigned face.
-    fn verify(&self, i: usize, face: Face) -> bool {
-        if self.used.contains(&face) {
+    /// proposed face for node `i` and every assigned face, answered from the
+    /// precomputed relation table (no set operations in the loop).
+    fn verify(&mut self, i: usize, face: Face) -> bool {
+        let card = self.rel.card(i);
+        if (face.cardinality() as usize) < card {
+            self.prune.cardinality += 1;
             return false;
         }
-        let set = self.ig.set(i);
-        if (face.cardinality() as usize) < set.len() {
-            return false;
-        }
-        if set.len() == 1 && face.level() != 0 {
+        if card == 1 && face.level() != 0 {
+            self.prune.singleton_level += 1;
             return false;
         }
         // Output covering relations: check pairs whose two codes are both
         // determined (singleton faces at level 0).
-        if set.len() == 1 && !self.covers.is_empty() {
-            let s = set.iter().next().expect("singleton").0;
-            let code_of = |state: usize| -> Option<u64> {
-                if state == s {
-                    return Some(face.value_bits());
-                }
-                let node = self.singleton_of[state];
-                self.faces[node]
-                    .filter(|f| f.level() == 0)
-                    .map(|f| f.value_bits())
-            };
-            for &(u, v) in &self.covers {
-                if u != s && v != s {
-                    continue;
-                }
-                if let (Some(cu), Some(cv)) = (code_of(u), code_of(v)) {
-                    if cu | cv != cu || cu == cv {
-                        return false;
-                    }
-                }
-            }
+        if card == 1 && !self.covers.is_empty() && !self.verify_covers(i, face) {
+            self.prune.cover += 1;
+            return false;
         }
-        for j in 0..self.ig.len() {
-            let Some(fj) = self.faces[j] else { continue };
-            if j == i {
-                continue;
-            }
-            let sj = self.ig.set(j);
+        for idx in 0..self.assigned.len() {
+            let (j, fj) = self.assigned[idx];
             if fj == face {
+                self.prune.duplicate += 1;
                 return false;
             }
-            let set_in_sj = set.is_proper_subset_of(&sj);
-            let sj_in_set = sj.is_proper_subset_of(&set);
-            if fj.properly_contains(&face) && !set_in_sj {
+            if fj.properly_contains(&face) && !self.rel.proper_subset(i, j) {
+                self.prune.containment += 1;
                 return false;
             }
-            if face.properly_contains(&fj) && !sj_in_set {
+            if face.properly_contains(&fj) && !self.rel.proper_subset(j, i) {
+                self.prune.containment += 1;
                 return false;
             }
-            // Inclusion must be realized by the faces when it holds on sets
-            // *and* both are assigned... inclusion of sets only forces face
-            // inclusion for father/child chains, enforced below via fathers.
             match face.intersection(&fj) {
                 Some(fi) => {
-                    let si = set.intersection(&sj);
-                    if si.is_empty() {
-                        return false; // spurious face intersection
+                    let isz = self.rel.inter_size(i, j);
+                    if isz == 0 {
+                        self.prune.spurious_intersection += 1;
+                        return false;
                     }
-                    if (fi.cardinality() as usize) < si.len() {
+                    if (fi.cardinality() as usize) < isz {
+                        self.prune.small_intersection += 1;
                         return false;
                     }
                 }
                 None => {
-                    if !set.intersection(&sj).is_empty() {
-                        return false; // required intersection impossible
+                    if !self.rel.disjoint(i, j) {
+                        self.prune.missing_intersection += 1;
+                        return false;
                     }
                 }
             }
         }
-        // Fathers must contain the face (when assigned).
+        // Fathers must properly contain the face (when assigned).
         for &fa in self.ig.fathers(i) {
             if let Some(ff) = self.faces[fa] {
                 if !ff.properly_contains(&face) {
+                    self.prune.father += 1;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn verify_covers(&self, i: usize, face: Face) -> bool {
+        let s = self.ig.set(i).iter().next().expect("singleton").0;
+        let code_of = |state: usize| -> Option<u64> {
+            if state == s {
+                return Some(face.value_bits());
+            }
+            self.faces[self.rel.singleton_of(state)]
+                .filter(|f| f.level() == 0)
+                .map(|f| f.value_bits())
+        };
+        for &(u, v) in self.covers {
+            if u != s && v != s {
+                continue;
+            }
+            if let (Some(cu), Some(cv)) = (code_of(u), code_of(v)) {
+                if cu | cv != cu || cu == cv {
                     return false;
                 }
             }
@@ -404,15 +612,16 @@ impl<'a> Search<'a> {
     }
 
     /// Derives faces for category-2 nodes whose fathers are all assigned
-    /// (the `D(ic)` processing of `assign_face`). Returns the derived node
-    /// list on success (for undo), or `None` when some derivation is
-    /// inconsistent.
-    fn derive_ready_multis(&mut self) -> Option<Vec<usize>> {
-        let mut derived = Vec::new();
+    /// (the `D(ic)` processing of `assign_face`). Returns the stack mark to
+    /// undo the derivations, or `None` when some derivation is inconsistent
+    /// (everything already undone).
+    fn derive_ready_multis(&mut self) -> Option<usize> {
+        let mark = self.assigned.len();
         loop {
             let mut progressed = false;
-            for i in 0..self.ig.len() {
-                if self.faces[i].is_some() || self.ig.category(i) != Category::Multi {
+            for idx in 0..self.multis.len() {
+                let i = self.multis[idx];
+                if self.faces[i].is_some() {
                     continue;
                 }
                 let fathers = self.ig.fathers(i);
@@ -431,25 +640,24 @@ impl<'a> Search<'a> {
                     }
                 }
                 if !ok || !self.verify(i, acc) {
-                    self.undo(&derived);
+                    self.undo_to(mark);
                     return None;
                 }
                 self.faces[i] = Some(acc);
-                self.used.insert(acc);
-                derived.push(i);
+                self.assigned.push((i, acc));
                 progressed = true;
             }
             if !progressed {
-                return Some(derived);
+                return Some(mark);
             }
         }
     }
 
-    fn undo(&mut self, nodes: &[usize]) {
-        for &i in nodes {
-            if let Some(f) = self.faces[i].take() {
-                self.used.remove(&f);
-            }
+    /// Pops the assignment stack down to `mark`, clearing the faces.
+    fn undo_to(&mut self, mark: usize) {
+        while self.assigned.len() > mark {
+            let (i, _) = self.assigned.pop().expect("stack above mark");
+            self.faces[i] = None;
         }
     }
 
@@ -466,83 +674,113 @@ impl<'a> Search<'a> {
         let Some(node) = self.select_next() else {
             return self.finalize();
         };
-        let levels = self.feasible_levels(node);
+        let range = self.feasible_levels(node);
+        if range.is_empty() {
+            return false;
+        }
         let prev_last = self.last;
-        for level in levels {
-            let candidates: Vec<Face> = match self.ig.category(node) {
-                Category::Primary => faces_of_level(self.k, level).collect(),
+        let mut level = range.first();
+        loop {
+            match self.ig.category(node) {
+                Category::Primary => {
+                    for face in faces_of_level(self.k, level) {
+                        match self.try_candidate(node, face, prev_last) {
+                            Step::Found => return true,
+                            Step::Abort => return false,
+                            Step::Next => {}
+                        }
+                    }
+                }
                 Category::Single => {
                     let ff = self.faces[self.ig.fathers(node)[0]].expect("father assigned");
-                    subfaces_of_level(&ff, level)
+                    for face in subfaces_of_level(&ff, level) {
+                        match self.try_candidate(node, face, prev_last) {
+                            Step::Found => return true,
+                            Step::Abort => return false,
+                            Step::Next => {}
+                        }
+                    }
                 }
                 _ => unreachable!("only cat 1/3 nodes are selected"),
-            };
-            for face in candidates {
-                if !self.charge() {
-                    return false;
-                }
-                if !self.verify(node, face) {
-                    continue;
-                }
-                self.faces[node] = Some(face);
-                self.used.insert(face);
-                self.last = Some(node);
-                if let Some(derived) = self.derive_ready_multis() {
-                    if self.extend() {
-                        return true;
-                    }
-                    if self.aborted {
-                        return false;
-                    }
-                    self.undo(&derived);
-                }
-                if self.aborted {
-                    return false;
-                }
-                self.ctl.count_backtrack();
-                self.ctl
-                    .tracer()
-                    .observe("exact.backtrack_depth", self.depth);
-                self.used.remove(&face);
-                self.faces[node] = None;
-                self.last = prev_last;
+            }
+            match range.next_after(level) {
+                Some(l) => level = l,
+                None => break,
             }
         }
         false
+    }
+
+    /// Tries one candidate face for `node`: charge, verify, assign, derive,
+    /// recurse, and undo on failure.
+    fn try_candidate(&mut self, node: usize, face: Face, prev_last: Option<usize>) -> Step {
+        if !self.charge() {
+            return Step::Abort;
+        }
+        if !self.verify(node, face) {
+            return Step::Next;
+        }
+        self.faces[node] = Some(face);
+        self.assigned.push((node, face));
+        self.last = Some(node);
+        if let Some(mark) = self.derive_ready_multis() {
+            if self.extend() {
+                return Step::Found;
+            }
+            if self.aborted {
+                return Step::Abort;
+            }
+            self.undo_to(mark);
+        }
+        if self.aborted {
+            return Step::Abort;
+        }
+        self.pending_backtracks += 1;
+        self.ctl
+            .tracer()
+            .observe("exact.backtrack_depth", self.depth);
+        let popped = self.assigned.pop().expect("candidate on stack");
+        debug_assert_eq!(popped.0, node);
+        self.faces[node] = None;
+        self.last = prev_last;
+        Step::Next
     }
 
     /// All selected and derived faces are in place: check global semantic
     /// validity (every constraint's face contains all and only the codes of
     /// its member states).
     fn finalize(&mut self) -> bool {
-        // Any remaining cat-2 nodes must be derivable now.
-        let derived = match self.derive_ready_multis() {
-            Some(d) => d,
-            None => return false,
+        let Some(mark) = self.derive_ready_multis() else {
+            return false;
         };
         if self.faces.iter().any(Option::is_none) {
-            self.undo(&derived);
+            self.undo_to(mark);
             return false;
         }
+        let ok = with_embed_scratch(|sc| {
+            let mut codes = sc.acquire_codes();
+            let r = self.finalize_check(&mut codes);
+            sc.release_codes(codes);
+            r
+        });
+        if !ok {
+            self.undo_to(mark);
+        }
+        ok
+    }
+
+    fn finalize_check(&self, codes: &mut Vec<u64>) -> bool {
         // Codes from singletons.
-        let n = self.ig.num_states();
-        let mut codes = vec![0u64; n];
-        for (s, code) in codes.iter_mut().enumerate() {
-            let i = self
-                .ig
-                .index_of(&StateSet::singleton(StateId(s)))
-                .expect("singleton node");
-            let f = self.faces[i].expect("assigned");
+        for s in 0..self.ig.num_states() {
+            let f = self.faces[self.rel.singleton_of(s)].expect("assigned");
             if f.level() != 0 {
-                self.undo(&derived);
                 return false;
             }
-            *code = f.vertices()[0];
+            codes.push(f.value_bits());
         }
         // Output covering relations.
-        for &(u, v) in &self.covers {
+        for &(u, v) in self.covers {
             if codes[u] | codes[v] != codes[u] || codes[u] == codes[v] {
-                self.undo(&derived);
                 return false;
             }
         }
@@ -552,7 +790,6 @@ impl<'a> Search<'a> {
             let set = self.ig.set(i);
             for (s, &code) in codes.iter().enumerate() {
                 if face.contains_vertex(code) != set.contains(StateId(s)) {
-                    self.undo(&derived);
                     return false;
                 }
             }
@@ -561,57 +798,401 @@ impl<'a> Search<'a> {
     }
 }
 
-/// All subfaces of `face` with the given level, deterministic order.
-fn subfaces_of_level(face: &Face, level: u32) -> Vec<Face> {
-    let k = face.k();
-    let free: Vec<u32> = (0..k).filter(|&i| !face_cares(face, i)).collect();
-    let extra = face.level() - level;
-    let mut out = Vec::new();
-    combinations(&free, extra as usize, &mut |chosen| {
-        // All value assignments of the newly fixed bits.
-        for combo in 0u64..1 << chosen.len() {
-            let mut mask = 0u64;
-            let mut value = 0u64;
-            for (j, &pos) in chosen.iter().enumerate() {
-                mask |= 1 << pos;
-                if combo >> j & 1 == 1 {
-                    value |= 1 << pos;
+/// Builds the [`Embedding`] out of a successful search.
+fn extract(search: &Search) -> Embedding {
+    let ig = search.ig;
+    let mut codes = vec![0u64; ig.num_states()];
+    for (s, code) in codes.iter_mut().enumerate() {
+        *code = search.faces[search.rel.singleton_of(s)]
+            .expect("assigned")
+            .value_bits();
+    }
+    let faces = (0..ig.len())
+        .map(|i| (ig.set(i), search.faces[i].expect("assigned")))
+        .collect();
+    Embedding {
+        bits: search.k,
+        codes,
+        faces,
+    }
+}
+
+/// Runs one backtracking search to completion: the whole tree when `root`
+/// is `None`, or the single root-level subtree `root = (node, face)` when
+/// acting as a parallel branch. Returns the outcome and the work spent
+/// (clamped to `budget`).
+#[allow(clippy::too_many_arguments)]
+fn run_search(
+    ig: &InputGraph,
+    k: u32,
+    level_lo: &[u32],
+    free_levels: bool,
+    covers: &[(usize, usize)],
+    budget: Option<u64>,
+    ctl: &RunCtl,
+    root: Option<(usize, Face)>,
+    branch: Option<(&AtomicUsize, usize)>,
+) -> (EmbedOutcome, u64) {
+    let before = scratch::thread_stats();
+    let (mut faces, assigned, mut multis) =
+        with_embed_scratch(|sc| (sc.acquire_faces(), sc.acquire_pairs(), sc.acquire_indices()));
+    faces.resize(ig.len(), None);
+    faces[ig.universe()] = Some(Face::full(k));
+    multis.extend((0..ig.len()).filter(|&i| ig.category(i) == Category::Multi));
+    let mut search = Search {
+        ig,
+        rel: ig.relations(),
+        k,
+        free_levels,
+        level_lo,
+        faces,
+        assigned,
+        multis,
+        work: 0,
+        pending: 0,
+        pending_backtracks: 0,
+        budget,
+        ctl,
+        aborted: false,
+        preempted: false,
+        last: None,
+        depth: 0,
+        covers,
+        branch,
+        prune: PruneStats::default(),
+    };
+    let found = match root {
+        Some((node, face)) => {
+            // Mirror the sequential recursion depth for the histogram.
+            search.depth = 1;
+            matches!(search.try_candidate(node, face, None), Step::Found)
+        }
+        None => search.extend(),
+    };
+    let outcome = if found {
+        EmbedOutcome::Found(extract(&search))
+    } else if search.preempted {
+        EmbedOutcome::Preempted
+    } else if search.aborted {
+        if ctl.cancelled() {
+            EmbedOutcome::Cancelled
+        } else {
+            EmbedOutcome::Capped
+        }
+    } else {
+        EmbedOutcome::Exhausted
+    };
+    let spent = search.work.min(budget.unwrap_or(u64::MAX));
+    search.flush_counters();
+    search.prune.flush(ctl);
+    let Search {
+        faces,
+        assigned,
+        multis,
+        ..
+    } = search;
+    with_embed_scratch(|sc| {
+        sc.release_faces(faces);
+        sc.release_pairs(assigned);
+        sc.release_indices(multis);
+    });
+    let delta = scratch::thread_stats().delta_from(&before);
+    if delta.acquires > 0 {
+        let t = ctl.tracer();
+        t.incr("embed.scratch.acquires", delta.acquires);
+        t.incr("embed.scratch.fresh_allocs", delta.fresh_allocs);
+        t.incr("embed.scratch.reuses", delta.reuses());
+        t.gauge("embed.scratch.live_peak", delta.live_peak as i64);
+    }
+    (outcome, spent)
+}
+
+/// The root node the sequential search would select first, plus all its
+/// candidate faces in sequential trial order. `None` when nothing is
+/// selectable at the root (trivial instance).
+fn root_candidates(
+    ig: &InputGraph,
+    k: u32,
+    level_lo: &[u32],
+    free_levels: bool,
+    ctl: &RunCtl,
+) -> Option<(usize, Vec<Face>)> {
+    let (mut faces, assigned, multis) =
+        with_embed_scratch(|sc| (sc.acquire_faces(), sc.acquire_pairs(), sc.acquire_indices()));
+    faces.resize(ig.len(), None);
+    faces[ig.universe()] = Some(Face::full(k));
+    let probe = Search {
+        ig,
+        rel: ig.relations(),
+        k,
+        free_levels,
+        level_lo,
+        faces,
+        assigned,
+        multis,
+        work: 0,
+        pending: 0,
+        pending_backtracks: 0,
+        budget: None,
+        ctl,
+        aborted: false,
+        preempted: false,
+        last: None,
+        depth: 0,
+        covers: &[],
+        branch: None,
+        prune: PruneStats::default(),
+    };
+    let picked = probe.select_next().and_then(|node| {
+        let range = probe.feasible_levels(node);
+        if range.is_empty() {
+            return None;
+        }
+        let mut specs = Vec::new();
+        let mut level = range.first();
+        loop {
+            match ig.category(node) {
+                Category::Primary => specs.extend(faces_of_level(k, level)),
+                Category::Single => {
+                    let ff = probe.faces[ig.fathers(node)[0]].expect("father assigned");
+                    specs.extend(subfaces_of_level(&ff, level));
                 }
+                _ => unreachable!("only cat 1/3 nodes are selected"),
             }
-            out.push(Face::new(
-                k,
-                face.mask_bits() | mask,
-                face.value_bits() | value,
-            ));
+            match range.next_after(level) {
+                Some(l) => level = l,
+                None => break,
+            }
+        }
+        Some((node, specs))
+    });
+    let Search {
+        faces,
+        assigned,
+        multis,
+        ..
+    } = probe;
+    with_embed_scratch(|sc| {
+        sc.release_faces(faces);
+        sc.release_pairs(assigned);
+        sc.release_indices(multis);
+    });
+    picked
+}
+
+/// Resolves `jobs = 0` to the machine's available parallelism.
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Parallel root-subtree search with deterministic budget replay: every
+/// root candidate runs as an independent branch under the *full* budget,
+/// and the per-branch work is then replayed in sequential candidate order
+/// to re-derive exactly what the sequential search would have returned.
+/// First-solution-wins: a branch that finds an embedding preempts all
+/// higher-index branches (their results cannot matter).
+///
+/// Returns `(outcome, sequential-equivalent work, actual work)`.
+#[allow(clippy::too_many_arguments)]
+fn pos_equiv_parallel(
+    ig: &InputGraph,
+    k: u32,
+    level_lo: &[u32],
+    free_levels: bool,
+    covers: &[(usize, usize)],
+    budget: Option<u64>,
+    jobs: usize,
+    ctl: &RunCtl,
+) -> (EmbedOutcome, u64, u64) {
+    let sequential = |(o, s): (EmbedOutcome, u64)| (o, s, s);
+    let Some((node, specs)) = root_candidates(ig, k, level_lo, free_levels, ctl) else {
+        return sequential(run_search(
+            ig,
+            k,
+            level_lo,
+            free_levels,
+            covers,
+            budget,
+            ctl,
+            None,
+            None,
+        ));
+    };
+    if specs.len() < 2 {
+        return sequential(run_search(
+            ig,
+            k,
+            level_lo,
+            free_levels,
+            covers,
+            budget,
+            ctl,
+            None,
+            None,
+        ));
+    }
+    let decided = AtomicUsize::new(usize::MAX);
+    let claim = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<(EmbedOutcome, u64)>> =
+        (0..specs.len()).map(|_| OnceLock::new()).collect();
+    let workers = jobs.min(specs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let b = claim.fetch_add(1, Ordering::Relaxed);
+                if b >= specs.len() {
+                    break;
+                }
+                if decided.load(Ordering::Relaxed) < b {
+                    let _ = slots[b].set((EmbedOutcome::Preempted, 0));
+                    continue;
+                }
+                let out = run_search(
+                    ig,
+                    k,
+                    level_lo,
+                    free_levels,
+                    covers,
+                    budget,
+                    ctl,
+                    Some((node, specs[b])),
+                    Some((&decided, b)),
+                );
+                if matches!(out.0, EmbedOutcome::Found(_)) {
+                    decided.fetch_min(b, Ordering::Relaxed);
+                }
+                let _ = slots[b].set(out);
+            });
         }
     });
-    out
-}
-
-fn face_cares(face: &Face, bit: u32) -> bool {
-    face.mask_bits() >> bit & 1 == 1
-}
-
-fn combinations(items: &[u32], take: usize, f: &mut impl FnMut(&[u32])) {
-    fn rec(
-        items: &[u32],
-        take: usize,
-        start: usize,
-        cur: &mut Vec<u32>,
-        f: &mut impl FnMut(&[u32]),
-    ) {
-        if cur.len() == take {
-            f(cur);
-            return;
-        }
-        for i in start..items.len() {
-            cur.push(items[i]);
-            rec(items, take, i + 1, cur, f);
-            cur.pop();
+    let outs: Vec<(EmbedOutcome, u64)> = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap_or((EmbedOutcome::Preempted, 0)))
+        .collect();
+    let actual: u64 = outs.iter().map(|(_, w)| w).sum();
+    // Replay in sequential candidate order.
+    let mut rem = budget;
+    let mut spent: u64 = 0;
+    for (o, w) in outs {
+        match o {
+            EmbedOutcome::Exhausted => {
+                if let Some(r) = rem.as_mut() {
+                    if w > *r {
+                        // Sequentially, the budget would have run out midway
+                        // through this branch's subtree.
+                        return (EmbedOutcome::Capped, spent + *r, actual);
+                    }
+                    *r -= w;
+                }
+                spent += w;
+            }
+            EmbedOutcome::Found(e) => {
+                if let Some(r) = rem {
+                    if w > r {
+                        return (EmbedOutcome::Capped, spent + r, actual);
+                    }
+                }
+                return (EmbedOutcome::Found(e), spent + w, actual);
+            }
+            EmbedOutcome::Capped => {
+                // The branch alone exceeded the full budget; sequentially the
+                // cap fires within (or before) this subtree.
+                return (EmbedOutcome::Capped, spent + rem.unwrap_or(0), actual);
+            }
+            EmbedOutcome::Cancelled => {
+                return (EmbedOutcome::Cancelled, spent + w, actual);
+            }
+            EmbedOutcome::Preempted => {
+                // Unreachable: replay returns at the deciding (lower-index)
+                // branch before reaching any preempted one.
+                debug_assert!(false, "replay reached a preempted branch");
+                return (EmbedOutcome::Cancelled, spent, actual);
+            }
         }
     }
-    let mut cur = Vec::new();
-    rec(items, take, 0, &mut cur, f);
+    (EmbedOutcome::Exhausted, spent, actual)
+}
+
+/// Shared driver for every `pos_equiv`-family entry point: builds the
+/// per-node base levels, dispatches sequentially or in parallel, and flushes
+/// the run telemetry (`exact.nodes_visited`, `embed.nodes_per_sec`).
+#[allow(clippy::too_many_arguments)]
+fn pos_equiv_run(
+    ig: &InputGraph,
+    k: u32,
+    primary_levels: &BTreeMap<usize, u32>,
+    covers: &[(usize, usize)],
+    budget: Option<u64>,
+    free_levels: bool,
+    jobs: usize,
+    ctl: &RunCtl,
+) -> (EmbedOutcome, u64) {
+    if (ig.num_states() as u64) > 1u64 << k.min(63) {
+        return (EmbedOutcome::Exhausted, 0);
+    }
+    let rel = ig.relations();
+    let mut level_lo = with_embed_scratch(|sc| sc.acquire_levels());
+    for i in 0..ig.len() {
+        let mut lo = rel.min_level(i);
+        if ig.category(i) == Category::Primary && rel.card(i) > 1 {
+            if let Some(&l) = primary_levels.get(&i) {
+                lo = l;
+            }
+            if lo >= k {
+                with_embed_scratch(|sc| sc.release_levels(level_lo));
+                return (EmbedOutcome::Exhausted, 0);
+            }
+        }
+        level_lo.push(lo);
+    }
+    let tracer = ctl.tracer().clone();
+    tracer.incr("exact.pos_equiv_calls", 1);
+    let span = tracer.span("exact.pos_equiv");
+    let t0 = Instant::now();
+    let workers = effective_jobs(jobs);
+    // Parallel branches each see the full budget, so fuel-limited handles
+    // (which meter *total* work) must stay sequential to keep the node
+    // budget deterministic.
+    let (outcome, spent, actual) = if workers > 1 && !ctl.has_fuel_limit() {
+        pos_equiv_parallel(ig, k, &level_lo, free_levels, covers, budget, workers, ctl)
+    } else {
+        let (o, s) = run_search(
+            ig,
+            k,
+            &level_lo,
+            free_levels,
+            covers,
+            budget,
+            ctl,
+            None,
+            None,
+        );
+        (o, s, s)
+    };
+    drop(span);
+    tracer.incr("exact.nodes_visited", actual);
+    let secs = t0.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        tracer.gauge("embed.nodes_per_sec", (actual as f64 / secs) as i64);
+    }
+    with_embed_scratch(|sc| sc.release_levels(level_lo));
+    (outcome, spent)
+}
+
+fn to_pos_equiv(outcome: EmbedOutcome) -> PosEquiv {
+    match outcome {
+        EmbedOutcome::Found(e) => PosEquiv::Found(e),
+        EmbedOutcome::Exhausted => PosEquiv::Exhausted,
+        EmbedOutcome::Capped | EmbedOutcome::Cancelled | EmbedOutcome::Preempted => {
+            PosEquiv::Aborted
+        }
+    }
 }
 
 /// `pos_equiv` (Section 3.4): decides restricted SUBPOSET EQUIVALENCE for a
@@ -642,9 +1223,9 @@ pub fn pos_equiv_covers(
 }
 
 /// [`pos_equiv_covers`] under a [`RunCtl`]: every candidate face charges one
-/// unit, so a deadline or node budget on the handle aborts the backtracking
-/// promptly ([`PosEquiv::Aborted`] with `ctl.cancelled()` telling it apart
-/// from an exhausted local `budget`).
+/// unit (batched), so a deadline or node budget on the handle aborts the
+/// backtracking promptly ([`PosEquiv::Aborted`] with `ctl.cancelled()`
+/// telling it apart from an exhausted local `budget`).
 pub fn pos_equiv_covers_ctl(
     ig: &InputGraph,
     k: u32,
@@ -653,81 +1234,34 @@ pub fn pos_equiv_covers_ctl(
     budget: Option<u64>,
     ctl: &RunCtl,
 ) -> PosEquiv {
-    if (ig.num_states() as u64) > 1u64 << k.min(63) {
-        return PosEquiv::Exhausted;
-    }
-    let mut levels = BTreeMap::new();
-    for i in ig.primaries() {
-        if ig.set(i).len() > 1 {
-            let l = primary_levels
-                .get(&i)
-                .copied()
-                .unwrap_or_else(|| ig.min_level(i));
-            if l >= k {
-                return PosEquiv::Exhausted;
-            }
-            levels.insert(i, l);
-        }
-    }
-    let mut faces = vec![None; ig.len()];
-    faces[ig.universe()] = Some(Face::full(k));
-    let singleton_of: Vec<usize> = (0..ig.num_states())
-        .map(|s| {
-            ig.index_of(&StateSet::singleton(StateId(s)))
-                .expect("singleton node present")
-        })
-        .collect();
-    let mut search = Search {
-        ig,
-        k,
-        primary_level: levels,
-        faces,
-        used: HashSet::new(),
-        work: 0,
-        budget,
-        ctl,
-        aborted: false,
-        last: None,
-        depth: 0,
-        covers: covers.to_vec(),
-        singleton_of,
-    };
-    let tracer = ctl.tracer().clone();
-    tracer.incr("exact.pos_equiv_calls", 1);
-    let _span = tracer.span("exact.pos_equiv");
-    search.used.insert(Face::full(k));
-    let found = search.extend();
-    // Flush the per-call node-visit count once (keeps the hot loop free of
-    // tracer traffic beyond the depth histogram).
-    tracer.incr("exact.nodes_visited", search.work);
-    if found {
-        let n = ig.num_states();
-        let mut codes = vec![0u64; n];
-        for (s, code) in codes.iter_mut().enumerate() {
-            let i = ig
-                .index_of(&StateSet::singleton(StateId(s)))
-                .expect("singleton");
-            *code = search.faces[i].expect("assigned").vertices()[0];
-        }
-        let faces = (0..ig.len())
-            .map(|i| (ig.set(i), search.faces[i].expect("assigned")))
-            .collect();
-        PosEquiv::Found(Embedding {
-            bits: k,
-            codes,
-            faces,
-        })
-    } else if search.aborted {
-        PosEquiv::Aborted
-    } else {
-        PosEquiv::Exhausted
-    }
+    pos_equiv_covers_jobs_ctl(ig, k, primary_levels, covers, budget, 1, ctl)
+}
+
+/// [`pos_equiv_covers_ctl`] with root-subtree parallelism: `jobs` worker
+/// threads split the first selected node's candidate faces (`0` = one per
+/// core). The result is bit-identical to `jobs = 1` whenever no deadline
+/// fires: branch work is replayed in sequential candidate order against the
+/// budget, and first-solution-wins preemption only cancels branches the
+/// sequential search would never have reached.
+#[allow(clippy::too_many_arguments)]
+pub fn pos_equiv_covers_jobs_ctl(
+    ig: &InputGraph,
+    k: u32,
+    primary_levels: &BTreeMap<usize, u32>,
+    covers: &[(usize, usize)],
+    budget: Option<u64>,
+    jobs: usize,
+    ctl: &RunCtl,
+) -> PosEquiv {
+    let (outcome, _) = pos_equiv_run(ig, k, primary_levels, covers, budget, true, jobs, ctl);
+    to_pos_equiv(outcome)
 }
 
 /// `iexact_code` (Section 3.3.1): exact input encoding. Tries increasing
-/// cube dimensions from [`mincube_dim`], enumerating primary level vectors
-/// lexicographically, until an embedding satisfying **all** input
-/// constraints is found.
+/// cube dimensions from [`mincube_dim`]; at each dimension a strict
+/// subposet-equivalence search with free primary levels runs first, then
+/// (with [`ExactOptions::complete`]) the weak direct code assignment, until
+/// an encoding satisfying **all** input constraints is found.
 ///
 /// Returns `None` when the work budget is exhausted or `max_k` is passed
 /// (the paper likewise reports failures for the hardest machines).
@@ -746,81 +1280,62 @@ pub fn iexact_code_ctl(
     let tracer = ctl.tracer().clone();
     let _span = tracer.span("exact.iexact_code");
     let mut remaining = opts.max_work;
+    // Cap each (dimension, phase) so no single unsatisfiable dimension can
+    // starve the dimensions above it.
+    let per_phase = opts.max_work.map(|w| (w / 8).max(4096));
     let start = mincube_dim(ig);
-    let primaries: Vec<usize> = ig
-        .primaries()
-        .into_iter()
-        .filter(|&i| ig.set(i).len() > 1)
-        .collect();
+    let no_levels = BTreeMap::new();
     for k in start..=opts.max_k.min(ig.num_states() as u32) {
+        if remaining == Some(0) {
+            return Ok(None);
+        }
         tracer.incr("exact.dimensions_tried", 1);
         tracer.gauge("exact.dimension", k as i64);
-        // Level ranges for the odometer.
-        let ranges: Vec<(u32, u32)> = primaries
-            .iter()
-            .map(|&i| {
-                let lo = ig.min_level(i);
-                let hi = if opts.min_dimension_faces_only {
-                    lo
-                } else {
-                    (k - 1).max(lo)
-                };
-                (lo, hi)
-            })
-            .collect();
-        let mut dimvect: Vec<u32> = ranges.iter().map(|r| r.0).collect();
-        loop {
-            let levels: BTreeMap<usize, u32> = primaries
-                .iter()
-                .copied()
-                .zip(dimvect.iter().copied())
-                .collect();
-            match pos_equiv_covers_ctl(ig, k, &levels, &[], remaining, ctl) {
-                PosEquiv::Found(e) => return Ok(Some(e)),
-                PosEquiv::Aborted => {
-                    return if ctl.cancelled() {
-                        Err(Cancelled)
-                    } else {
-                        Ok(None)
-                    }
-                }
-                PosEquiv::Exhausted => {}
-            }
-            if let Some(r) = remaining.as_mut() {
-                // Rough accounting: each pos_equiv call at least costs one
-                // unit; detailed work is tracked inside but not returned, so
-                // decay the budget geometrically to guarantee termination.
-                *r = r.saturating_sub(1 + *r / 64);
-                if *r == 0 {
-                    return Ok(None);
-                }
-            }
-            // Advance the odometer (lexicographic, Example 3.3.1.2).
-            let mut pos = dimvect.len();
-            loop {
-                if pos == 0 {
-                    break;
-                }
-                pos -= 1;
-                if dimvect[pos] < ranges[pos].1 {
-                    tracer.incr("exact.level_switches", 1);
-                    dimvect[pos] += 1;
-                    for p in pos + 1..dimvect.len() {
-                        dimvect[p] = ranges[p].0;
-                    }
-                    break;
-                }
-                if pos == 0 {
-                    pos = usize::MAX;
-                    break;
-                }
-            }
-            if pos == usize::MAX || dimvect.is_empty() {
-                break;
+        // Phase A: strict subposet embedding (free primary levels replace
+        // the old explicit level-vector odometer).
+        let cap = cap_for(remaining, per_phase);
+        let (outcome, spent) = pos_equiv_run(
+            ig,
+            k,
+            &no_levels,
+            &[],
+            cap,
+            !opts.min_dimension_faces_only,
+            opts.embed_jobs,
+            ctl,
+        );
+        match outcome {
+            EmbedOutcome::Found(e) => return Ok(Some(e)),
+            EmbedOutcome::Cancelled | EmbedOutcome::Preempted => return Err(Cancelled),
+            EmbedOutcome::Exhausted | EmbedOutcome::Capped => debit(&mut remaining, spent),
+        }
+        // Phase B: weak direct code assignment — the paper's acceptance
+        // criterion — for instances with no strict subposet embedding.
+        if opts.complete && (1..=63).contains(&k) {
+            let cap = cap_for(remaining, per_phase);
+            let (outcome, spent) = assign_codes_ctl(ig, k, cap, ctl);
+            match outcome {
+                AssignOutcome::Found(e) => return Ok(Some(e)),
+                AssignOutcome::Aborted if ctl.cancelled() => return Err(Cancelled),
+                _ => debit(&mut remaining, spent),
             }
         }
     }
     Ok(None)
+}
+
+fn cap_for(remaining: Option<u64>, per_phase: Option<u64>) -> Option<u64> {
+    match (remaining, per_phase) {
+        (Some(r), Some(p)) => Some(r.min(p)),
+        (Some(r), None) => Some(r),
+        (None, p) => p,
+    }
+}
+
+fn debit(remaining: &mut Option<u64>, spent: u64) {
+    if let Some(r) = remaining.as_mut() {
+        *r = r.saturating_sub(spent.max(1));
+    }
 }
 
 /// `semiexact_code`: bounded search on a fixed dimension with
@@ -845,6 +1360,19 @@ pub fn semiexact_code_ctl(
     ctl: &RunCtl,
 ) -> Result<Option<Embedding>, Cancelled> {
     io_semiexact_code_ctl(num_states, constraints, &[], k, max_work, ctl)
+}
+
+/// [`semiexact_code_ctl`] with root-subtree parallelism (see
+/// [`pos_equiv_covers_jobs_ctl`] for the determinism guarantee).
+pub fn semiexact_code_jobs_ctl(
+    num_states: usize,
+    constraints: &[StateSet],
+    k: u32,
+    max_work: u64,
+    jobs: usize,
+    ctl: &RunCtl,
+) -> Result<Option<Embedding>, Cancelled> {
+    io_semiexact_code_jobs_ctl(num_states, constraints, &[], k, max_work, jobs, ctl)
 }
 
 /// `io_semiexact_code` (Section VI-6.2.1): `semiexact_code` with an added
@@ -878,16 +1406,27 @@ pub fn io_semiexact_code_ctl(
     max_work: u64,
     ctl: &RunCtl,
 ) -> Result<Option<Embedding>, Cancelled> {
+    io_semiexact_code_jobs_ctl(num_states, constraints, covers, k, max_work, 1, ctl)
+}
+
+/// [`io_semiexact_code_ctl`] with root-subtree parallelism (see
+/// [`pos_equiv_covers_jobs_ctl`] for the determinism guarantee).
+#[allow(clippy::too_many_arguments)]
+pub fn io_semiexact_code_jobs_ctl(
+    num_states: usize,
+    constraints: &[StateSet],
+    covers: &[(usize, usize)],
+    k: u32,
+    max_work: u64,
+    jobs: usize,
+    ctl: &RunCtl,
+) -> Result<Option<Embedding>, Cancelled> {
     let ig = InputGraph::build(num_states, constraints);
-    let levels: BTreeMap<usize, u32> = ig
-        .primaries()
-        .into_iter()
-        .filter(|&i| ig.set(i).len() > 1)
-        .map(|i| (i, ig.min_level(i)))
-        .collect();
-    match pos_equiv_covers_ctl(&ig, k, &levels, covers, Some(max_work), ctl) {
-        PosEquiv::Found(e) => Ok(Some(e)),
-        PosEquiv::Aborted if ctl.cancelled() => Err(Cancelled),
+    let no_levels = BTreeMap::new();
+    let (outcome, _) = pos_equiv_run(&ig, k, &no_levels, covers, Some(max_work), true, jobs, ctl);
+    match outcome {
+        EmbedOutcome::Found(e) => Ok(Some(e)),
+        EmbedOutcome::Cancelled | EmbedOutcome::Preempted => Err(Cancelled),
         _ => Ok(None),
     }
 }
@@ -895,11 +1434,10 @@ pub fn io_semiexact_code_ctl(
 /// Does `codes` satisfy constraint `set` (the spanned face contains no
 /// non-member code)?
 pub fn constraint_satisfied(set: &StateSet, codes: &[u64], bits: u32) -> bool {
-    let members: Vec<u64> = set.iter().map(|s| codes[s.0]).collect();
-    if members.is_empty() {
+    if set.is_empty() {
         return true;
     }
-    let span = Face::spanning(bits, &members);
+    let span = Face::span_of(bits, set.iter().map(|s| codes[s.0]));
     codes
         .iter()
         .enumerate()
@@ -990,7 +1528,8 @@ mod tests {
         // intersections of their fathers' faces, which is geometrically
         // impossible for a triangle at any dimension (the three difference
         // masks cannot be pairwise disjoint around an odd closed chain).
-        // `iexact_code` must report failure rather than loop.
+        // With the weak fallback disabled, `iexact_code` must report failure
+        // rather than loop.
         let ics = ["1100", "0110", "1010"]
             .iter()
             .map(|s| StateSet::parse(s).unwrap())
@@ -998,9 +1537,32 @@ mod tests {
         let ig = InputGraph::build(4, &ics);
         let opts = ExactOptions {
             max_k: 5,
+            complete: false,
             ..ExactOptions::default()
         };
         assert!(iexact_code(&ig, opts).is_none());
+    }
+
+    #[test]
+    fn weak_fallback_solves_the_triangle() {
+        // Same instance as above, but with the weak acceptance criterion
+        // (the default): codes like 000,101,011,110 satisfy every pair
+        // constraint at k = 3, because each pair's spanning face excludes
+        // the other two codes.
+        let ics = ["1100", "0110", "1010"]
+            .iter()
+            .map(|s| StateSet::parse(s).unwrap())
+            .collect::<Vec<_>>();
+        let ig = InputGraph::build(4, &ics);
+        let e = iexact_code(&ig, ExactOptions::default()).expect("weakly solvable");
+        assert_eq!(e.bits, 3);
+        for ic in &ics {
+            assert!(constraint_satisfied(ic, &e.codes, e.bits));
+        }
+        let mut codes = e.codes.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 4, "codes distinct");
     }
 
     #[test]
@@ -1012,6 +1574,50 @@ mod tests {
         // Generous budget: solves.
         let r = semiexact_code(7, &ig_constraints, 4, 2_000_000);
         assert!(r.is_some());
+    }
+
+    #[test]
+    fn parallel_embedding_matches_sequential() {
+        // The parallel root-subtree search must return bit-identical results
+        // for any job count, including under a local work budget.
+        let ig = InputGraph::build(7, &paper_ic());
+        let levels = BTreeMap::new();
+        let ctl = RunCtl::unlimited();
+        let seq = pos_equiv_covers_jobs_ctl(&ig, 4, &levels, &[], Some(2_000_000), 1, &ctl);
+        for jobs in [2, 4] {
+            let par = pos_equiv_covers_jobs_ctl(&ig, 4, &levels, &[], Some(2_000_000), jobs, &ctl);
+            match (&seq, &par) {
+                (PosEquiv::Found(a), PosEquiv::Found(b)) => {
+                    assert_eq!(a.codes, b.codes, "jobs={jobs}");
+                    assert_eq!(a.bits, b.bits);
+                    assert_eq!(a.faces, b.faces);
+                }
+                other => panic!("outcome mismatch at jobs={jobs}: {other:?}"),
+            }
+        }
+        // A budget too small to finish must abort identically.
+        let seq = pos_equiv_covers_jobs_ctl(&ig, 4, &levels, &[], Some(3), 1, &ctl);
+        let par = pos_equiv_covers_jobs_ctl(&ig, 4, &levels, &[], Some(3), 4, &ctl);
+        assert!(
+            matches!((&seq, &par), (PosEquiv::Aborted, PosEquiv::Aborted)),
+            "both abort under a tiny budget: {seq:?} vs {par:?}"
+        );
+    }
+
+    #[test]
+    fn iexact_jobs_matches_default() {
+        let ig = InputGraph::build(7, &paper_ic());
+        let base = iexact_code(&ig, ExactOptions::default()).expect("solvable");
+        let jobs = iexact_code(
+            &ig,
+            ExactOptions {
+                embed_jobs: 4,
+                ..ExactOptions::default()
+            },
+        )
+        .expect("solvable");
+        assert_eq!(base.bits, jobs.bits);
+        assert_eq!(base.codes, jobs.codes);
     }
 
     #[test]

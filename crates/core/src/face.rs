@@ -172,21 +172,21 @@ impl Face {
         self != other && self.contains(other)
     }
 
-    /// The vertices of the face in increasing code order.
-    pub fn vertices(&self) -> Vec<u64> {
-        let free: Vec<u32> = (0..self.k).filter(|&i| self.mask >> i & 1 == 0).collect();
-        let mut out = Vec::with_capacity(1 << free.len());
-        for combo in 0u64..1 << free.len() {
-            let mut code = self.value;
-            for (j, &pos) in free.iter().enumerate() {
-                if combo >> j & 1 == 1 {
-                    code |= 1 << pos;
-                }
-            }
-            out.push(code);
+    /// Iterator over the vertices of the face in increasing code order,
+    /// without allocating. The first vertex equals
+    /// [`value_bits`](Face::value_bits) (all free positions 0).
+    pub fn vertices_iter(&self) -> VerticesIter {
+        VerticesIter {
+            free: !self.mask & full_mask(self.k),
+            value: self.value,
+            next: Some(0),
         }
-        out.sort_unstable();
-        out
+    }
+
+    /// The vertices of the face in increasing code order (a collecting
+    /// wrapper around [`vertices_iter`](Face::vertices_iter)).
+    pub fn vertices(&self) -> Vec<u64> {
+        self.vertices_iter().collect()
     }
 
     /// The smallest face containing all the given vertices.
@@ -195,10 +195,21 @@ impl Face {
     ///
     /// Panics if `codes` is empty or contains bits above `k`.
     pub fn spanning(k: u32, codes: &[u64]) -> Face {
-        assert!(!codes.is_empty(), "spanning face of no vertices");
-        let first = codes[0];
+        Face::span_of(k, codes.iter().copied())
+    }
+
+    /// [`spanning`](Face::spanning) over any vertex iterator (no slice, no
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or yields bits above `k`.
+    pub fn span_of(k: u32, codes: impl IntoIterator<Item = u64>) -> Face {
+        let mut it = codes.into_iter();
+        let first = it.next().expect("spanning face of no vertices");
+        assert_eq!(first & !full_mask(k), 0);
         let mut agree = full_mask(k);
-        for &c in codes {
+        for c in it {
             assert_eq!(c & !full_mask(k), 0);
             agree &= !(c ^ first);
         }
@@ -210,33 +221,188 @@ impl Face {
     }
 }
 
+/// Iterator over a face's vertices (see [`Face::vertices_iter`]): walks the
+/// subsets of the free-bit mask in increasing numeric order with the
+/// in-mask increment `s' = (s - free) & free`.
+#[derive(Debug, Clone)]
+pub struct VerticesIter {
+    free: u64,
+    value: u64,
+    next: Option<u64>,
+}
+
+impl Iterator for VerticesIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let s = self.next?;
+        let succ = s.wrapping_sub(self.free) & self.free;
+        self.next = if succ == 0 { None } else { Some(succ) };
+        Some(self.value | s)
+    }
+}
+
 /// Iterator over all faces of a given level of the k-cube, in a fixed
 /// deterministic order (mask combinations outer, values inner).
-pub fn faces_of_level(k: u32, level: u32) -> impl Iterator<Item = Face> {
+///
+/// Allocation-free: masks advance with Gosper's hack (next mask of equal
+/// popcount in increasing numeric order — the same order the old
+/// filter-scan produced, without visiting the other `2^k` words), values
+/// with the in-mask subset increment.
+pub fn faces_of_level(k: u32, level: u32) -> FacesOfLevel {
     assert!(level <= k);
     let care = k - level;
-    masks_with_popcount(k, care)
-        .flat_map(move |mask| value_assignments(mask).map(move |value| Face { k, mask, value }))
+    let first_mask = if care == 0 { 0 } else { (1u64 << care) - 1 };
+    FacesOfLevel {
+        k,
+        limit: 1u64 << k,
+        mask: Some(first_mask),
+        value: 0,
+    }
 }
 
-/// All `k`-bit masks with exactly `ones` bits set, ascending.
-fn masks_with_popcount(k: u32, ones: u32) -> impl Iterator<Item = u64> {
-    let limit = 1u64 << k;
-    (0..limit).filter(move |m| m.count_ones() == ones)
+/// Iterator state of [`faces_of_level`].
+#[derive(Debug, Clone)]
+pub struct FacesOfLevel {
+    k: u32,
+    limit: u64,
+    /// Current care mask (`None` once exhausted).
+    mask: Option<u64>,
+    /// Current value within the mask.
+    value: u64,
 }
 
-/// All values within a mask (its subsets), ascending by packed index.
-fn value_assignments(mask: u64) -> impl Iterator<Item = u64> {
-    let bits: Vec<u32> = (0..64).filter(|&i| mask >> i & 1 == 1).collect();
-    (0u64..1 << bits.len()).map(move |combo| {
-        let mut v = 0;
-        for (j, &pos) in bits.iter().enumerate() {
-            if combo >> j & 1 == 1 {
-                v |= 1 << pos;
+impl Iterator for FacesOfLevel {
+    type Item = Face;
+
+    fn next(&mut self) -> Option<Face> {
+        let mask = self.mask?;
+        let face = Face {
+            k: self.k,
+            mask,
+            value: self.value,
+        };
+        // Advance: next value within the mask, else next mask (Gosper).
+        self.value = self.value.wrapping_sub(mask) & mask;
+        if self.value == 0 {
+            self.mask = next_same_popcount(mask).filter(|&m| m < self.limit);
+        }
+        Some(face)
+    }
+}
+
+/// Gosper's hack: the next integer with the same popcount, or `None` when
+/// the input is 0 (only the full-level mask) or would overflow.
+fn next_same_popcount(m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    let c = m & m.wrapping_neg();
+    let r = m.checked_add(c)?;
+    Some((((r ^ m) >> 2) / c) | r)
+}
+
+/// All subfaces of `face` with the given level, in the fixed deterministic
+/// order of the embedding search: free-position combinations advance
+/// lexicographically, value assignments of the newly fixed bits inner.
+///
+/// # Panics
+///
+/// Panics when `level` exceeds the face's own level.
+pub fn subfaces_of_level(face: &Face, level: u32) -> SubfaceIter {
+    let lvl = face.level();
+    assert!(level <= lvl, "subface level above the face's level");
+    let mut free = [0u32; 64];
+    let mut n = 0;
+    for i in 0..face.k() {
+        if face.mask_bits() >> i & 1 == 0 {
+            free[n] = i;
+            n += 1;
+        }
+    }
+    let extra = (lvl - level) as usize;
+    let mut chosen = [0usize; 64];
+    for (j, c) in chosen.iter_mut().take(extra).enumerate() {
+        *c = j;
+    }
+    SubfaceIter {
+        base: *face,
+        free,
+        n,
+        extra,
+        chosen,
+        combo: 0,
+        done: false,
+    }
+}
+
+/// Iterator state of [`subfaces_of_level`].
+#[derive(Debug, Clone)]
+pub struct SubfaceIter {
+    base: Face,
+    /// Free bit positions of the base face (first `n` entries).
+    free: [u32; 64],
+    n: usize,
+    /// How many free positions get fixed per subface.
+    extra: usize,
+    /// Current combination: ascending indices into `free[0..n]`.
+    chosen: [usize; 64],
+    /// Current value assignment of the chosen positions (packed bits).
+    combo: u64,
+    done: bool,
+}
+
+impl Iterator for SubfaceIter {
+    type Item = Face;
+
+    fn next(&mut self) -> Option<Face> {
+        if self.done {
+            return None;
+        }
+        let mut mask = 0u64;
+        let mut value = 0u64;
+        for (j, &ci) in self.chosen.iter().take(self.extra).enumerate() {
+            let pos = self.free[ci];
+            mask |= 1 << pos;
+            if self.combo >> j & 1 == 1 {
+                value |= 1 << pos;
             }
         }
-        v
-    })
+        let face = Face {
+            k: self.base.k,
+            mask: self.base.mask | mask,
+            value: self.base.value | value,
+        };
+        // Advance: next value combo, else next lexicographic combination.
+        self.combo += 1;
+        if self.combo >> self.extra != 0 {
+            self.combo = 0;
+            self.done = !self.advance_combination();
+        }
+        Some(face)
+    }
+}
+
+impl SubfaceIter {
+    /// Lexicographic successor of `chosen[0..extra]` over `[0, n)`.
+    fn advance_combination(&mut self) -> bool {
+        if self.extra == 0 {
+            return false;
+        }
+        let (r, n) = (self.extra, self.n);
+        let mut i = r;
+        while i > 0 {
+            i -= 1;
+            if self.chosen[i] < n - r + i {
+                self.chosen[i] += 1;
+                for j in i + 1..r {
+                    self.chosen[j] = self.chosen[j - 1] + 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! IV-4.2, Proposition 4.2.1) up to the requested code length.
 
 use crate::constraint::{InputConstraints, StateSet, WeightedConstraint};
-use crate::exact::{constraint_satisfied, min_code_length, semiexact_code_ctl};
+use crate::exact::{constraint_satisfied, min_code_length, semiexact_code_jobs_ctl};
 use espresso::{Cancelled, RunCtl};
 use fsm::Encoding;
 
@@ -14,11 +14,18 @@ pub struct HybridOptions {
     /// The `max_work` bound on each `semiexact_code` call (the paper's
     /// "magic number", Section IV-4.1).
     pub max_work: u64,
+    /// Worker threads for the embedding search's root-subtree parallelism
+    /// (`0` = one per core, `1` = sequential; results are identical either
+    /// way whenever no deadline fires).
+    pub embed_jobs: usize,
 }
 
 impl Default for HybridOptions {
     fn default() -> Self {
-        HybridOptions { max_work: 200_000 }
+        HybridOptions {
+            max_work: 200_000,
+            embed_jobs: 0,
+        }
     }
 }
 
@@ -77,8 +84,7 @@ pub fn project_code(codes: &mut [u64], bits: &mut u32, unsatisfied: &[WeightedCo
         .expect("project_code needs an unsatisfied constraint");
     let raise_sets_for = |c: &WeightedConstraint| -> [Vec<usize>; 2] {
         let members: Vec<usize> = c.set.iter().map(|s| s.0).collect();
-        let member_codes: Vec<u64> = members.iter().map(|&s| codes[s]).collect();
-        let span = crate::face::Face::spanning(*bits, &member_codes);
+        let span = crate::face::Face::span_of(*bits, members.iter().map(|&s| codes[s]));
         let offenders: Vec<usize> = (0..codes.len())
             .filter(|&s| !c.set.contains(fsm::StateId(s)) && span.contains_vertex(codes[s]))
             .collect();
@@ -166,7 +172,8 @@ pub fn ihybrid_code_ctl(
     for &c in &ics.constraints {
         let mut attempt: Vec<StateSet> = sic.iter().map(|w| w.set).collect();
         attempt.push(c.set);
-        match semiexact_code_ctl(n, &attempt, min_length, opts.max_work, ctl)? {
+        match semiexact_code_jobs_ctl(n, &attempt, min_length, opts.max_work, opts.embed_jobs, ctl)?
+        {
             Some(embedding) => {
                 codes = Some(embedding.codes);
                 sic.push(c);
@@ -179,7 +186,7 @@ pub fn ihybrid_code_ctl(
     // codes as a last resort.
     let mut codes = match codes {
         Some(c) => c,
-        None => semiexact_code_ctl(n, &[], min_length, opts.max_work, ctl)?
+        None => semiexact_code_jobs_ctl(n, &[], min_length, opts.max_work, opts.embed_jobs, ctl)?
             .map(|e| e.codes)
             .unwrap_or_else(|| (0..n as u64).collect()),
     };

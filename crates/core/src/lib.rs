@@ -37,6 +37,7 @@
 //! assert!(result.area > 0);
 //! ```
 
+pub mod assign;
 pub mod constraint;
 pub mod driver;
 pub mod exact;
@@ -46,8 +47,10 @@ pub mod hybrid;
 pub mod iohybrid;
 pub mod mustang;
 pub mod poset;
+pub mod scratch;
 pub mod symbolic_min;
 
+pub use assign::{assign_codes, assign_codes_ctl, AssignOutcome};
 pub use constraint::{
     extract_input_constraints, extract_input_constraints_ctl, InputConstraints, StateSet,
     WeightedConstraint,

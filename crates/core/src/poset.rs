@@ -6,6 +6,7 @@
 use crate::constraint::StateSet;
 use fsm::StateId;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// The paper's constraint categories (Section 3.3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,143 @@ pub struct InputGraph {
     fathers: Vec<Vec<usize>>,
     children: Vec<Vec<usize>>,
     universe: usize,
+    /// Lazily built pairwise relation cache (see [`Relations`]); shared so
+    /// clones and parallel search branches reuse one computation.
+    relations: OnceLock<Arc<Relations>>,
+}
+
+/// Precomputed pairwise relations between input-graph nodes, built once per
+/// graph and consulted by the embedding search's `verify` on every
+/// candidate face instead of re-deriving set intersections and containments
+/// per backtracking node.
+#[derive(Debug)]
+pub struct Relations {
+    n: usize,
+    /// `n*n` relation flags, row-major (see the `REL_*` constants).
+    flags: Vec<u8>,
+    /// `n*n` intersection cardinalities `|set(i) ∩ set(j)|`.
+    inter_size: Vec<u16>,
+    /// Node cardinalities `|set(i)|`.
+    card: Vec<u16>,
+    /// Minimum feasible face level per node.
+    min_level: Vec<u32>,
+    /// Node index of the singleton `{s}` for every state `s`.
+    singleton_of: Vec<usize>,
+}
+
+/// `set(i) ∩ set(j) = ∅`.
+const REL_DISJOINT: u8 = 1;
+/// `set(i) ⊊ set(j)`.
+const REL_I_IN_J: u8 = 2;
+/// `set(j) ⊊ set(i)`.
+const REL_J_IN_I: u8 = 4;
+/// Nodes `i` and `j` share at least one child in the Hasse diagram.
+const REL_SHARES_CHILD: u8 = 8;
+
+impl Relations {
+    fn build(ig: &InputGraph) -> Relations {
+        let n = ig.len();
+        let mut flags = vec![0u8; n * n];
+        let mut inter_size = vec![0u16; n * n];
+        let mut child_mask: Vec<Vec<u64>> = Vec::with_capacity(n);
+        let words = n.div_ceil(64);
+        for i in 0..n {
+            let mut m = vec![0u64; words];
+            for &c in ig.children(i) {
+                m[c / 64] |= 1u64 << (c % 64);
+            }
+            child_mask.push(m);
+        }
+        for i in 0..n {
+            let si = ig.set(i);
+            for j in 0..n {
+                let sj = ig.set(j);
+                let mut f = 0u8;
+                let inter = si.intersection(&sj);
+                if inter.is_empty() {
+                    f |= REL_DISJOINT;
+                }
+                if si.is_proper_subset_of(&sj) {
+                    f |= REL_I_IN_J;
+                }
+                if sj.is_proper_subset_of(&si) {
+                    f |= REL_J_IN_I;
+                }
+                if child_mask[i]
+                    .iter()
+                    .zip(&child_mask[j])
+                    .any(|(a, b)| a & b != 0)
+                {
+                    f |= REL_SHARES_CHILD;
+                }
+                flags[i * n + j] = f;
+                inter_size[i * n + j] = inter.len() as u16;
+            }
+        }
+        let card = (0..n).map(|i| ig.set(i).len() as u16).collect();
+        let min_level = (0..n).map(|i| ig.min_level(i)).collect();
+        let singleton_of = (0..ig.num_states())
+            .map(|s| {
+                ig.index_of(&StateSet::singleton(StateId(s)))
+                    .expect("singleton node present")
+            })
+            .collect();
+        Relations {
+            n,
+            flags,
+            inter_size,
+            card,
+            min_level,
+            singleton_of,
+        }
+    }
+
+    #[inline]
+    fn flag(&self, i: usize, j: usize) -> u8 {
+        self.flags[i * self.n + j]
+    }
+
+    /// `set(i) ∩ set(j) = ∅`?
+    #[inline]
+    pub fn disjoint(&self, i: usize, j: usize) -> bool {
+        self.flag(i, j) & REL_DISJOINT != 0
+    }
+
+    /// `set(i) ⊊ set(j)`?
+    #[inline]
+    pub fn proper_subset(&self, i: usize, j: usize) -> bool {
+        self.flag(i, j) & REL_I_IN_J != 0
+    }
+
+    /// Do `i` and `j` share a child in the Hasse diagram?
+    #[inline]
+    pub fn shares_child(&self, i: usize, j: usize) -> bool {
+        self.flag(i, j) & REL_SHARES_CHILD != 0
+    }
+
+    /// `|set(i) ∩ set(j)|`.
+    #[inline]
+    pub fn inter_size(&self, i: usize, j: usize) -> usize {
+        self.inter_size[i * self.n + j] as usize
+    }
+
+    /// `|set(i)|`.
+    #[inline]
+    pub fn card(&self, i: usize) -> usize {
+        self.card[i] as usize
+    }
+
+    /// Minimum feasible face level of node `i`.
+    #[inline]
+    pub fn min_level(&self, i: usize) -> u32 {
+        self.min_level[i]
+    }
+
+    /// Node index of the singleton `{s}`.
+    #[inline]
+    pub fn singleton_of(&self, s: usize) -> usize {
+        self.singleton_of[s]
+    }
 }
 
 impl InputGraph {
@@ -108,7 +246,14 @@ impl InputGraph {
             fathers,
             children,
             universe,
+            relations: OnceLock::new(),
         }
+    }
+
+    /// The pairwise relation cache, built on first use and shared after.
+    pub fn relations(&self) -> &Relations {
+        self.relations
+            .get_or_init(|| Arc::new(Relations::build(self)))
     }
 
     /// Number of machine states.

@@ -1,0 +1,119 @@
+//! Parallel-vs-sequential identity of the face-embedding search on
+//! randomized input graphs: for any job count, `pos_equiv_covers_jobs_ctl`
+//! and `iexact_code` must return byte-identical results — the parallel
+//! search replays its per-branch work in sequential candidate order, so
+//! only a wall-clock deadline (never used here) may introduce divergence.
+
+use nova_core::exact::{iexact_code, pos_equiv_covers_jobs_ctl, ExactOptions, PosEquiv};
+use nova_core::{InputGraph, RunCtl, StateSet};
+use std::collections::BTreeMap;
+
+/// SplitMix64: tiny deterministic PRNG for reproducible instances.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random instance: `n` states, `m` constraints of cardinality 2..n.
+fn random_graph(rng: &mut SplitMix64) -> InputGraph {
+    let n = 4 + rng.below(6) as usize; // 4..=9 states
+    let m = 1 + rng.below(5) as usize; // 1..=5 constraints
+    let mut sets = Vec::new();
+    for _ in 0..m {
+        let card = 2 + rng.below(n as u64 - 1) as usize;
+        let mut members = vec![false; n];
+        let mut placed = 0;
+        while placed < card {
+            let s = rng.below(n as u64) as usize;
+            if !members[s] {
+                members[s] = true;
+                placed += 1;
+            }
+        }
+        let repr: String = members.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        sets.push(StateSet::parse(&repr).expect("valid bitstring"));
+    }
+    InputGraph::build(n, &sets)
+}
+
+fn assert_same(seed: u64, a: &PosEquiv, b: &PosEquiv, jobs: usize) {
+    match (a, b) {
+        (PosEquiv::Found(x), PosEquiv::Found(y)) => {
+            assert_eq!(x.bits, y.bits, "bits diverged (seed {seed}, jobs {jobs})");
+            assert_eq!(
+                x.codes, y.codes,
+                "codes diverged (seed {seed}, jobs {jobs})"
+            );
+            assert_eq!(
+                x.faces, y.faces,
+                "faces diverged (seed {seed}, jobs {jobs})"
+            );
+        }
+        (PosEquiv::Exhausted, PosEquiv::Exhausted) | (PosEquiv::Aborted, PosEquiv::Aborted) => {}
+        other => panic!("outcome diverged (seed {seed}, jobs {jobs}): {other:?}"),
+    }
+}
+
+#[test]
+fn random_graphs_embed_identically_across_job_counts() {
+    let instances = if cfg!(debug_assertions) { 40 } else { 120 };
+    let mut rng = SplitMix64(0x5eed_cafe);
+    let no_levels = BTreeMap::new();
+    let ctl = RunCtl::unlimited();
+    for case in 0..instances {
+        let ig = random_graph(&mut rng);
+        let k = nova_core::mincube_dim(&ig).min(6);
+        // Alternate between a roomy budget and a tight one so both the
+        // Found/Exhausted and the budget-replay (Aborted) paths are hit.
+        let budget = if case % 3 == 2 {
+            Some(200)
+        } else {
+            Some(100_000)
+        };
+        let seq = pos_equiv_covers_jobs_ctl(&ig, k, &no_levels, &[], budget, 1, &ctl);
+        for jobs in [2, 4] {
+            let par = pos_equiv_covers_jobs_ctl(&ig, k, &no_levels, &[], budget, jobs, &ctl);
+            assert_same(case, &seq, &par, jobs);
+        }
+    }
+}
+
+#[test]
+fn random_graphs_iexact_identical_across_job_counts() {
+    let instances = if cfg!(debug_assertions) { 15 } else { 60 };
+    let mut rng = SplitMix64(0xfeed_f00d);
+    for case in 0..instances {
+        let ig = random_graph(&mut rng);
+        let opts = ExactOptions {
+            max_work: Some(100_000),
+            ..ExactOptions::default()
+        };
+        let base = iexact_code(&ig, opts);
+        let par = iexact_code(
+            &ig,
+            ExactOptions {
+                embed_jobs: 4,
+                ..opts
+            },
+        );
+        match (&base, &par) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.bits, b.bits, "bits diverged (seed {case})");
+                assert_eq!(a.codes, b.codes, "codes diverged (seed {case})");
+            }
+            (None, None) => {}
+            other => panic!("outcome diverged (seed {case}): {:?}", other),
+        }
+    }
+}

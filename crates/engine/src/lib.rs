@@ -38,7 +38,7 @@ use espresso::{RunCounters, RunCtl};
 use fsm::Fsm;
 use json::Json;
 use nova_core::driver::{
-    run_traced_shared, Algorithm, EvalResult, RunStatus, StageCell, StageTimes,
+    run_traced_shared_jobs, Algorithm, EvalResult, RunStatus, StageCell, StageTimes,
 };
 use nova_trace::{MetricsSnapshot, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,6 +61,10 @@ pub struct EngineConfig {
     pub node_budget: Option<u64>,
     /// Code-length override passed to the algorithms that accept one.
     pub target_bits: Option<u32>,
+    /// Worker threads for the embedding search inside each algorithm run
+    /// (`0` = one per core, `1` = sequential). Encodings are identical
+    /// across values whenever no deadline fires mid-search.
+    pub embed_jobs: usize,
     /// Session tracer. Each algorithm run gets a [`Tracer::fork`] of it
     /// (shared clock and trace file, separate per-run metrics). Defaults to
     /// [`Tracer::disabled`], which costs one atomic load per instrumentation
@@ -76,6 +80,7 @@ impl Default for EngineConfig {
             timeout: None,
             node_budget: None,
             target_bits: None,
+            embed_jobs: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -340,7 +345,7 @@ fn run_one_under(
     let tracer = cfg.tracer.fork();
     let ctl = RunCtl::with_limits_traced(cfg.node_budget, deadline, tracer.clone());
     run_contained(algorithm, &ctl, &tracer, |ctl, cell| {
-        run_traced_shared(fsm, algorithm, cfg.target_bits, ctl, cell).status
+        run_traced_shared_jobs(fsm, algorithm, cfg.target_bits, cfg.embed_jobs, ctl, cell).status
     })
 }
 

@@ -189,14 +189,38 @@ impl RunCtl {
         }
     }
 
+    /// Cheapest possible cancellation probe: one relaxed load of the stop
+    /// flag, no clock read, no fuel traffic. Hot loops that batch their
+    /// [`RunCtl::charge`] calls may use this between batches.
+    pub fn should_stop(&self) -> bool {
+        self.inner.stop.load(Ordering::Relaxed)
+    }
+
+    /// Does this handle carry a finite node budget? Deterministic consumers
+    /// (the embedding search) fall back to sequential execution when it
+    /// does, so fuel is drained in a reproducible order.
+    pub fn has_fuel_limit(&self) -> bool {
+        self.inner.fuel.load(Ordering::Relaxed) != u64::MAX
+    }
+
     /// One candidate face tried by the embedding search.
     pub fn count_face(&self) {
         self.inner.faces_tried.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `n` candidate faces tried (batched flush of a local counter).
+    pub fn count_faces(&self, n: u64) {
+        self.inner.faces_tried.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// One backtrack taken by the embedding search.
     pub fn count_backtrack(&self) {
         self.inner.backtracks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` backtracks taken (batched flush of a local counter).
+    pub fn count_backtracks(&self, n: u64) {
+        self.inner.backtracks.fetch_add(n, Ordering::Relaxed);
     }
 
     /// One ESPRESSO improvement iteration.
