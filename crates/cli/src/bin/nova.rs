@@ -27,10 +27,18 @@
 //!   --bench-out F  --batch: where to write the machine-readable bench
 //!                  report (default BENCH_portfolio.json)
 //!   --filter A,B   --batch: sweep only the named machines (comma-separated)
+//!   --fault-plan S arm a deterministic nova-chaos fault plan on every run:
+//!                  "STAGE:NTH:KIND[,...]" (KIND: cancel|deadline|budget|
+//!                  panic; STAGE "*" = any) or "seed:N" for a derived plan
 //! ```
 //!
 //! Reads stdin when no file is given.
+//!
+//! Exit codes: 0 success (including a degraded anytime result), 1 no result
+//! (unsolved / timeout / failed), 2 usage error, 3 KISS2 parse error, 4 I/O
+//! error, 5 unknown embedded benchmark.
 
+use espresso::FaultPlan;
 use fsm::minimize_states::minimize_states;
 use fsm::Fsm;
 use nova_core::driver::Algorithm;
@@ -42,15 +50,26 @@ use std::io::Read as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// No algorithm produced a usable result (unsolved / timeout / failed).
+const EXIT_NO_RESULT: u8 = 1;
+/// Bad command line (unknown flag, bad value, inconsistent mode).
+const EXIT_USAGE: u8 = 2;
+/// The input KISS2 text did not parse.
+const EXIT_PARSE: u8 = 3;
+/// An input or output file could not be read / written.
+const EXIT_IO: u8 = 4;
+/// `--bench` / `--filter` named a benchmark the suite does not embed.
+const EXIT_UNKNOWN_BENCH: u8 = 5;
+
 fn usage() -> ! {
     let algs: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
-        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [FILE.kiss2]\n\
-         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [FILE.kiss2]\n\
+        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [--fault-plan SPEC] [FILE.kiss2]\n\
+         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2]\n\
          ALG: {} (or onehot)",
         algs.join(" | ")
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE as i32);
 }
 
 /// Trace sink format selected by `--trace-format`.
@@ -84,6 +103,7 @@ struct Args {
     bench: Option<String>,
     bench_out: Option<String>,
     filter: Vec<String>,
+    fault_plan: Option<FaultPlan>,
     file: Option<String>,
 }
 
@@ -106,6 +126,7 @@ fn parse_args() -> Args {
         bench: None,
         bench_out: None,
         filter: Vec::new(),
+        fault_plan: None,
         file: None,
     };
     let mut args = std::env::args().skip(1);
@@ -142,6 +163,16 @@ fn parse_args() -> Args {
                 let list = args.next().unwrap_or_else(|| usage());
                 out.filter = list.split(',').map(str::to_string).collect();
             }
+            "--fault-plan" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => out.fault_plan = Some(plan),
+                    Err(e) => {
+                        eprintln!("nova: bad --fault-plan {spec:?}: {e}");
+                        std::process::exit(EXIT_USAGE as i32);
+                    }
+                }
+            }
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') => out.file = Some(other.to_string()),
             _ => usage(),
@@ -158,6 +189,7 @@ fn engine_config(args: &Args, tracer: &Tracer) -> EngineConfig {
         node_budget: args.budget,
         target_bits: args.bits,
         tracer: tracer.clone(),
+        fault_plan: args.fault_plan.clone(),
         ..EngineConfig::default()
     }
 }
@@ -200,6 +232,18 @@ fn print_portfolio_text(report: &nova_engine::PortfolioReport) {
                 run.wall.as_secs_f64() * 1e3,
                 run.counters.work,
             ),
+            None if run.outcome.degradation().is_some() => {
+                let d = run.outcome.degradation().expect("checked");
+                println!(
+                    "#   {:<10} degraded ({}, {} bits via {})  ({:.1} ms, work {})",
+                    run.algorithm.name(),
+                    d.reason.tag(),
+                    d.encoding.bits(),
+                    d.source,
+                    run.wall.as_secs_f64() * 1e3,
+                    run.counters.work,
+                )
+            }
             None => println!(
                 "#   {:<10} {}  ({:.1} ms, work {})",
                 run.algorithm.name(),
@@ -215,7 +259,15 @@ fn print_portfolio_text(report: &nova_engine::PortfolioReport) {
             report.runs[i].algorithm.name(),
             best.area
         ),
-        None => println!("# best: none (no algorithm finished)"),
+        None => match report.best_degraded() {
+            Some((i, d)) => println!(
+                "# best: none finished; degraded fallback from {} ({}, {} bits)",
+                report.runs[i].algorithm.name(),
+                d.reason.tag(),
+                d.encoding.bits(),
+            ),
+            None => println!("# best: none (no algorithm finished)"),
+        },
     }
 }
 
@@ -230,7 +282,7 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
     if let Some(name) = &args.bench {
         let Some(b) = fsm::benchmarks::by_name(name) else {
             eprintln!("nova: unknown embedded benchmark {name:?}");
-            return Err(ExitCode::FAILURE);
+            return Err(ExitCode::from(EXIT_UNKNOWN_BENCH));
         };
         let mut machine = b.fsm;
         if args.state_minimize {
@@ -247,14 +299,14 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("nova: cannot read {path}: {e}");
-                return Err(ExitCode::FAILURE);
+                return Err(ExitCode::from(EXIT_IO));
             }
         },
         None => {
             let mut t = String::new();
             if std::io::stdin().read_to_string(&mut t).is_err() {
                 eprintln!("nova: cannot read stdin");
-                return Err(ExitCode::FAILURE);
+                return Err(ExitCode::from(EXIT_IO));
             }
             t
         }
@@ -269,7 +321,7 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
         Ok(m) => m,
         Err(e) => {
             eprintln!("nova: {e}");
-            return Err(ExitCode::FAILURE);
+            return Err(ExitCode::from(EXIT_PARSE));
         }
     };
     if args.state_minimize {
@@ -294,12 +346,12 @@ fn main() -> ExitCode {
     if args.batch {
         if !args.portfolio {
             eprintln!("nova: --batch requires --portfolio");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
         for name in &args.filter {
             if fsm::benchmarks::by_name(name).is_none() {
                 eprintln!("nova: unknown embedded benchmark '{name}'");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_UNKNOWN_BENCH);
             }
         }
         let cfg = engine_config(&args, &tracer);
@@ -315,13 +367,13 @@ fn main() -> ExitCode {
         let bench_path = args.bench_out.as_deref().unwrap_or("BENCH_portfolio.json");
         if let Err(e) = std::fs::write(bench_path, suite_to_json(&reports).to_pretty()) {
             eprintln!("nova: cannot write {bench_path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
         if !args.json {
             println!("# bench report written to {bench_path}");
         }
         if !write_trace(&args, &tracer) {
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
         return ExitCode::SUCCESS;
     }
@@ -338,25 +390,29 @@ fn main() -> ExitCode {
             println!("{}", report.to_json().to_pretty());
         } else {
             print_portfolio_text(&report);
-            if let Some((_, best)) = report.best() {
+            let encoding = report
+                .best()
+                .map(|(_, best)| &best.encoding)
+                .or_else(|| report.best_degraded().map(|(_, d)| &d.encoding));
+            if let Some(encoding) = encoding {
                 println!("# codes:");
                 for (s, sname) in machine.state_names().iter().enumerate() {
                     println!(
                         ".code {} {:0width$b}",
                         sname,
-                        best.encoding.code(fsm::StateId(s)),
-                        width = best.bits
+                        encoding.code(fsm::StateId(s)),
+                        width = encoding.bits()
                     );
                 }
             }
         }
         if !write_trace(&args, &tracer) {
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
-        return if report.best().is_some() {
+        return if report.best().is_some() || report.best_degraded().is_some() {
             ExitCode::SUCCESS
         } else {
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_NO_RESULT)
         };
     }
 
@@ -393,13 +449,37 @@ fn main() -> ExitCode {
         }
         println!("{}", Json::Obj(pairs).to_pretty());
         if !write_trace(&args, &tracer) {
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
-        return if algo_run.outcome.result().is_some() {
+        return if algo_run.outcome.result().is_some() || algo_run.outcome.degradation().is_some() {
             ExitCode::SUCCESS
         } else {
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_NO_RESULT)
         };
+    }
+
+    if let Some(d) = algo_run.outcome.degradation() {
+        println!(
+            "# algorithm {}: degraded anytime result ({}, {} bits via {})",
+            args.algorithm.name(),
+            d.reason.tag(),
+            d.encoding.bits(),
+            d.source
+        );
+        print_counters_text(&algo_run.counters);
+        println!("# codes:");
+        for (s, sname) in machine.state_names().iter().enumerate() {
+            println!(
+                ".code {} {:0width$b}",
+                sname,
+                d.encoding.code(fsm::StateId(s)),
+                width = d.encoding.bits()
+            );
+        }
+        if !write_trace(&args, &tracer) {
+            return ExitCode::from(EXIT_IO);
+        }
+        return ExitCode::SUCCESS;
     }
 
     let Some(result) = algo_run.outcome.result() else {
@@ -408,7 +488,7 @@ fn main() -> ExitCode {
             args.algorithm.name(),
             algo_run.outcome.tag()
         );
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_NO_RESULT);
     };
     println!(
         "# algorithm {}: {} bits, {} cubes, area {}, {} factored literals",
@@ -438,7 +518,7 @@ fn main() -> ExitCode {
         );
     }
     if !write_trace(&args, &tracer) {
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_IO);
     }
     ExitCode::SUCCESS
 }

@@ -21,6 +21,31 @@ const TOY_PLA: &str = "\
 .e
 ";
 
+/// Like [`run_with_stdin`] but also returns the raw exit code (`-1` when
+/// killed by a signal), for the per-failure-class exit-code contract.
+fn run_with_code(bin: &str, args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    // A child rejecting its arguments may exit without reading stdin; the
+    // resulting broken pipe is part of the failure mode, not a test error.
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin.as_bytes());
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
 fn run_with_stdin(bin: &str, args: &[&str], stdin: &str) -> (String, String, bool) {
     let mut child = Command::new(bin)
         .args(args)
@@ -284,6 +309,114 @@ fn nova_state_minimize_flag() {
     assert!(ok, "{stderr}");
     assert!(stderr.contains("removed 1 states"), "{stderr}");
     assert!(stdout.contains("2 states"));
+}
+
+/// Every user-triggered failure maps to one line on stderr and a class-
+/// specific exit code: 1 no result, 2 usage, 3 parse, 4 I/O, 5 unknown
+/// benchmark. A multi-line or panicking failure is a bug.
+fn assert_one_line_stderr(stderr: &str) {
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "expected exactly one stderr line, got: {stderr:?}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn nova_exit_code_parse_error() {
+    let (_, stderr, code) = run_with_code(env!("CARGO_BIN_EXE_nova"), &[], ".i 1\n.o 1\nbogus\n");
+    assert_eq!(code, 3, "{stderr}");
+    assert_one_line_stderr(&stderr);
+    assert!(stderr.starts_with("nova:"), "{stderr}");
+}
+
+#[test]
+fn nova_exit_code_missing_file() {
+    let (_, stderr, code) =
+        run_with_code(env!("CARGO_BIN_EXE_nova"), &["/nonexistent/path.kiss2"], "");
+    assert_eq!(code, 4, "{stderr}");
+    assert_one_line_stderr(&stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn nova_exit_code_unknown_benchmark() {
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--bench", "no-such-machine"],
+        "",
+    );
+    assert_eq!(code, 5, "{stderr}");
+    assert_one_line_stderr(&stderr);
+    assert!(stderr.contains("unknown embedded benchmark"), "{stderr}");
+}
+
+#[test]
+fn nova_exit_code_batch_without_portfolio() {
+    let (_, stderr, code) = run_with_code(env!("CARGO_BIN_EXE_nova"), &["--batch"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert_one_line_stderr(&stderr);
+    assert!(stderr.contains("--batch requires --portfolio"), "{stderr}");
+}
+
+#[test]
+fn nova_exit_code_bad_flag_value() {
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--timeout-ms", "not-a-number"],
+        TOY_KISS,
+    );
+    assert_eq!(code, 2, "{stderr}");
+}
+
+#[test]
+fn nova_exit_code_bad_fault_plan() {
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--fault-plan", "nonsense-spec"],
+        TOY_KISS,
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert_one_line_stderr(&stderr);
+    assert!(stderr.contains("bad --fault-plan"), "{stderr}");
+}
+
+#[test]
+fn nova_exit_code_no_result_under_zero_budget() {
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--portfolio", "--timeout-ms", "0"],
+        TOY_KISS,
+    );
+    assert_eq!(code, 1, "{stderr}");
+}
+
+#[test]
+fn nova_fault_plan_degrades_to_anytime_codes() {
+    // An injected deadline on the first espresso-stage operation fires
+    // after the driver offered the completed encoding, so the run degrades
+    // to a full code listing and exits 0.
+    let (stdout, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--fault-plan", "stage.espresso:1:deadline"],
+        TOY_KISS,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("degraded anytime result"), "{stdout}");
+    assert!(stdout.contains(".code a"), "{stdout}");
+    assert!(stdout.contains(".code b"), "{stdout}");
+}
+
+#[test]
+fn nova_fault_plan_injected_panic_is_contained() {
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--fault-plan", "*:1:panic"],
+        TOY_KISS,
+    );
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("failed"), "{stderr}");
 }
 
 #[test]

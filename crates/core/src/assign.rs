@@ -362,11 +362,37 @@ pub fn assign_codes_ctl(
             faces,
         })
     } else if search.aborted {
+        if ctl.cancelled() {
+            offer_partial(ig, &search);
+        }
         AssignOutcome::Aborted
     } else {
         AssignOutcome::Exhausted
     };
     (outcome, spent)
+}
+
+/// Anytime snapshot of a *cancelled* weak search: keep every code placed so
+/// far, fill unassigned states with the lowest unused vertices, score by
+/// satisfied constraints, and offer the result to the ctl so the driver can
+/// degrade instead of returning nothing.
+fn offer_partial(ig: &InputGraph, search: &Assign) {
+    let n = ig.num_states();
+    let k = search.k;
+    let mut codes = search.codes.clone();
+    let mut free = (0..1u64 << k).filter(|&c| !search.used_codes[c as usize]);
+    for (s, code) in codes.iter_mut().enumerate() {
+        if !search.is_assigned[s] {
+            *code = free.next().expect("2^k >= n vertices");
+        }
+    }
+    let score = (0..ig.len())
+        .filter(|&i| {
+            let set = ig.set(i);
+            set.len() > 1 && set.len() < n && crate::exact::constraint_satisfied(&set, &codes, k)
+        })
+        .count() as u64;
+    search.ctl.offer_best(k, &codes, "iexact.weak", score);
 }
 
 #[cfg(test)]

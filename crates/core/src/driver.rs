@@ -12,11 +12,11 @@ use crate::mustang::{mustang_code, MustangMode};
 use crate::symbolic_min::{symbolic_minimize_ctl, SymbolicMinOptions};
 use crate::{exact, poset};
 use espresso::factor::cover_factored_literals;
-use espresso::{minimize, minimize_with_ctl, Cancelled, MinimizeOptions, RunCtl};
+use espresso::{minimize, minimize_with_ctl, CancelReason, Cancelled, MinimizeOptions, RunCtl};
 use fsm::encode::encode;
 use fsm::generator::SplitMix64;
 use fsm::{Encoding, Fsm};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// The state-assignment algorithms of the paper plus its baselines.
@@ -180,6 +180,20 @@ impl StageTimes {
     }
 }
 
+/// An anytime result: the run was cancelled, but a search had already
+/// offered a complete, valid code assignment into the [`RunCtl`], and the
+/// driver promoted it instead of discarding the work.
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// Why the run was cancelled (deadline, budget, or external stop).
+    pub reason: CancelReason,
+    /// Which search offered the snapshot (e.g. `"ihybrid.project"`).
+    pub source: &'static str,
+    /// The promoted encoding, validated by [`Encoding::new`] (distinct
+    /// codes that fit the code length).
+    pub encoding: Encoding,
+}
+
 /// How one traced algorithm run ended.
 #[derive(Debug, Clone)]
 pub enum RunStatus {
@@ -188,8 +202,12 @@ pub enum RunStatus {
     /// The algorithm gave up within its own limits (`IExact` budget, or a
     /// machine too large for `u64` codes). Not a cancellation.
     Unsolved,
-    /// The [`RunCtl`] deadline/budget fired (or the run was stopped).
+    /// The [`RunCtl`] deadline/budget fired (or the run was stopped), and
+    /// no valid best-so-far snapshot was available.
     Cancelled,
+    /// The run was cancelled but a best-so-far snapshot was promoted into
+    /// a valid encoding (not minimized — the deadline already fired).
+    Degraded(Degradation),
 }
 
 /// Result of [`run_traced`]: the status plus the per-stage wall times
@@ -215,14 +233,16 @@ impl StageCell {
         StageCell::default()
     }
 
-    /// The stage times accumulated so far.
+    /// The stage times accumulated so far. Poison-safe: the cell is read
+    /// *after* worker panics by design, so a panic that unwound through a
+    /// lock holder must not take the telemetry with it.
     pub fn snapshot(&self) -> StageTimes {
-        *self.0.lock().expect("stage cell poisoned")
+        *self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Applies `f` to the accumulated times (the write side of the cell).
     pub fn add(&self, f: impl FnOnce(&mut StageTimes)) {
-        f(&mut self.0.lock().expect("stage cell poisoned"));
+        f(&mut self.0.lock().unwrap_or_else(PoisonError::into_inner));
     }
 }
 
@@ -237,6 +257,7 @@ fn stage<T>(
     slot: fn(&mut StageTimes) -> &mut Duration,
     f: impl FnOnce() -> T,
 ) -> T {
+    ctl.set_stage(name);
     let (out, elapsed) = ctl.tracer().scope_timed(name, f);
     cell.add(|s| *slot(s) += elapsed);
     out
@@ -297,12 +318,31 @@ pub fn run_traced_shared_jobs(
     let status = match run_traced_inner(fsm, algorithm, target_bits, embed_jobs, ctl, cell) {
         Ok(Some(result)) => RunStatus::Done(result),
         Ok(None) => RunStatus::Unsolved,
-        Err(Cancelled) => RunStatus::Cancelled,
+        Err(Cancelled) => match degrade(fsm, ctl) {
+            Some(d) => RunStatus::Degraded(d),
+            None => RunStatus::Cancelled,
+        },
     };
     TracedRun {
         status,
         stages: cell.snapshot(),
     }
+}
+
+/// Promotes the ctl's best-so-far snapshot (if any) into a validated
+/// [`Degradation`]. A snapshot that does not validate — wrong state count,
+/// duplicate codes, codes too wide — is discarded, never promoted.
+fn degrade(fsm: &Fsm, ctl: &RunCtl) -> Option<Degradation> {
+    let best = ctl.take_best()?;
+    if best.codes.len() != fsm.num_states() || best.bits > 63 {
+        return None;
+    }
+    let encoding = Encoding::new(best.bits as usize, best.codes).ok()?;
+    Some(Degradation {
+        reason: ctl.cancel_reason().unwrap_or(CancelReason::Stop),
+        source: best.source,
+        encoding,
+    })
 }
 
 fn run_traced_inner(
@@ -467,6 +507,10 @@ fn run_traced_inner(
             Encoding::one_hot(fsm.num_states())
         }
     };
+    // The embedding stage produced a complete encoding: offer it as the
+    // definitive anytime snapshot (score MAX beats every partial offer), so
+    // a cancellation during encode/ESPRESSO still degrades to a full result.
+    ctl.offer_best(enc.bits() as u32, enc.codes(), algorithm.name(), u64::MAX);
     let pla = stage(
         ctl,
         cell,

@@ -22,7 +22,7 @@ use crate::poset::{Category, InputGraph, Relations};
 use crate::scratch::{self, with_embed_scratch};
 use espresso::{Cancelled, RunCtl};
 use fsm::StateId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -798,6 +798,45 @@ impl<'a> Search<'a> {
     }
 }
 
+/// Anytime snapshot of a *cancelled* search: states whose singleton nodes
+/// already hold a level-0 face keep those vertices, the rest take the
+/// lowest unused vertices. The completed codes are scored by how many
+/// closure constraints they satisfy under the weak criterion
+/// ([`constraint_satisfied`]) and offered to the ctl, so the driver can
+/// return a degraded-but-valid encoding instead of nothing.
+fn offer_partial(search: &Search) {
+    let ig = search.ig;
+    let n = ig.num_states();
+    let k = search.k;
+    if k > 63 || n as u64 > 1u64 << k {
+        return;
+    }
+    let mut codes = vec![u64::MAX; n];
+    let mut used: HashSet<u64> = HashSet::with_capacity(n);
+    for (s, code) in codes.iter_mut().enumerate() {
+        if let Some(f) = search.faces[search.rel.singleton_of(s)] {
+            // Mid-search two singletons can transiently share a vertex;
+            // keep the first, the other falls back to a free vertex.
+            if f.level() == 0 && used.insert(f.value_bits()) {
+                *code = f.value_bits();
+            }
+        }
+    }
+    let mut free = (0..1u64 << k).filter(|v| !used.contains(v));
+    for code in codes.iter_mut() {
+        if *code == u64::MAX {
+            *code = free.next().expect("2^k >= n vertices");
+        }
+    }
+    let score = (0..ig.len())
+        .filter(|&i| {
+            let set = ig.set(i);
+            set.len() > 1 && set.len() < n && constraint_satisfied(&set, &codes, k)
+        })
+        .count() as u64;
+    search.ctl.offer_best(k, &codes, "embed.partial", score);
+}
+
 /// Builds the [`Embedding`] out of a successful search.
 fn extract(search: &Search) -> Embedding {
     let ig = search.ig;
@@ -882,6 +921,9 @@ fn run_search(
     } else {
         EmbedOutcome::Exhausted
     };
+    if matches!(outcome, EmbedOutcome::Cancelled) {
+        offer_partial(&search);
+    }
     let spent = search.work.min(budget.unwrap_or(u64::MAX));
     search.flush_counters();
     search.prune.flush(ctl);
@@ -1158,8 +1200,9 @@ fn pos_equiv_run(
     let workers = effective_jobs(jobs);
     // Parallel branches each see the full budget, so fuel-limited handles
     // (which meter *total* work) must stay sequential to keep the node
-    // budget deterministic.
-    let (outcome, spent, actual) = if workers > 1 && !ctl.has_fuel_limit() {
+    // budget deterministic. Fault-armed handles likewise: injected faults
+    // fire at operation counts, which must not depend on thread scheduling.
+    let (outcome, spent, actual) = if workers > 1 && !ctl.requires_determinism() {
         pos_equiv_parallel(ig, k, &level_lo, free_levels, covers, budget, workers, ctl)
     } else {
         let (o, s) = run_search(

@@ -118,7 +118,10 @@ pub fn igreedy_code_ctl(
         )
     });
     for &s in &states {
-        ctl.charge(1)?;
+        if let Err(cancelled) = ctl.charge(1) {
+            offer_packed(ctl, ics, &mut codes, &taken, k);
+            return Err(cancelled);
+        }
         let preferred = (0..1u64 << k).find(|&v| {
             !taken.contains(&v)
                 && assigned
@@ -143,6 +146,32 @@ pub fn igreedy_code_ctl(
         unsatisfied,
         min_length,
     })
+}
+
+/// Anytime snapshot of a *cancelled* pack loop: fill the not-yet-packed
+/// states with the lowest untaken vertices, score the completed codes by
+/// satisfied-constraint weight, and offer them to the ctl so the driver can
+/// degrade instead of returning nothing.
+fn offer_packed(
+    ctl: &espresso::RunCtl,
+    ics: &InputConstraints,
+    codes: &mut [u64],
+    taken: &HashSet<u64>,
+    k: u32,
+) {
+    let mut free = (0..1u64 << k).filter(|v| !taken.contains(v));
+    for code in codes.iter_mut() {
+        if *code == u64::MAX {
+            *code = free.next().expect("2^k >= n vertices available");
+        }
+    }
+    let score: u64 = ics
+        .constraints
+        .iter()
+        .filter(|c| constraint_satisfied(&c.set, codes, k))
+        .map(|c| c.weight as u64 + 1)
+        .sum();
+    ctl.offer_best(k, codes, "igreedy.pack", score);
 }
 
 /// Consistency of a candidate face with the faces already placed.

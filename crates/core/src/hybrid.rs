@@ -67,6 +67,23 @@ fn split_by_satisfaction(
         .partition(|c| constraint_satisfied(&c.set, codes, bits))
 }
 
+/// Offers a complete intermediate code vector to the ctl's best-so-far
+/// slot, scored by the satisfied-constraint weight (ties broken upstream by
+/// last-writer-wins at equal score), so a cancellation mid-phase still
+/// leaves the driver a valid anytime encoding.
+fn offer_snapshot(
+    ctl: &RunCtl,
+    constraints: &[WeightedConstraint],
+    codes: &[u64],
+    bits: u32,
+    source: &'static str,
+) {
+    let (satisfied, _) = split_by_satisfaction(constraints, codes, bits);
+    let score: u64 =
+        satisfied.iter().map(|c| c.weight as u64).sum::<u64>() + satisfied.len() as u64;
+    ctl.offer_best(bits, codes, source, score);
+}
+
 /// `project_code` (Section IV-4.2): adds one dimension to `codes`, raising a
 /// chosen subset of states into the new half-cube so that at least one more
 /// constraint from `unsatisfied` becomes satisfied while every satisfied
@@ -175,6 +192,13 @@ pub fn ihybrid_code_ctl(
         match semiexact_code_jobs_ctl(n, &attempt, min_length, opts.max_work, opts.embed_jobs, ctl)?
         {
             Some(embedding) => {
+                offer_snapshot(
+                    ctl,
+                    &ics.constraints,
+                    &embedding.codes,
+                    min_length,
+                    "ihybrid.semiexact",
+                );
                 codes = Some(embedding.codes);
                 sic.push(c);
             }
@@ -191,12 +215,14 @@ pub fn ihybrid_code_ctl(
             .unwrap_or_else(|| (0..n as u64).collect()),
     };
     let mut bits = min_length;
+    offer_snapshot(ctl, &ics.constraints, &codes, bits, "ihybrid.semiexact");
 
     // Phase 2: projection to larger code lengths.
     let (_, mut still) = split_by_satisfaction(&ics.constraints, &codes, bits);
     while !still.is_empty() && bits < target {
         ctl.charge(1 + codes.len() as u64)?;
         project_code(&mut codes, &mut bits, &still);
+        offer_snapshot(ctl, &ics.constraints, &codes, bits, "ihybrid.project");
         let (_, rest) = split_by_satisfaction(&ics.constraints, &codes, bits);
         still = rest;
     }

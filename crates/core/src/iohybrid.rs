@@ -72,6 +72,21 @@ fn cluster_satisfied(codes: &[u64], cluster: &OutputCluster) -> bool {
         .all(|&(u, v)| cover_holds(codes, u, v))
 }
 
+/// Offers a complete intermediate code vector to the ctl's best-so-far
+/// slot, scored by satisfied input-constraint weight plus honoured output
+/// clusters, so a cancellation mid-stage still leaves the driver a valid
+/// anytime encoding.
+fn offer_snapshot(ctl: &RunCtl, sym: &IoProblem, codes: &[u64], bits: u32, source: &'static str) {
+    let (hs, sc, _) = split_io(&sym.ic.constraints, &sym.oc_clusters, codes, bits);
+    let score: u64 = hs
+        .satisfied
+        .iter()
+        .map(|c| c.weight as u64 + 1)
+        .sum::<u64>()
+        + sc.len() as u64;
+    ctl.offer_best(bits, codes, source, score);
+}
+
 fn split_io(
     constraints: &[WeightedConstraint],
     clusters: &[OutputCluster],
@@ -307,12 +322,14 @@ fn io_encode_ctl(
             .unwrap_or_else(|| (0..n as u64).collect()),
     };
     let mut bits = min_length;
+    offer_snapshot(ctl, sym, &codes, bits, "iohybrid.embed");
 
     // Stage 3: projection for the leftover input constraints.
     let (mut split, _, _) = split_io(&sym.ic.constraints, &sym.oc_clusters, &codes, bits);
     while !split.unsatisfied.is_empty() && bits < target {
         ctl.charge(1 + codes.len() as u64)?;
         project_code(&mut codes, &mut bits, &split.unsatisfied);
+        offer_snapshot(ctl, sym, &codes, bits, "iohybrid.project");
         let (s, _, _) = split_io(&sym.ic.constraints, &sym.oc_clusters, &codes, bits);
         split = s;
     }

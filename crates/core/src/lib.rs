@@ -56,10 +56,12 @@ pub use constraint::{
     WeightedConstraint,
 };
 pub use driver::{
-    evaluate, random_baseline, run, run_traced, Algorithm, EvalResult, RunStatus, StageTimes,
-    TracedRun, UnknownAlgorithm,
+    evaluate, random_baseline, run, run_traced, Algorithm, Degradation, EvalResult, RunStatus,
+    StageTimes, TracedRun, UnknownAlgorithm,
 };
-pub use espresso::{Cancelled, RunCounters, RunCtl};
+pub use espresso::{
+    BestSoFar, CancelReason, Cancelled, FaultKind, FaultPlan, FaultPoint, RunCounters, RunCtl,
+};
 pub use exact::{
     iexact_code, iexact_code_ctl, mincube_dim, semiexact_code, semiexact_code_ctl, ExactOptions,
 };

@@ -34,16 +34,16 @@
 
 pub mod json;
 
-use espresso::{RunCounters, RunCtl};
+use espresso::{FaultPlan, RunCounters, RunCtl};
 use fsm::Fsm;
 use json::Json;
 use nova_core::driver::{
-    run_traced_shared_jobs, Algorithm, EvalResult, RunStatus, StageCell, StageTimes,
+    run_traced_shared_jobs, Algorithm, Degradation, EvalResult, RunStatus, StageCell, StageTimes,
 };
 use nova_trace::{MetricsSnapshot, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Configuration of a portfolio run.
@@ -70,6 +70,11 @@ pub struct EngineConfig {
     /// [`Tracer::disabled`], which costs one atomic load per instrumentation
     /// point.
     pub tracer: Tracer,
+    /// Deterministic fault plan armed on every per-algorithm [`RunCtl`]
+    /// (nova-chaos). `None` — the default — costs one `OnceLock` load per
+    /// charge; `Some` forces sequential embedding so replays are
+    /// byte-identical.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +87,7 @@ impl Default for EngineConfig {
             target_bits: None,
             embed_jobs: 0,
             tracer: Tracer::disabled(),
+            fault_plan: None,
         }
     }
 }
@@ -110,6 +116,9 @@ pub enum Outcome {
     Unsolved,
     /// The portfolio deadline or node budget fired mid-run.
     Timeout,
+    /// Cancelled mid-run, but an anytime best-so-far snapshot produced a
+    /// valid (distinct, in-range) encoding — degraded, not lost.
+    Degraded(Degradation),
     /// The worker panicked; the message is retained.
     Failed(String),
 }
@@ -123,12 +132,21 @@ impl Outcome {
         }
     }
 
+    /// The degraded anytime result, if any.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        match self {
+            Outcome::Degraded(d) => Some(d),
+            _ => None,
+        }
+    }
+
     /// Stable lower-case tag used in reports and JSON.
     pub fn tag(&self) -> &'static str {
         match self {
             Outcome::Done(_) => "done",
             Outcome::Unsolved => "unsolved",
             Outcome::Timeout => "timeout",
+            Outcome::Degraded(_) => "degraded",
             Outcome::Failed(_) => "failed",
         }
     }
@@ -176,22 +194,69 @@ impl PortfolioReport {
             .min_by_key(|(i, res)| (res.area, *i))
     }
 
-    /// JSON form of the whole report.
+    /// The best *degraded* run, ranked below every completed run and above
+    /// failures: minimum encoding bits among degraded runs, ties broken by
+    /// position in the configured algorithm order. Only meaningful when
+    /// [`PortfolioReport::best`] is `None`.
+    pub fn best_degraded(&self) -> Option<(usize, &Degradation)> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.outcome.degradation().map(|d| (i, d)))
+            .min_by_key(|(i, d)| (d.encoding.bits(), *i))
+    }
+
+    /// JSON form of the whole report. `best` stays a *completed* winner
+    /// (`null` otherwise) so downstream area diffs never mix degraded
+    /// encodings in; an anytime fallback is surfaced separately under
+    /// `degraded` when no run completed.
     pub fn to_json(&self) -> Json {
         let best = self
             .best()
             .map(|(i, _)| Json::str(self.runs[i].algorithm.name()))
             .unwrap_or(Json::Null);
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("machine".into(), Json::str(&self.machine)),
             ("best".into(), best),
-            ("wall_ms".into(), Json::Float(millis(self.wall))),
-            (
-                "runs".into(),
-                Json::Arr(self.runs.iter().map(AlgoRun::to_json).collect()),
-            ),
-        ])
+        ];
+        if self.best().is_none() {
+            if let Some((i, d)) = self.best_degraded() {
+                pairs.push((
+                    "degraded".into(),
+                    degradation_summary(self.runs[i].algorithm, d),
+                ));
+            }
+        }
+        pairs.push(("wall_ms".into(), Json::Float(millis(self.wall))));
+        pairs.push((
+            "runs".into(),
+            Json::Arr(self.runs.iter().map(AlgoRun::to_json).collect()),
+        ));
+        Json::Obj(pairs)
     }
+}
+
+/// Machine-level summary of the winning degraded run.
+fn degradation_summary(algorithm: Algorithm, d: &Degradation) -> Json {
+    Json::Obj(vec![
+        ("algorithm".into(), Json::str(algorithm.name())),
+        ("reason".into(), Json::str(d.reason.tag())),
+        ("source".into(), Json::str(d.source)),
+        ("bits".into(), Json::uint(d.encoding.bits() as u64)),
+    ])
+}
+
+/// JSON form of a degraded (anytime) outcome.
+fn degradation_to_json(d: &Degradation) -> Json {
+    Json::Obj(vec![
+        ("reason".into(), Json::str(d.reason.tag())),
+        ("source".into(), Json::str(d.source)),
+        ("bits".into(), Json::uint(d.encoding.bits() as u64)),
+        (
+            "codes".into(),
+            Json::Arr(d.encoding.codes().iter().map(|&c| Json::uint(c)).collect()),
+        ),
+    ])
 }
 
 fn millis(d: Duration) -> f64 {
@@ -207,6 +272,7 @@ impl AlgoRun {
         ];
         match &self.outcome {
             Outcome::Done(r) => pairs.push(("result".into(), eval_to_json(r))),
+            Outcome::Degraded(d) => pairs.push(("degraded".into(), degradation_to_json(d))),
             Outcome::Failed(msg) => pairs.push(("error".into(), Json::str(msg))),
             _ => {}
         }
@@ -268,7 +334,10 @@ where
                     break;
                 }
                 let out = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                // A slot mutex can only be poisoned by a panic *between*
+                // catch_unwind and the store (e.g. a panicking Drop in the
+                // payload); recover the guard rather than cascade.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
             });
         }
     });
@@ -276,8 +345,10 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every claimed job stores a result")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err("job slot empty (worker died before storing a result)".into())
+                })
         })
         .collect()
 }
@@ -344,6 +415,9 @@ fn run_one_under(
 ) -> AlgoRun {
     let tracer = cfg.tracer.fork();
     let ctl = RunCtl::with_limits_traced(cfg.node_budget, deadline, tracer.clone());
+    if let Some(plan) = &cfg.fault_plan {
+        ctl.arm_faults(plan);
+    }
     run_contained(algorithm, &ctl, &tracer, |ctl, cell| {
         run_traced_shared_jobs(fsm, algorithm, cfg.target_bits, cfg.embed_jobs, ctl, cell).status
     })
@@ -371,6 +445,7 @@ fn run_contained(
         Ok(RunStatus::Done(r)) => Outcome::Done(r),
         Ok(RunStatus::Unsolved) => Outcome::Unsolved,
         Ok(RunStatus::Cancelled) => Outcome::Timeout,
+        Ok(RunStatus::Degraded(d)) => Outcome::Degraded(d),
         Err(e) => Outcome::Failed(panic_message(e)),
     };
     AlgoRun {
@@ -431,7 +506,15 @@ pub fn suite_to_json(reports: &[PortfolioReport]) -> Json {
                     pairs.push(("bits".into(), Json::uint(best.bits as u64)));
                     pairs.push(("literals".into(), Json::uint(best.literals as u64)));
                 }
-                None => pairs.push(("best".into(), Json::Null)),
+                None => {
+                    pairs.push(("best".into(), Json::Null));
+                    if let Some((i, d)) = rep.best_degraded() {
+                        pairs.push((
+                            "degraded".into(),
+                            degradation_summary(rep.runs[i].algorithm, d),
+                        ));
+                    }
+                }
             }
             pairs.push(("wall_ms".into(), Json::Float(millis(rep.wall))));
             pairs.push((
@@ -447,6 +530,13 @@ pub fn suite_to_json(reports: &[PortfolioReport]) -> Json {
                             if let Some(res) = run.outcome.result() {
                                 rp.push(("area".into(), Json::uint(res.area)));
                                 rp.push(("cubes".into(), Json::uint(res.cubes as u64)));
+                            }
+                            if let Some(d) = run.outcome.degradation() {
+                                rp.push(("degraded_reason".into(), Json::str(d.reason.tag())));
+                                rp.push((
+                                    "degraded_bits".into(),
+                                    Json::uint(d.encoding.bits() as u64),
+                                ));
                             }
                             rp.push(("wall_ms".into(), Json::Float(millis(run.wall))));
                             rp.push(("stages_ms".into(), stages_to_json(&run.stages)));
@@ -705,5 +795,105 @@ mod tests {
         assert!(j.contains("\"counters\""));
         let pretty = report.to_json().to_pretty();
         assert!(pretty.contains("\n  \"machine\": \"lion\""));
+    }
+
+    #[test]
+    fn run_jobs_recovers_from_poisoned_result_slot() {
+        // A payload whose Drop panics poisons the slot mutex *after* the
+        // result was stored; collection must recover the value, not cascade.
+        struct PanicsOnDrop(bool);
+        impl Drop for PanicsOnDrop {
+            fn drop(&mut self) {
+                if self.0 && !std::thread::panicking() {
+                    panic!("drop bomb");
+                }
+            }
+        }
+        let out = run_jobs(2, 2, |i| {
+            // Arm the bomb only transiently so the stored value is benign;
+            // the panic from the temporary poisons nothing observable here,
+            // but the catch_unwind path is exercised.
+            let _ = catch_unwind(AssertUnwindSafe(|| drop(PanicsOnDrop(i == 0))));
+            i + 1
+        });
+        assert_eq!(
+            out.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
+            [1, 2]
+        );
+    }
+
+    #[test]
+    fn injected_deadline_fault_yields_degraded_not_unsolved() {
+        // Fire a synthetic deadline on the first charge of the espresso
+        // stage: by then the driver has offered the completed encoding at
+        // maximum score, so every algorithm that reaches espresso must
+        // degrade to a full, valid encoding.
+        let fsm = machine("lion");
+        let cfg = EngineConfig {
+            algorithms: vec![Algorithm::IHybrid],
+            fault_plan: Some(FaultPlan::single(
+                "stage.espresso",
+                1,
+                espresso::FaultKind::Deadline,
+            )),
+            ..EngineConfig::default()
+        };
+        let run = run_one(&fsm, Algorithm::IHybrid, &cfg);
+        let Outcome::Degraded(d) = &run.outcome else {
+            panic!("expected degraded, got {}", run.outcome.tag());
+        };
+        assert_eq!(d.reason, espresso::CancelReason::Deadline);
+        assert_eq!(d.encoding.codes().len(), fsm.num_states());
+        assert_eq!(run.outcome.tag(), "degraded");
+    }
+
+    #[test]
+    fn degraded_ranks_below_done_and_above_failed() {
+        // A portfolio where one algorithm completes must keep reporting that
+        // run as best even if another degrades.
+        let fsm = machine("lion");
+        let report = run_portfolio(
+            &fsm,
+            "lion",
+            &EngineConfig {
+                algorithms: vec![Algorithm::IGreedy, Algorithm::IHybrid],
+                ..EngineConfig::default()
+            },
+        );
+        assert!(report.best().is_some());
+
+        // And an all-degraded portfolio surfaces the fallback.
+        let cfg = EngineConfig {
+            algorithms: vec![Algorithm::IHybrid, Algorithm::IGreedy],
+            fault_plan: Some(FaultPlan::single(
+                "stage.espresso",
+                1,
+                espresso::FaultKind::Budget,
+            )),
+            ..EngineConfig::default()
+        };
+        let report = run_portfolio(&fsm, "lion", &cfg);
+        assert!(report.best().is_none(), "no run completes under the fault");
+        let (_, d) = report.best_degraded().expect("anytime fallback");
+        assert_eq!(d.encoding.codes().len(), fsm.num_states());
+        let j = report.to_json().to_compact();
+        assert!(j.contains("\"best\":null"));
+        assert!(j.contains("\"degraded\""));
+        assert!(j.contains("\"outcome\":\"degraded\""));
+    }
+
+    #[test]
+    fn injected_panic_is_contained_as_failed() {
+        let fsm = machine("lion");
+        let cfg = EngineConfig {
+            algorithms: vec![Algorithm::IHybrid],
+            fault_plan: Some(FaultPlan::single("*", 1, espresso::FaultKind::Panic)),
+            ..EngineConfig::default()
+        };
+        let run = run_one(&fsm, Algorithm::IHybrid, &cfg);
+        let Outcome::Failed(msg) = &run.outcome else {
+            panic!("expected failed, got {}", run.outcome.tag());
+        };
+        assert!(msg.contains("nova-chaos"), "{msg}");
     }
 }

@@ -15,9 +15,10 @@
 //! hanging. The same handle accumulates the run counters surfaced in the
 //! engine's telemetry.
 
+use crate::fault::{FaultArm, FaultKind, FaultPlan};
 use nova_trace::Tracer;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// How often (in charged work units) the wall-clock deadline is re-checked.
@@ -38,6 +39,61 @@ impl std::fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
+/// Why a run was cancelled, when it was (latched by the first cause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// External stop: [`RunCtl::cancel`] or an injected cancel fault.
+    Stop = 1,
+    /// The wall-clock deadline expired (real or injected).
+    Deadline = 2,
+    /// The node budget ran out (real or injected).
+    Budget = 3,
+}
+
+impl CancelReason {
+    /// Stable lower-case tag used in reports and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CancelReason::Stop => "stop",
+            CancelReason::Deadline => "deadline",
+            CancelReason::Budget => "budget",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<CancelReason> {
+        Some(match v {
+            1 => CancelReason::Stop,
+            2 => CancelReason::Deadline,
+            3 => CancelReason::Budget,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// An anytime snapshot: the best complete, valid code assignment a search
+/// produced before the run ended. Codes are raw (`bits`-wide, distinct by
+/// the offering search's construction); the driver re-validates them when
+/// promoting a snapshot into a degraded result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BestSoFar {
+    /// Code length of the snapshot.
+    pub bits: u32,
+    /// One code per state.
+    pub codes: Vec<u64>,
+    /// Which search offered it (e.g. `"ihybrid.project"`, `"iexact.weak"`).
+    pub source: &'static str,
+    /// Offer priority: higher replaces lower. Searches score snapshots by
+    /// satisfied-constraint weight; the driver offers a completed
+    /// algorithm's encoding at `u64::MAX` so it always wins.
+    pub score: u64,
+}
+
 #[derive(Debug)]
 struct CtlInner {
     /// External / latched stop flag. Once set it never clears.
@@ -49,6 +105,14 @@ struct CtlInner {
     /// Structured tracer for this run (disabled by default: one relaxed
     /// atomic load per span/metric call, no allocation).
     tracer: Tracer,
+    /// Why the stop flag was latched (0 = not cancelled); set once by the
+    /// first cause, never overwritten.
+    reason: AtomicU8,
+    /// Armed fault plan. `None` (the default) keeps every instrumentation
+    /// point at one atomic load; chaos tests arm a plan after construction.
+    fault: OnceLock<Arc<FaultArm>>,
+    /// Best-so-far anytime snapshot offered by the searches.
+    best: Mutex<Option<BestSoFar>>,
     // --- telemetry counters (all relaxed; they are statistics, not locks) --
     work: AtomicU64,
     faces_tried: AtomicU64,
@@ -89,6 +153,9 @@ impl RunCtl {
                 fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
                 deadline,
                 tracer,
+                reason: AtomicU8::new(0),
+                fault: OnceLock::new(),
+                best: Mutex::new(None),
                 work: AtomicU64::new(0),
                 faces_tried: AtomicU64::new(0),
                 backtracks: AtomicU64::new(0),
@@ -129,7 +196,23 @@ impl RunCtl {
 
     /// Latches the stop flag; every subsequent [`RunCtl::charge`] fails.
     pub fn cancel(&self) {
+        self.cancel_with(CancelReason::Stop);
+    }
+
+    /// Latches the stop flag, recording `reason` if none is set yet.
+    fn cancel_with(&self, reason: CancelReason) {
+        let _ = self.inner.reason.compare_exchange(
+            0,
+            reason as u8,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
         self.inner.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Why the run was cancelled (`None` while it is still live).
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        CancelReason::from_u8(self.inner.reason.load(Ordering::Relaxed))
     }
 
     /// Has the run been cancelled (stop flag, expired deadline, or
@@ -140,17 +223,54 @@ impl RunCtl {
         }
         if let Some(d) = self.inner.deadline {
             if Instant::now() >= d {
-                self.cancel();
+                self.cancel_with(CancelReason::Deadline);
                 return true;
             }
         }
         false
     }
 
+    /// One operation observed by the armed fault plan, if any. Kept to a
+    /// single branch on the fast path; the firing itself is outlined.
+    #[inline]
+    fn fault_tick(&self) {
+        if let Some(arm) = self.inner.fault.get() {
+            self.fault_fire(arm);
+        }
+    }
+
+    /// Fires a scheduled fault: the action happens *after* the arm's lock
+    /// is released (see [`FaultArm::tick`]), so even an injected panic
+    /// leaves every ctl lock healthy.
+    #[cold]
+    fn fault_fire(&self, arm: &FaultArm) {
+        let Some(firing) = arm.tick() else { return };
+        match firing.kind {
+            FaultKind::Cancel => self.cancel_with(CancelReason::Stop),
+            FaultKind::Deadline => self.cancel_with(CancelReason::Deadline),
+            FaultKind::Budget => {
+                if self.inner.fuel.load(Ordering::Relaxed) != u64::MAX {
+                    self.inner.fuel.store(0, Ordering::Relaxed);
+                }
+                self.cancel_with(CancelReason::Budget);
+            }
+            FaultKind::Panic => panic!(
+                "nova-chaos: injected panic at {}:{}",
+                if firing.stage.is_empty() {
+                    "<pre-stage>"
+                } else {
+                    &firing.stage
+                },
+                firing.at
+            ),
+        }
+    }
+
     /// Charges `units` of work against the budget. Returns `Err(Cancelled)`
     /// when the run should unwind. Hot loops call this once per "node"
     /// (face verification, projection step, espresso iteration).
     pub fn charge(&self, units: u64) -> Result<(), Cancelled> {
+        self.fault_tick();
         if self.inner.stop.load(Ordering::Relaxed) {
             return Err(Cancelled);
         }
@@ -160,7 +280,7 @@ impl RunCtl {
             let crossed_period =
                 before / DEADLINE_CHECK_PERIOD != (before + units) / DEADLINE_CHECK_PERIOD;
             if (before == 0 || crossed_period) && Instant::now() >= d {
-                self.cancel();
+                self.cancel_with(CancelReason::Deadline);
                 return Err(Cancelled);
             }
         }
@@ -179,7 +299,7 @@ impl RunCtl {
             ) {
                 Ok(_) => {
                     if next == 0 {
-                        self.cancel();
+                        self.cancel_with(CancelReason::Budget);
                         return Err(Cancelled);
                     }
                     return Ok(());
@@ -203,28 +323,92 @@ impl RunCtl {
         self.inner.fuel.load(Ordering::Relaxed) != u64::MAX
     }
 
+    /// Arms `plan` on this handle: every subsequent charge/counter call is
+    /// one observed operation, and the plan's points fire at their scheduled
+    /// operations. A handle can be armed at most once; later calls are
+    /// ignored (the plan is shared by every clone).
+    pub fn arm_faults(&self, plan: &FaultPlan) {
+        let _ = self.inner.fault.set(Arc::new(FaultArm::new(plan)));
+    }
+
+    /// Is a fault plan armed on this handle?
+    pub fn fault_armed(&self) -> bool {
+        self.inner.fault.get().is_some()
+    }
+
+    /// Must consumers with optional parallelism run sequentially so this
+    /// run replays deterministically? True for fuel-limited handles (fuel
+    /// drains in trial order) and fault-armed handles (operation counts
+    /// must be thread-independent).
+    pub fn requires_determinism(&self) -> bool {
+        self.has_fuel_limit() || self.fault_armed()
+    }
+
+    /// Announces the active pipeline stage (the driver calls this at each
+    /// stage boundary). A no-op unless a fault plan is armed.
+    pub fn set_stage(&self, name: &str) {
+        if let Some(arm) = self.inner.fault.get() {
+            arm.set_stage(name);
+        }
+    }
+
+    /// Offers an anytime snapshot: a complete, valid code assignment the
+    /// run could fall back to if cancelled. Replaces the held snapshot when
+    /// `score` is at least as good (later equal-score offers win — they are
+    /// usually refinements).
+    pub fn offer_best(&self, bits: u32, codes: &[u64], source: &'static str, score: u64) {
+        let mut slot = self
+            .inner
+            .best
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if slot.as_ref().is_none_or(|b| score >= b.score) {
+            *slot = Some(BestSoFar {
+                bits,
+                codes: codes.to_vec(),
+                source,
+                score,
+            });
+        }
+    }
+
+    /// Takes the best anytime snapshot offered so far, leaving the slot
+    /// empty. The driver calls this once, on cancellation.
+    pub fn take_best(&self) -> Option<BestSoFar> {
+        self.inner
+            .best
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
     /// One candidate face tried by the embedding search.
     pub fn count_face(&self) {
+        self.fault_tick();
         self.inner.faces_tried.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `n` candidate faces tried (batched flush of a local counter).
     pub fn count_faces(&self, n: u64) {
+        self.fault_tick();
         self.inner.faces_tried.fetch_add(n, Ordering::Relaxed);
     }
 
     /// One backtrack taken by the embedding search.
     pub fn count_backtrack(&self) {
+        self.fault_tick();
         self.inner.backtracks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `n` backtracks taken (batched flush of a local counter).
     pub fn count_backtracks(&self, n: u64) {
+        self.fault_tick();
         self.inner.backtracks.fetch_add(n, Ordering::Relaxed);
     }
 
     /// One ESPRESSO improvement iteration.
     pub fn count_espresso_iteration(&self) {
+        self.fault_tick();
         self.inner
             .espresso_iterations
             .fetch_add(1, Ordering::Relaxed);
@@ -232,6 +416,7 @@ impl RunCtl {
 
     /// Cubes entering / leaving one ESPRESSO minimization call.
     pub fn count_cubes(&self, cubes_in: u64, cubes_out: u64) {
+        self.fault_tick();
         self.inner.cubes_in.fetch_add(cubes_in, Ordering::Relaxed);
         self.inner.cubes_out.fetch_add(cubes_out, Ordering::Relaxed);
     }
@@ -340,6 +525,104 @@ mod tests {
     fn default_tracer_is_disabled() {
         let ctl = RunCtl::unlimited();
         assert!(!ctl.tracer().is_enabled());
+    }
+
+    #[test]
+    fn cancel_reasons_are_latched_by_first_cause() {
+        let external = RunCtl::unlimited();
+        assert_eq!(external.cancel_reason(), None);
+        external.cancel();
+        assert_eq!(external.cancel_reason(), Some(CancelReason::Stop));
+
+        let budget = RunCtl::with_limits(Some(1), None);
+        let _ = budget.charge(1);
+        assert_eq!(budget.cancel_reason(), Some(CancelReason::Budget));
+        budget.cancel(); // Later causes do not overwrite the first.
+        assert_eq!(budget.cancel_reason(), Some(CancelReason::Budget));
+
+        let deadline = RunCtl::with_limits(None, Some(Instant::now()));
+        let _ = deadline.charge(1);
+        assert_eq!(deadline.cancel_reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn injected_cancel_fires_at_the_scheduled_charge() {
+        let ctl = RunCtl::unlimited();
+        ctl.arm_faults(&FaultPlan::single("*", 3, FaultKind::Cancel));
+        assert!(ctl.charge(1).is_ok());
+        assert!(ctl.charge(1).is_ok());
+        assert_eq!(ctl.charge(1), Err(Cancelled));
+        assert_eq!(ctl.cancel_reason(), Some(CancelReason::Stop));
+    }
+
+    #[test]
+    fn injected_budget_fault_zeroes_fuel() {
+        let ctl = RunCtl::with_limits(Some(1_000_000), None);
+        ctl.arm_faults(&FaultPlan::single("*", 2, FaultKind::Budget));
+        assert!(ctl.charge(1).is_ok());
+        assert_eq!(ctl.charge(1), Err(Cancelled));
+        assert_eq!(ctl.cancel_reason(), Some(CancelReason::Budget));
+    }
+
+    #[test]
+    fn injected_deadline_fault_reports_deadline_reason() {
+        let ctl = RunCtl::unlimited();
+        ctl.arm_faults(&FaultPlan::single("*", 1, FaultKind::Deadline));
+        assert_eq!(ctl.charge(1), Err(Cancelled));
+        assert_eq!(ctl.cancel_reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn injected_panic_fires_once_and_is_stage_keyed() {
+        let ctl = RunCtl::unlimited();
+        ctl.arm_faults(&FaultPlan::single("stage.espresso", 2, FaultKind::Panic));
+        // A different stage never fires the point.
+        ctl.set_stage("stage.embed");
+        for _ in 0..10 {
+            ctl.charge(1).unwrap();
+        }
+        ctl.set_stage("stage.espresso");
+        ctl.charge(1).unwrap();
+        let clone = ctl.clone();
+        let err = std::panic::catch_unwind(move || clone.charge(1)).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("nova-chaos"), "{msg}");
+        assert!(msg.contains("stage.espresso:2"), "{msg}");
+        // The arm's own state survived the panic: no poisoned lock, the
+        // point is spent, counting continues.
+        assert!(ctl.charge(1).is_ok());
+    }
+
+    #[test]
+    fn count_calls_are_observed_operations_too() {
+        let ctl = RunCtl::unlimited();
+        ctl.arm_faults(&FaultPlan::single("*", 3, FaultKind::Cancel));
+        ctl.count_face();
+        ctl.count_espresso_iteration();
+        ctl.count_backtrack(); // third op fires
+        assert!(ctl.cancelled());
+    }
+
+    #[test]
+    fn determinism_required_when_armed_or_fuel_limited() {
+        let plain = RunCtl::unlimited();
+        assert!(!plain.requires_determinism());
+        plain.arm_faults(&FaultPlan::single("*", 1, FaultKind::Cancel));
+        assert!(plain.requires_determinism());
+        assert!(RunCtl::with_limits(Some(5), None).requires_determinism());
+    }
+
+    #[test]
+    fn offer_best_keeps_the_highest_score() {
+        let ctl = RunCtl::unlimited();
+        assert!(ctl.take_best().is_none());
+        ctl.offer_best(3, &[0, 1, 2], "a", 5);
+        ctl.offer_best(4, &[0, 1, 2, 3], "b", 2); // worse: ignored
+        ctl.offer_best(3, &[4, 5, 6], "c", 5); // equal: replaces
+        let best = ctl.take_best().expect("snapshot held");
+        assert_eq!(best.source, "c");
+        assert_eq!(best.codes, vec![4, 5, 6]);
+        assert!(ctl.take_best().is_none(), "take empties the slot");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod cube;
 pub mod exact;
 pub mod expand;
 pub mod factor;
+pub mod fault;
 pub mod irredundant;
 pub mod legacy;
 pub mod matrix;
@@ -55,9 +56,10 @@ pub mod tautology;
 
 pub use complement::{complement, sharp};
 pub use cover::{Cover, CoverCost};
-pub use ctl::{Cancelled, RunCounters, RunCtl};
+pub use ctl::{BestSoFar, CancelReason, Cancelled, RunCounters, RunCtl};
 pub use cube::{supercube, Cube};
 pub use exact::{all_primes, minimize_exact, ExactLimits};
+pub use fault::{FaultKind, FaultPlan, FaultPlanError, FaultPoint, PIPELINE_STAGES};
 pub use matrix::{CubeMatrix, Sig};
 pub use minimize::{minimize, minimize_with, minimize_with_ctl, MinimizeOptions, MinimizeStats};
 pub use scratch::{thread_stats as scratch_thread_stats, Scratch, ScratchStats};

@@ -119,6 +119,18 @@ pub struct ParseKissError {
     message: String,
 }
 
+impl ParseKissError {
+    /// 1-based line number of the offending input line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of what was wrong with the line.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
 impl fmt::Display for ParseKissError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

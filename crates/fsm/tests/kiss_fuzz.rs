@@ -1,0 +1,125 @@
+//! SplitMix64-driven robustness property tests for [`Fsm::parse_kiss`]:
+//! whatever bytes come in — mutated, truncated, width-overflowing — the
+//! parser must return `Ok` or a [`fsm::ParseKissError`] with a plausible
+//! line number. It must never panic.
+
+use fsm::generator::SplitMix64;
+use fsm::Fsm;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const BASE: &str = "\
+.i 2
+.o 1
+.s 4
+.r a
+00 a b 0
+01 a c 0
+1- b d 1
+-- c a 0
+10 d a 1
+.e
+";
+
+/// ASCII alphabet biased toward KISS2-meaningful bytes so mutations hit the
+/// parser's interesting branches, not just "bad input pattern".
+const BYTES: &[u8] = b"01-abcd .iorse\t#\n4x";
+
+fn mutate(rng: &mut SplitMix64, base: &str) -> String {
+    let mut text = base.as_bytes().to_vec();
+    for _ in 0..=rng.below(6) {
+        match rng.below(5) {
+            // Flip one byte to an alphabet byte.
+            0 if !text.is_empty() => {
+                let i = rng.below(text.len());
+                text[i] = BYTES[rng.below(BYTES.len())];
+            }
+            // Truncate at an arbitrary point.
+            1 if !text.is_empty() => {
+                text.truncate(rng.below(text.len()));
+            }
+            // Delete a whole line.
+            2 => {
+                let s = String::from_utf8_lossy(&text).into_owned();
+                let mut lines: Vec<&str> = s.lines().collect();
+                if !lines.is_empty() {
+                    lines.remove(rng.below(lines.len()));
+                }
+                text = lines.join("\n").into_bytes();
+            }
+            // Duplicate a line (possibly re-declaring .i / .o / .r).
+            3 => {
+                let s = String::from_utf8_lossy(&text).into_owned();
+                let mut lines: Vec<&str> = s.lines().collect();
+                if !lines.is_empty() {
+                    let i = rng.below(lines.len());
+                    lines.insert(i, lines[i]);
+                }
+                text = lines.join("\n").into_bytes();
+            }
+            // Blow up a declared width (`.i`/`.o` far beyond the rows).
+            _ => {
+                let huge = format!(".{} {}\n", ["i", "o"][rng.below(2)], rng.next_u64());
+                let at = rng.below(text.len() + 1);
+                text.splice(at..at, huge.into_bytes());
+            }
+        }
+    }
+    String::from_utf8_lossy(&text).into_owned()
+}
+
+#[test]
+fn mutated_kiss_never_panics_and_errors_carry_plausible_lines() {
+    for seed in 0..400u64 {
+        let mut rng = SplitMix64::new(seed);
+        let text = mutate(&mut rng, BASE);
+        let outcome = catch_unwind(AssertUnwindSafe(|| Fsm::parse_kiss(&text)));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(_) => panic!("parse_kiss panicked on seed {seed}: {text:?}"),
+        };
+        if let Err(e) = result {
+            // Line 0 is reserved for whole-file errors (missing .i / .o).
+            assert!(
+                e.line() <= text.lines().count(),
+                "seed {seed}: error line {} beyond {} input lines: {e}",
+                e.line(),
+                text.lines().count()
+            );
+            assert!(!e.message().is_empty(), "seed {seed}: empty message");
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_file_parses_or_errors_cleanly() {
+    for cut in 0..BASE.len() {
+        let text = &BASE[..cut];
+        if let Err(e) = Fsm::parse_kiss(text) {
+            assert!(e.line() <= text.lines().count(), "cut {cut}: {e}");
+        }
+    }
+}
+
+#[test]
+fn width_overflow_reports_the_offending_row() {
+    // Header says 4 input bits; the row on line 3 provides 2.
+    let text = ".i 4\n.o 1\n00 a b 0\n";
+    let e = Fsm::parse_kiss(text).expect_err("width mismatch");
+    assert_eq!(e.line(), 3);
+    assert!(e.message().contains("width"), "{e}");
+}
+
+#[test]
+fn malformed_row_reports_its_line_and_field_count() {
+    let text = ".i 1\n.o 1\n0 a b 0\ngarbage here\n";
+    let e = Fsm::parse_kiss(text).expect_err("3-field row");
+    assert_eq!(e.line(), 4);
+    assert!(e.message().contains("expected 4 fields"), "{e}");
+}
+
+#[test]
+fn missing_headers_use_the_whole_file_line_zero() {
+    let e = Fsm::parse_kiss("0 a b 0\n").expect_err("no .i/.o");
+    assert_eq!(e.line(), 0);
+    assert!(e.message().contains("missing"), "{e}");
+}
