@@ -22,10 +22,10 @@ use fsm::simulate::check_sequence;
 use fsm::{Encoding, Fsm, StateId};
 use nova_core::driver::Algorithm;
 use nova_engine::{
-    json, run_one, run_portfolio, run_suite_filtered, suite_to_json, EngineConfig, Outcome,
-    PortfolioReport,
+    report_fingerprint as fingerprint, run_one, run_portfolio, run_suite_filtered, suite_to_json,
+    EngineConfig, Outcome,
 };
-use nova_trace::Tracer;
+use nova_trace::{json, Tracer};
 
 const MACHINES: &[&str] = &["lion", "beecount"];
 const KINDS: &[FaultKind] = &[
@@ -48,39 +48,6 @@ fn config(plan: FaultPlan) -> EngineConfig {
         fault_plan: Some(plan),
         ..EngineConfig::default()
     }
-}
-
-/// Timing-stripped fingerprint of a run: everything deterministic, nothing
-/// wall-clock. Byte-equal fingerprints == replayed run.
-fn fingerprint(report: &PortfolioReport) -> String {
-    let mut out = format!("machine={}\n", report.machine);
-    for run in &report.runs {
-        out.push_str(&format!(
-            "algorithm={} outcome={}",
-            run.algorithm.name(),
-            run.outcome.tag()
-        ));
-        match &run.outcome {
-            Outcome::Done(r) => out.push_str(&format!(
-                " bits={} cubes={} area={} codes={:?}",
-                r.bits,
-                r.cubes,
-                r.area,
-                r.encoding.codes()
-            )),
-            Outcome::Degraded(d) => out.push_str(&format!(
-                " reason={} source={} bits={} codes={:?}",
-                d.reason.tag(),
-                d.source,
-                d.encoding.bits(),
-                d.encoding.codes()
-            )),
-            Outcome::Failed(msg) => out.push_str(&format!(" error={msg}")),
-            _ => {}
-        }
-        out.push('\n');
-    }
-    out
 }
 
 /// A degraded (or completed) encoding must still *implement the machine*:

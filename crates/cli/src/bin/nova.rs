@@ -3,9 +3,11 @@
 //! encoding, statistics, and (optionally) the minimized encoded PLA.
 //!
 //! ```text
-//! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2]
-//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [FILE.kiss2]
+//! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2 | -]
+//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [FILE.kiss2 | -]
 //! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--bench-out FILE]
+//! nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N]
+//! nova --remote HOST:PORT [-e ALG | --portfolio] [-b BITS] [--budget N] [--timeout-ms N] [FILE.kiss2 | -]
 //!
 //!   -e ALG         encoding algorithm (default ihybrid)
 //!   -b BITS        target code length (default: minimum)
@@ -30,23 +32,36 @@
 //!   --fault-plan S arm a deterministic nova-chaos fault plan on every run:
 //!                  "STAGE:NTH:KIND[,...]" (KIND: cancel|deadline|budget|
 //!                  panic; STAGE "*" = any) or "seed:N" for a derived plan
+//!   --remote A     send the machine to a resident `nova serve` at A
+//!                  instead of encoding in-process; prints the service's
+//!                  nova-bench/1 JSON response
+//!
+//!   serve          run the resident encoding service (see nova-serve):
+//!   --addr A       bind address (default 127.0.0.1:7171; port 0 = any)
+//!   --workers N    request workers (default: available parallelism)
+//!   --cache-entries N  result-cache entry bound (default 4096)
+//!   --cache-bytes N    result-cache byte bound (default 64 MiB)
+//!   --queue-depth N    admission queue bound; beyond it requests get 503
+//!                      (default 64)
 //! ```
 //!
-//! Reads stdin when no file is given.
+//! Reads stdin when no file is given or the file is `-`.
 //!
 //! Exit codes: 0 success (including a degraded anytime result), 1 no result
-//! (unsolved / timeout / failed), 2 usage error, 3 KISS2 parse error, 4 I/O
-//! error, 5 unknown embedded benchmark.
+//! (unsolved / timeout / failed / server overloaded), 2 usage error, 3 KISS2
+//! parse error (or request the server rejected), 4 I/O error (or server
+//! unreachable), 5 unknown embedded benchmark. The README tables map these
+//! onto the service's HTTP statuses.
 
 use espresso::FaultPlan;
 use fsm::minimize_states::minimize_states;
 use fsm::Fsm;
 use nova_core::driver::Algorithm;
-use nova_engine::{
-    json::Json, run_one, run_portfolio, run_suite_filtered, suite_to_json, EngineConfig,
-};
+use nova_engine::{run_one, run_portfolio, run_suite_filtered, suite_to_json, EngineConfig};
+use nova_trace::json::Json;
 use nova_trace::Tracer;
 use std::io::Read as _;
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -64,8 +79,9 @@ const EXIT_UNKNOWN_BENCH: u8 = 5;
 fn usage() -> ! {
     let algs: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
-        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [--fault-plan SPEC] [FILE.kiss2]\n\
-         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2]\n\
+        "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [--fault-plan SPEC] [--remote ADDR] [FILE.kiss2 | -]\n\
+         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2 | -]\n\
+         \u{20}      nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N]\n\
          ALG: {} (or onehot)",
         algs.join(" | ")
     );
@@ -104,6 +120,7 @@ struct Args {
     bench_out: Option<String>,
     filter: Vec<String>,
     fault_plan: Option<FaultPlan>,
+    remote: Option<String>,
     file: Option<String>,
 }
 
@@ -127,6 +144,7 @@ fn parse_args() -> Args {
         bench_out: None,
         filter: Vec::new(),
         fault_plan: None,
+        remote: None,
         file: None,
     };
     let mut args = std::env::args().skip(1);
@@ -173,7 +191,11 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--remote" => out.remote = Some(args.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
+            // An explicit `-` names stdin, so `... | nova -` and piping into
+            // a remote server share one spelling.
+            "-" => out.file = Some("-".to_string()),
             other if !other.starts_with('-') => out.file = Some(other.to_string()),
             _ => usage(),
         }
@@ -294,15 +316,15 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
         }
         return Ok(machine);
     }
-    let text = match &args.file {
-        Some(path) => match std::fs::read_to_string(path) {
+    let text = match args.file.as_deref() {
+        Some(path) if path != "-" => match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("nova: cannot read {path}: {e}");
                 return Err(ExitCode::from(EXIT_IO));
             }
         },
-        None => {
+        _ => {
             let mut t = String::new();
             if std::io::stdin().read_to_string(&mut t).is_err() {
                 eprintln!("nova: cannot read stdin");
@@ -314,6 +336,7 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
     let name = args
         .file
         .as_deref()
+        .filter(|p| *p != "-")
         .and_then(|p| p.rsplit('/').next())
         .map(|p| p.trim_end_matches(".kiss2"))
         .unwrap_or("stdin");
@@ -334,13 +357,125 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
     Ok(machine)
 }
 
+/// `nova serve`: run the resident encoding service until SIGTERM/ctrl-c,
+/// then drain and exit 0.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut cfg = nova_serve::ServerConfig {
+        addr: "127.0.0.1:7171".into(),
+        ..nova_serve::ServerConfig::default()
+    };
+    let mut it = args.iter();
+    let num =
+        |v: Option<&String>| -> usize { v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--workers" => cfg.workers = num(it.next()),
+            "--cache-entries" => cfg.cache.max_entries = num(it.next()),
+            "--cache-bytes" => cfg.cache.max_bytes = num(it.next()),
+            "--queue-depth" => cfg.queue_depth = num(it.next()),
+            _ => usage(),
+        }
+    }
+    nova_serve::shutdown::install();
+    let addr = cfg.addr.clone();
+    let handle = match nova_serve::serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("nova: cannot serve on {addr}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    // The address line is the startup handshake scripts wait for (port 0
+    // resolves here), so flush it through any pipe buffering. Best-effort
+    // writes: a consumer that closes stdout after the first line must not
+    // bring the whole service down with a broken-pipe panic.
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "# nova-serve listening on http://{}", handle.addr());
+    let _ = writeln!(
+        out,
+        "#   POST /encode (KISS2 or machine JSON) | GET /counters | GET /healthz"
+    );
+    let _ = out.flush();
+    handle.join();
+    eprintln!("nova: serve drained cleanly");
+    ExitCode::SUCCESS
+}
+
+/// `--remote`: ship the machine to a resident service and print its
+/// nova-bench/1 response, mapping HTTP statuses onto the CLI exit codes.
+fn remote_main(addr: &str, machine: &Fsm, args: &Args) -> ExitCode {
+    let options = nova_serve::EncodeOptions {
+        algorithms: if args.portfolio {
+            Algorithm::ALL.to_vec()
+        } else {
+            vec![args.algorithm]
+        },
+        bits: args.bits,
+        budget: args.budget,
+        timeout_ms: args.timeout_ms,
+        jobs: args.jobs,
+        embed_jobs: args.embed_jobs,
+        fault_plan: args.fault_plan.clone(),
+    };
+    let resp = match nova_serve::client::post_kiss(addr, &machine.to_kiss(), &options.to_query()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nova: --remote {addr}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    if resp.status != 200 {
+        eprintln!(
+            "nova: --remote {addr}: {}: {}",
+            nova_serve::client::status_line(resp.status),
+            resp.body.trim()
+        );
+        return ExitCode::from(nova_serve::client::status_exit_code(resp.status));
+    }
+    println!("{}", resp.body);
+    // Mirror the local exit contract: a completed or degraded encoding is
+    // success; a report where nothing finished is "no result".
+    let has_result = nova_trace::json::parse(&resp.body)
+        .ok()
+        .and_then(|doc| match doc.get("machines") {
+            Some(Json::Arr(machines)) => machines.first().map(|m| {
+                m.get("best").is_some_and(|b| *b != Json::Null) || m.get("degraded").is_some()
+            }),
+            _ => None,
+        })
+        .unwrap_or(false);
+    if has_result {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_NO_RESULT)
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
+    }
     let args = parse_args();
     let tracer = if args.trace.is_some() {
         Tracer::enabled()
     } else {
         Tracer::disabled()
     };
+
+    // Client mode: the machine is encoded by a resident nova-serve.
+    if let Some(addr) = args.remote.clone() {
+        if args.batch {
+            eprintln!("nova: --remote does not support --batch (sweep on the server side instead)");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let machine = match read_machine(&args) {
+            Ok(m) => m,
+            Err(code) => return code,
+        };
+        return remote_main(&addr, &machine, &args);
+    }
 
     // Batch mode: sweep the embedded benchmark suite, no input machine.
     if args.batch {

@@ -1,5 +1,6 @@
 //! End-to-end tests of the command-line tools (spawned as real processes).
 
+use nova_trace::json;
 use std::io::Write as _;
 use std::process::{Command, Stdio};
 
@@ -181,14 +182,14 @@ fn nova_trace_chrome_is_valid_and_balanced() {
     assert!(ok, "{stderr}");
     let text = std::fs::read_to_string(&path).expect("trace file written");
     std::fs::remove_file(&path).ok();
-    let doc = nova_engine::json::parse(&text).expect("chrome trace parses");
-    let Some(nova_engine::json::Json::Arr(events)) = doc.get("traceEvents") else {
+    let doc = json::parse(&text).expect("chrome trace parses");
+    let Some(json::Json::Arr(events)) = doc.get("traceEvents") else {
         panic!("no traceEvents: {text}");
     };
     let count = |ph: &str| {
         events
             .iter()
-            .filter(|e| matches!(e.get("ph"), Some(nova_engine::json::Json::Str(s)) if s == ph))
+            .filter(|e| matches!(e.get("ph"), Some(json::Json::Str(s)) if s == ph))
             .count()
     };
     assert!(count("B") > 0);
@@ -197,9 +198,9 @@ fn nova_trace_chrome_is_valid_and_balanced() {
     for alg in nova_core::Algorithm::ALL {
         let name = format!("algo.{}", alg.name());
         assert!(
-            events.iter().any(
-                |e| matches!(e.get("name"), Some(nova_engine::json::Json::Str(s)) if *s == name)
-            ),
+            events
+                .iter()
+                .any(|e| matches!(e.get("name"), Some(json::Json::Str(s)) if *s == name)),
             "missing {name}"
         );
     }
@@ -220,7 +221,7 @@ fn nova_trace_jsonl_has_schema_header() {
     let first = text.lines().next().expect("non-empty");
     assert!(first.contains("\"schema\":\"nova-trace/1\""), "{first}");
     for line in text.lines() {
-        nova_engine::json::parse(line).expect("every jsonl line parses");
+        json::parse(line).expect("every jsonl line parses");
     }
 }
 
@@ -266,12 +267,9 @@ fn nova_batch_writes_bench_report() {
     assert!(stdout.contains("bench report written"), "{stdout}");
     let text = std::fs::read_to_string(&path).expect("bench report written");
     std::fs::remove_file(&path).ok();
-    let doc = nova_engine::json::parse(&text).expect("bench report parses");
-    assert_eq!(
-        doc.get("schema"),
-        Some(&nova_engine::json::Json::str("nova-bench/1"))
-    );
-    let Some(nova_engine::json::Json::Arr(machines)) = doc.get("machines") else {
+    let doc = json::parse(&text).expect("bench report parses");
+    assert_eq!(doc.get("schema"), Some(&json::Json::str("nova-bench/1")));
+    let Some(json::Json::Arr(machines)) = doc.get("machines") else {
         panic!("machines missing");
     };
     assert_eq!(machines.len(), 2, "--filter restricts the sweep");
@@ -417,6 +415,109 @@ fn nova_fault_plan_injected_panic_is_contained() {
     );
     assert_eq!(code, 1, "{stderr}");
     assert!(stderr.contains("failed"), "{stderr}");
+}
+
+#[test]
+fn nova_reads_stdin_via_explicit_dash() {
+    let (stdout, stderr, ok) = run_with_stdin(env!("CARGO_BIN_EXE_nova"), &["-"], TOY_KISS);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(".code a"), "{stdout}");
+    // `-` is stdin by name: the report calls the machine "stdin", exactly
+    // like the no-argument form.
+    let (stdout, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--portfolio", "--json", "-"],
+        TOY_KISS,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"machine\": \"stdin\""), "{stdout}");
+}
+
+/// Full service loop as real processes: boot `nova serve`, encode through
+/// `nova --remote` twice (second answer must replay the first byte for
+/// byte), map a server-rejected body onto the parse exit code, then
+/// SIGTERM the server and require a clean drain (exit 0).
+#[test]
+fn nova_serve_remote_round_trip_and_sigterm_drain() {
+    use std::io::{BufRead as _, BufReader};
+    let mut server = Command::new(env!("CARGO_BIN_EXE_nova"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    // The first stdout line is the startup handshake carrying the
+    // kernel-chosen port.
+    let stdout = server.stdout.take().expect("stdout");
+    let banner = BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("banner line")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("# nova-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .trim()
+        .to_string();
+
+    let encode = || {
+        run_with_code(
+            env!("CARGO_BIN_EXE_nova"),
+            &["--remote", &addr, "-e", "ihybrid", "-"],
+            TOY_KISS,
+        )
+    };
+    let (first, stderr, code) = encode();
+    assert_eq!(code, 0, "{stderr}");
+    assert!(first.contains("\"schema\": \"nova-bench/1\""), "{first}");
+    assert!(first.contains("\"best\": \"ihybrid\""), "{first}");
+    let (second, stderr, code) = encode();
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(first, second, "cache hit replays byte-identically");
+
+    // A body the server rejects (HTTP 400) maps onto the parse exit code.
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--remote", &addr, "-"],
+        "not kiss at all",
+    );
+    assert_eq!(code, 3, "{stderr}");
+    assert_one_line_stderr(&stderr);
+
+    // SIGTERM: drain in-flight work and exit 0 (`kill` is a shell builtin,
+    // so this stays dependency-free).
+    let sent = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", server.id())])
+        .status()
+        .expect("send SIGTERM");
+    assert!(sent.success());
+    let out = server.wait_with_output().expect("wait for server");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "server drains and exits 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn nova_remote_exit_codes_for_unreachable_and_misuse() {
+    // Nothing listens on the discard port: I/O-class failure.
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--remote", "127.0.0.1:9", "-"],
+        TOY_KISS,
+    );
+    assert_eq!(code, 4, "{stderr}");
+    assert_one_line_stderr(&stderr);
+    // --remote cannot drive a --batch sweep: usage error.
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--remote", "127.0.0.1:9", "--portfolio", "--batch"],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--remote"), "{stderr}");
 }
 
 #[test]

@@ -1,6 +1,7 @@
-//! Re-export of [`nova_trace::json`]: the hand-rolled JSON tree moved into
-//! the trace crate (which sits below the engine in the dependency graph) so
-//! the sinks and the engine share one writer. Existing `nova_engine::json`
-//! users keep working unchanged.
+//! Deprecated re-export of [`nova_trace::json`]. The hand-rolled JSON tree
+//! moved into the trace crate (which sits below the engine in the dependency
+//! graph) back in PR 2; this shim only exists so code written against the old
+//! path keeps compiling. New code — and everything in this workspace — should
+//! depend on `nova_trace::json` directly.
 
 pub use nova_trace::json::*;

@@ -32,14 +32,18 @@
 //! assert!(best.area > 0);
 //! ```
 
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nova_trace::json` directly; this re-export shim will be removed"
+)]
 pub mod json;
 
 use espresso::{FaultPlan, RunCounters, RunCtl};
 use fsm::Fsm;
-use json::Json;
 use nova_core::driver::{
     run_traced_shared_jobs, Algorithm, Degradation, EvalResult, RunStatus, StageCell, StageTimes,
 };
+use nova_trace::json::Json;
 use nova_trace::{MetricsSnapshot, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -261,6 +265,41 @@ fn degradation_to_json(d: &Degradation) -> Json {
 
 fn millis(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Timing-stripped fingerprint of a portfolio report: every deterministic
+/// field (outcomes, areas, codes, degradation reasons), nothing wall-clock.
+/// Byte-equal fingerprints mean a byte-identical replay — the property the
+/// chaos suite enforces and the result cache in `nova-serve` relies on.
+pub fn report_fingerprint(report: &PortfolioReport) -> String {
+    let mut out = format!("machine={}\n", report.machine);
+    for run in &report.runs {
+        out.push_str(&format!(
+            "algorithm={} outcome={}",
+            run.algorithm.name(),
+            run.outcome.tag()
+        ));
+        match &run.outcome {
+            Outcome::Done(r) => out.push_str(&format!(
+                " bits={} cubes={} area={} codes={:?}",
+                r.bits,
+                r.cubes,
+                r.area,
+                r.encoding.codes()
+            )),
+            Outcome::Degraded(d) => out.push_str(&format!(
+                " reason={} source={} bits={} codes={:?}",
+                d.reason.tag(),
+                d.source,
+                d.encoding.bits(),
+                d.encoding.codes()
+            )),
+            Outcome::Failed(msg) => out.push_str(&format!(" error={msg}")),
+            _ => {}
+        }
+        out.push('\n');
+    }
+    out
 }
 
 impl AlgoRun {

@@ -1,0 +1,140 @@
+//! Content-addressed machine fingerprints.
+//!
+//! The engine's byte-identical-replay guarantee (nova-chaos) makes encoding
+//! results safely cacheable: the same machine under the same algorithm and
+//! options always produces the same report. The missing piece is a stable
+//! *identity* for "the same machine" — this module provides it as a 128-bit
+//! FNV-1a hash over a canonical serialization of the state transition table.
+//!
+//! Properties:
+//!
+//! * **Content-addressed** — the machine *name* is excluded: `lion` parsed
+//!   from a file and the same table pasted on stdin fingerprint identically.
+//! * **Format-insensitive** — hashing runs over the parsed table, not the
+//!   source text, so comment/whitespace/`.p`-header differences vanish.
+//! * **Stable** — the canonical form is versioned (`nova-fsm-fp/1`); any
+//!   change to it must bump the tag so old cache entries cannot alias.
+//!
+//! State names *are* part of the canonical form: encoders report codes
+//! against the declared state list, so two tables that differ only in state
+//! naming are different machines to a consumer reading `.code` lines back.
+
+use crate::machine::Fsm;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over raw bytes, returned as 32 lowercase hex digits.
+pub fn fnv1a128(bytes: &[u8]) -> String {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    format!("{h:032x}")
+}
+
+/// Canonical fingerprint of a machine: 32 hex digits, independent of the
+/// machine's name and of the source formatting it was parsed from.
+///
+/// ```
+/// use fsm::Fsm;
+///
+/// let a = Fsm::parse_kiss(".i 1\n.o 1\n0 a b 0\n1 b a 1\n")?;
+/// // Same table, different name, extra comments and advisory headers.
+/// let b = Fsm::parse_kiss_named("other", "# hi\n.i 1\n.o 1\n.p 2\n0 a b 0\n1 b a 1\n")?;
+/// assert_eq!(fsm::fingerprint(&a), fsm::fingerprint(&b));
+/// # Ok::<(), fsm::ParseKissError>(())
+/// ```
+pub fn fingerprint(fsm: &Fsm) -> String {
+    fnv1a128(canonical_bytes(fsm).as_bytes())
+}
+
+/// The versioned canonical serialization the fingerprint hashes. Exposed so
+/// tests (and debugging) can see exactly what identity covers.
+pub fn canonical_bytes(fsm: &Fsm) -> String {
+    let mut s = String::new();
+    s.push_str("nova-fsm-fp/1\n");
+    s.push_str(&format!(
+        ".i {}\n.o {}\n.s {}\n",
+        fsm.num_inputs(),
+        fsm.num_outputs(),
+        fsm.num_states()
+    ));
+    match fsm.reset() {
+        Some(r) => s.push_str(&format!(".r {}\n", r.0)),
+        None => s.push_str(".r -\n"),
+    }
+    for name in fsm.state_names() {
+        s.push_str(&format!(".n {name}\n"));
+    }
+    for t in fsm.transitions() {
+        for tr in &t.input {
+            s.push(tr.to_char());
+        }
+        s.push_str(&format!(" {} {} ", t.present.0, t.next.0));
+        for tr in &t.output {
+            s.push(tr.to_char());
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = "\
+.i 1
+.o 1
+.s 2
+0 a a 0
+1 a b 0
+- b a 1
+";
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Standard FNV-1a 128 test vectors.
+        assert_eq!(fnv1a128(b""), "6c62272e07bb014262b821756295c58d");
+        assert_eq!(fnv1a128(b"a"), "d228cb696f1a8caf78912b704e4a8964");
+    }
+
+    #[test]
+    fn name_and_formatting_do_not_matter() {
+        let a = Fsm::parse_kiss(TOY).unwrap();
+        let b = Fsm::parse_kiss_named(
+            "renamed",
+            "# comment\n.i 1\n.o 1\n.s 2\n.p 3\n\n0 a a 0\n1 a b 0\n- b a 1\n.e\n",
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn content_changes_do_matter() {
+        let base = Fsm::parse_kiss(TOY).unwrap();
+        let fp = fingerprint(&base);
+        // Flip one output bit.
+        let other = Fsm::parse_kiss(".i 1\n.o 1\n.s 2\n0 a a 1\n1 a b 0\n- b a 1\n").unwrap();
+        assert_ne!(fp, fingerprint(&other));
+        // Rename a state: still a different machine (codes are reported
+        // against the state list).
+        let renamed = Fsm::parse_kiss(".i 1\n.o 1\n.s 2\n0 x x 0\n1 x b 0\n- b x 1\n").unwrap();
+        assert_ne!(fp, fingerprint(&renamed));
+        // Declare a reset state.
+        let reset = Fsm::parse_kiss(".i 1\n.o 1\n.s 2\n.r a\n0 a a 0\n1 a b 0\n- b a 1\n").unwrap();
+        assert_ne!(fp, fingerprint(&reset));
+    }
+
+    #[test]
+    fn stable_across_calls_and_roundtrip() {
+        let m = Fsm::parse_kiss(TOY).unwrap();
+        let fp = fingerprint(&m);
+        assert_eq!(fp.len(), 32);
+        assert_eq!(fp, fingerprint(&m));
+        let again = Fsm::parse_kiss(&m.to_kiss()).unwrap();
+        assert_eq!(fp, fingerprint(&again));
+    }
+}

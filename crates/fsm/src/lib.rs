@@ -12,7 +12,9 @@
 //! * behavioural **simulation** of both the symbolic machine and encoded
 //!   implementations for equivalence checking ([`simulate`]),
 //! * the embedded **benchmark suite** of Tables I–V ([`benchmarks`]) and the
-//!   seeded synthetic generator backing its stand-ins ([`generator`]).
+//!   seeded synthetic generator backing its stand-ins ([`generator`]),
+//! * content-addressed machine **fingerprints** for result caching
+//!   ([`fingerprint`]).
 //!
 //! ## Example: encode and minimize a machine
 //!
@@ -32,6 +34,7 @@
 pub mod area;
 pub mod benchmarks;
 pub mod encode;
+pub mod fingerprint;
 pub mod generator;
 pub mod machine;
 pub mod minimize_states;
@@ -39,5 +42,6 @@ pub mod simulate;
 pub mod symbolic;
 
 pub use encode::{EncodedPla, Encoding};
+pub use fingerprint::fingerprint;
 pub use machine::{Fsm, FsmError, ParseKissError, StateId, Transition, Trit};
 pub use symbolic::{symbolic_cover, SymbolicCover};

@@ -1,0 +1,41 @@
+//! # nova-serve — the resident encoding service
+//!
+//! Every consumer of NOVA-style state assignment historically shells out to
+//! a fresh process per machine, paying process start-up, arena construction
+//! and scratch-pool warm-up for every single build. This crate keeps the
+//! engine resident behind a std-only HTTP/1.1 server and puts a
+//! content-addressed result cache in front of it: the engine's
+//! byte-identical-replay guarantee (nova-chaos) means the same machine
+//! under the same options is the same result, forever — so it is computed
+//! once.
+//!
+//! * [`server`] — request lifecycle, bounded-queue admission control,
+//!   graceful drain; start one with [`serve`].
+//! * [`cache`] — the LRU byte/entry-bounded result cache.
+//! * [`wire`] — query-string options, the machine JSON shape, and the
+//!   cache-key construction over [`fsm::fingerprint`].
+//! * [`http`] — the minimal hand-rolled HTTP layer (no dependencies).
+//! * [`client`] — the tiny client the `nova --remote` flag uses.
+//! * [`shutdown`] — std-only SIGTERM/SIGINT handling for graceful drains.
+//!
+//! ```no_run
+//! use nova_serve::{serve, ServerConfig};
+//!
+//! let handle = serve(ServerConfig::default())?;
+//! println!("listening on {}", handle.addr());
+//! // ... SIGTERM or handle.shutdown() ...
+//! handle.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod shutdown;
+pub mod wire;
+
+pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use client::{ClientError, RemoteResponse};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use wire::EncodeOptions;

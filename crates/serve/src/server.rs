@@ -1,0 +1,495 @@
+//! The resident encoding server.
+//!
+//! ## Request lifecycle
+//!
+//! 1. The **accept loop** (one thread) polls a non-blocking listener. Each
+//!    accepted connection is admitted into a bounded queue; when the queue
+//!    is full the connection is answered `503` + `Retry-After` immediately
+//!    — overload sheds load at the door instead of stacking latency.
+//! 2. A **worker** (one of `--workers` threads) pops the connection, parses
+//!    the HTTP request, and routes it. `POST /encode` bodies are parsed
+//!    into an [`fsm::Fsm`] (KISS2 or machine JSON), fingerprinted
+//!    ([`fsm::fingerprint`]), and looked up in the result cache.
+//! 3. On a miss the request's options become an
+//!    [`nova_engine::EngineConfig`] — deadlines and budgets ride the
+//!    engine's own `RunCtl` plumbing, so a request that runs out of time
+//!    returns the anytime `Degraded` best-so-far encoding, not an error —
+//!    and [`nova_engine::run_portfolio`] produces a `nova-bench/1` report.
+//! 4. Fully deterministic reports (every run `done`/`unsolved`, no fault
+//!    plan) are frozen into the cache as exact response bytes; repeated
+//!    requests are byte-identical by construction.
+//!
+//! ## Shutdown
+//!
+//! SIGTERM/ctrl-c (via [`crate::shutdown`]) or [`ServerHandle::shutdown`]
+//! stops the accept loop, wakes the workers, and lets them drain every
+//! already-admitted connection before exiting; [`ServerHandle::join`]
+//! returns once the last in-flight run has been answered.
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::http::{parse_query, Request, RequestError, Response};
+use crate::shutdown;
+use crate::wire::{machine_from_json, EncodeOptions};
+use fsm::Fsm;
+use nova_engine::{run_portfolio, suite_to_json, Outcome};
+use nova_trace::json::Json;
+use nova_trace::Tracer;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`serve`] instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Request worker threads (each runs one engine portfolio at a time).
+    /// `0` = available parallelism.
+    pub workers: usize,
+    /// Bounds of the result cache.
+    pub cache: CacheConfig,
+    /// Admission bound: connections waiting beyond the ones being served.
+    /// A full queue answers `503` with `Retry-After`.
+    pub queue_depth: usize,
+    /// Session tracer: `serve.*` counters land here (and per-run engine
+    /// telemetry via forks). Defaults to disabled, which costs one atomic
+    /// load per counter — the `/counters` endpoint is fed by the always-on
+    /// plain atomics below, so a disabled tracer loses nothing.
+    pub tracer: Tracer,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache: CacheConfig::default(),
+            queue_depth: 64,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Always-on service counters (the `/counters` endpoint and the smoke
+/// tests read these; the tracer carries the same names when enabled).
+#[derive(Debug, Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    engine_runs: AtomicU64,
+    rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// The bounded connection queue: admission control for the whole service.
+struct Queue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+    closing: AtomicBool,
+}
+
+impl Queue {
+    fn new(depth: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth,
+            closing: AtomicBool::new(false),
+        }
+    }
+
+    /// Admits a connection, or returns it back when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+        let mut q = self.inner.lock().expect("queue lock");
+        if q.len() >= self.depth {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        let depth = q.len();
+        drop(q);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Pops the next connection; `None` once the queue is closing *and*
+    /// drained — the worker-exit condition.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            if self.closing.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("queue lock");
+            q = guard;
+        }
+    }
+
+    fn close(&self) {
+        self.closing.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").len()
+    }
+}
+
+/// State shared between the accept loop, the workers, and the handle.
+struct Shared {
+    cfg: ServerConfig,
+    cache: Mutex<ResultCache>,
+    queue: Queue,
+    stats: ServeStats,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || shutdown::signalled()
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] then [`ServerHandle::join`] (or send the
+/// process SIGTERM) for a graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: stop accepting, finish everything
+    /// already admitted.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the accept loop and every worker to finish draining.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Snapshot of the `/counters` document (also what the endpoint
+    /// serves), for in-process tests and embedders.
+    pub fn counters(&self) -> Json {
+        counters_json(&self.shared)
+    }
+}
+
+/// Binds and starts the service; returns once the listener is live.
+///
+/// # Errors
+///
+/// I/O errors from binding the listener.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let workers = cfg.effective_workers();
+    let shared = Arc::new(Shared {
+        cache: Mutex::new(ResultCache::new(cfg.cache)),
+        queue: Queue::new(cfg.queue_depth.max(1)),
+        stats: ServeStats::default(),
+        stop: AtomicBool::new(false),
+        cfg,
+    });
+    let mut threads = Vec::with_capacity(workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?,
+        );
+    }
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("{addr}: no usable address"),
+        )
+    })
+}
+
+/// Non-blocking accept with a shutdown poll every 10 ms: the only way a
+/// std-only server can watch a signal flag while accepting.
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => admit(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Stop accepting, let the workers drain what was admitted.
+    shared.queue.close();
+}
+
+fn admit(stream: TcpStream, shared: &Shared) {
+    let tracer = &shared.cfg.tracer;
+    match shared.queue.push(stream) {
+        Ok(depth) => {
+            tracer.gauge("serve.queue.depth", depth as i64);
+        }
+        Err(mut stream) => {
+            // Overload: shed at the door with a hint to come back. The
+            // request is drained first (under a short timeout) so the
+            // close does not RST the client before it reads the 503.
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            tracer.incr("serve.reject", 1);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            if let Ok(reader) = stream.try_clone() {
+                let _ = Request::read_from(&mut BufReader::new(reader));
+            }
+            let body = Json::Obj(vec![
+                ("error".into(), Json::str("overloaded")),
+                (
+                    "queue_depth".into(),
+                    Json::uint(shared.cfg.queue_depth as u64),
+                ),
+            ]);
+            let _ = Response::json(503, body.to_pretty())
+                .with_header("Retry-After", "1")
+                .write_to(&mut stream);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.queue.pop() {
+        shared
+            .cfg
+            .tracer
+            .gauge("serve.queue.depth", shared.queue.len() as i64);
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let response = match Request::read_from(&mut reader) {
+        Ok(req) => route(&req, shared),
+        Err(RequestError::Bad(msg)) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            error_response(400, &msg)
+        }
+        Err(RequestError::TooLarge(n)) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            error_response(413, &format!("body of {n} bytes exceeds the limit"))
+        }
+        Err(RequestError::Io(_)) => return, // client went away mid-request
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        Json::Obj(vec![("error".into(), Json::str(message))]).to_pretty(),
+    )
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/encode") => handle_encode(req, shared),
+        ("GET", "/counters") => Response::json(200, counters_json(shared).to_pretty()),
+        ("GET", "/healthz") => Response::json(200, "{\"ok\":true}"),
+        (_, "/encode") | (_, "/counters") | (_, "/healthz") => {
+            error_response(405, &format!("{} not allowed here", req.method))
+        }
+        _ => error_response(404, &format!("no route {}", req.path)),
+    }
+}
+
+/// Parses the request body into a machine: KISS2 text unless the request
+/// declares `Content-Type: application/json`, in which case the pre-parsed
+/// machine shape of [`crate::wire::machine_to_json`] is expected.
+fn parse_machine(req: &Request) -> Result<Fsm, String> {
+    let body = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    let is_json = req.header("content-type").is_some_and(|t| {
+        t.split(';')
+            .next()
+            .is_some_and(|t| t.trim() == "application/json")
+    });
+    if is_json {
+        let doc = nova_trace::json::parse(body).map_err(|e| format!("machine JSON: {e}"))?;
+        machine_from_json(&doc)
+    } else {
+        Fsm::parse_kiss_named("request", body).map_err(|e| e.to_string())
+    }
+}
+
+fn handle_encode(req: &Request, shared: &Shared) -> Response {
+    let tracer = &shared.cfg.tracer;
+    let options = match EncodeOptions::from_query(&parse_query(&req.query)) {
+        Ok(o) => o,
+        Err(e) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return error_response(400, &e.to_string());
+        }
+    };
+    let machine = match parse_machine(req) {
+        Ok(m) => m,
+        Err(msg) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return error_response(400, &msg);
+        }
+    };
+    let fp = fsm::fingerprint(&machine);
+    let key = options.cache_key(&fp);
+
+    if options.cacheable() {
+        if let Some(body) = shared.cache.lock().expect("cache lock").get(&key) {
+            tracer.incr("serve.cache.hit", 1);
+            return Response::json(200, body.as_slice().to_vec())
+                .with_header("X-Nova-Cache", "hit")
+                .with_header("X-Nova-Fingerprint", fp);
+        }
+        tracer.incr("serve.cache.miss", 1);
+    }
+
+    // Miss (or uncacheable): run the engine under this request's limits.
+    shared.stats.engine_runs.fetch_add(1, Ordering::Relaxed);
+    tracer.incr("serve.engine.run", 1);
+    let cfg = options.engine_config(tracer);
+    let report = run_portfolio(&machine, machine.name(), &cfg);
+    let deterministic = report
+        .runs
+        .iter()
+        .all(|r| matches!(r.outcome, Outcome::Done(_) | Outcome::Unsolved));
+    if report
+        .runs
+        .iter()
+        .any(|r| matches!(r.outcome, Outcome::Degraded(_)))
+    {
+        shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        tracer.incr("serve.degraded", 1);
+    }
+    let body = Arc::new(suite_to_json(&[report]).to_pretty().into_bytes());
+
+    // Only fully deterministic reports are admissible: a run that saw a
+    // deadline, degradation, or failure is not a replayable artifact.
+    if options.cacheable() && deterministic {
+        shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(&key, Arc::clone(&body));
+    }
+
+    Response::json(200, body.as_slice().to_vec())
+        .with_header("X-Nova-Cache", "miss")
+        .with_header("X-Nova-Fingerprint", fp)
+}
+
+fn counters_json(shared: &Shared) -> Json {
+    let (cache_stats, entries, bytes) = {
+        let cache = shared.cache.lock().expect("cache lock");
+        (cache.stats(), cache.len(), cache.bytes())
+    };
+    let s = &shared.stats;
+    Json::Obj(vec![
+        ("schema".into(), Json::str("nova-serve/1")),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::uint(cache_stats.hits)),
+                ("misses".into(), Json::uint(cache_stats.misses)),
+                ("insertions".into(), Json::uint(cache_stats.insertions)),
+                ("evictions".into(), Json::uint(cache_stats.evictions)),
+                (
+                    "oversize_rejects".into(),
+                    Json::uint(cache_stats.oversize_rejects),
+                ),
+                ("entries".into(), Json::uint(entries as u64)),
+                ("bytes".into(), Json::uint(bytes as u64)),
+            ]),
+        ),
+        (
+            "queue".into(),
+            Json::Obj(vec![
+                ("depth".into(), Json::uint(shared.queue.len() as u64)),
+                ("capacity".into(), Json::uint(shared.cfg.queue_depth as u64)),
+                (
+                    "rejected".into(),
+                    Json::uint(s.rejected.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "engine".into(),
+            Json::Obj(vec![(
+                "runs".into(),
+                Json::uint(s.engine_runs.load(Ordering::Relaxed)),
+            )]),
+        ),
+        (
+            "requests".into(),
+            Json::uint(s.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "bad_requests".into(),
+            Json::uint(s.bad_requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "degraded".into(),
+            Json::uint(s.degraded.load(Ordering::Relaxed)),
+        ),
+    ])
+}

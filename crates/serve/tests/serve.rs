@@ -1,0 +1,308 @@
+//! End-to-end tests of the resident encoding service over real sockets:
+//! the cache contract (byte-identical hits, one engine run), eviction under
+//! a tiny byte bound, degraded results bypassing the cache, admission
+//! control under overload, and graceful drain.
+
+use nova_serve::cache::CacheConfig;
+use nova_serve::client::{self, RemoteResponse};
+use nova_serve::{serve, ServerConfig};
+use nova_trace::json::{self, Json};
+
+fn kiss(name: &str) -> String {
+    fsm::benchmarks::by_name(name)
+        .expect("embedded benchmark")
+        .fsm
+        .to_kiss()
+}
+
+fn start(cfg: ServerConfig) -> (nova_serve::ServerHandle, String) {
+    let handle = serve(cfg).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn counter(doc: &Json, group: &str, name: &str) -> i128 {
+    match doc.get(group).and_then(|g| g.get(name)) {
+        Some(Json::Int(v)) => *v,
+        other => panic!("{group}.{name} missing: {other:?}"),
+    }
+}
+
+fn assert_bench_schema(resp: &RemoteResponse) -> Json {
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = json::parse(&resp.body).expect("response is JSON");
+    assert_eq!(doc.get("schema"), Some(&Json::str("nova-bench/1")));
+    doc
+}
+
+#[test]
+fn repeated_request_is_served_from_cache_byte_identically() {
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let body = kiss("lion");
+    let first = client::post_kiss(&addr, &body, "algorithms=ihybrid").expect("post");
+    let doc = assert_bench_schema(&first);
+    assert!(!first.cache_hit());
+    let machines = match doc.get("machines") {
+        Some(Json::Arr(m)) => m,
+        other => panic!("machines missing: {other:?}"),
+    };
+    assert_eq!(machines.len(), 1);
+    assert_eq!(
+        machines[0].get("best"),
+        Some(&Json::str("ihybrid")),
+        "single-algorithm run completes"
+    );
+
+    // Same machine again — different source formatting, same fingerprint.
+    let reformatted = format!("# a comment\n{body}\n");
+    let second = client::post_kiss(&addr, &reformatted, "algorithms=ihybrid").expect("post");
+    assert_eq!(second.status, 200);
+    assert!(second.cache_hit(), "second request hits the cache");
+    assert_eq!(first.body, second.body, "cache hits are byte-identical");
+    assert_eq!(
+        first.header("x-nova-fingerprint"),
+        second.header("x-nova-fingerprint")
+    );
+
+    let counters =
+        json::parse(&client::get_counters(&addr).expect("counters").body).expect("counters JSON");
+    assert_eq!(counters.get("schema"), Some(&Json::str("nova-serve/1")));
+    assert_eq!(counter(&counters, "cache", "hits"), 1);
+    assert_eq!(counter(&counters, "cache", "misses"), 1);
+    assert_eq!(
+        counter(&counters, "engine", "runs"),
+        1,
+        "exactly one engine run for two identical requests"
+    );
+
+    // Different options under the same machine miss again.
+    let other = client::post_kiss(&addr, &body, "algorithms=igreedy").expect("post");
+    assert!(!other.cache_hit());
+    assert_ne!(other.body, first.body);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn tiny_byte_bound_evicts_lru_entries() {
+    // Size the bound from a real response: fits one body, not two.
+    let (probe, addr) = start(ServerConfig::default());
+    let body_len = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid")
+        .expect("post")
+        .body
+        .len();
+    probe.shutdown();
+    probe.join();
+
+    let (handle, addr) = start(ServerConfig {
+        cache: CacheConfig {
+            max_entries: 1024,
+            max_bytes: body_len + body_len / 2,
+        },
+        ..ServerConfig::default()
+    });
+    let post = |name: &str| client::post_kiss(&addr, &kiss(name), "algorithms=ihybrid").unwrap();
+    assert!(!post("lion").cache_hit());
+    assert!(post("lion").cache_hit(), "fits in the bound alone");
+    assert!(!post("dk27").cache_hit(), "different machine: miss");
+    // dk27's insertion must have evicted lion to satisfy the byte bound.
+    let counters = json::parse(&client::get_counters(&addr).unwrap().body).unwrap();
+    assert!(
+        counter(&counters, "cache", "evictions") >= 1,
+        "{counters:?}"
+    );
+    assert!(counter(&counters, "cache", "bytes") <= (body_len + body_len / 2) as i128);
+    assert!(!post("lion").cache_hit(), "lion was evicted: miss again");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn degraded_results_are_returned_but_never_cached() {
+    let (handle, addr) = start(ServerConfig::default());
+    // A deterministic injected budget fault mid-espresso: the engine's
+    // anytime plumbing degrades to the best-so-far encoding.
+    let q = "algorithms=ihybrid&jobs=1&fault_plan=stage.espresso%3A1%3Abudget";
+    let first = client::post_kiss(&addr, &kiss("lion"), q).expect("post");
+    let doc = assert_bench_schema(&first);
+    let m = match doc.get("machines") {
+        Some(Json::Arr(machines)) => machines[0].clone(),
+        other => panic!("machines missing: {other:?}"),
+    };
+    assert_eq!(m.get("best"), Some(&Json::Null), "nothing completed");
+    let degraded = m.get("degraded").expect("degraded fallback present");
+    assert_eq!(degraded.get("reason"), Some(&Json::str("budget")));
+    assert_eq!(degraded.get("algorithm"), Some(&Json::str("ihybrid")));
+
+    // Re-POST: same deterministic result, but *recomputed* — degraded
+    // reports never enter the cache.
+    let second = client::post_kiss(&addr, &kiss("lion"), q).expect("post");
+    assert!(!second.cache_hit());
+    let counters = json::parse(&client::get_counters(&addr).unwrap().body).unwrap();
+    assert_eq!(counter(&counters, "cache", "hits"), 0);
+    assert_eq!(counter(&counters, "engine", "runs"), 2);
+    assert_eq!(counters.get("degraded"), Some(&Json::Int(2)));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn concurrent_posts_all_answer_valid_reports() {
+    let (handle, addr) = start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let names = ["lion", "dk27", "bbtas", "beecount", "lion", "dk27"];
+    let results: Vec<RemoteResponse> = std::thread::scope(|s| {
+        let threads: Vec<_> = names
+            .iter()
+            .map(|name| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    client::post_kiss(&addr, &kiss(name), "algorithms=ihybrid,igreedy")
+                        .expect("post")
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    for (name, resp) in names.iter().zip(&results) {
+        let doc = assert_bench_schema(resp);
+        let Some(Json::Arr(machines)) = doc.get("machines") else {
+            panic!("{name}: machines missing");
+        };
+        assert!(
+            machines[0].get("best").is_some_and(|b| *b != Json::Null),
+            "{name}: no winner in {}",
+            resp.body
+        );
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn malformed_requests_answer_400_family() {
+    let (handle, addr) = start(ServerConfig::default());
+    let bad_kiss = client::post_kiss(&addr, "this is not kiss2\n", "").expect("post");
+    assert_eq!(bad_kiss.status, 400);
+    assert!(bad_kiss.body.contains("error"), "{}", bad_kiss.body);
+
+    let bad_option = client::post_kiss(&addr, &kiss("lion"), "bits=banana").expect("post");
+    assert_eq!(bad_option.status, 400);
+    assert!(
+        bad_option.body.contains("bits=banana"),
+        "{}",
+        bad_option.body
+    );
+
+    let not_found = client::request(&addr, "GET", "/nope", None, &[]).expect("req");
+    assert_eq!(not_found.status, 404);
+    let wrong_method = client::request(&addr, "GET", "/encode", None, &[]).expect("req");
+    assert_eq!(wrong_method.status, 405);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn machine_json_body_is_accepted() {
+    let (handle, addr) = start(ServerConfig::default());
+    let m = fsm::benchmarks::by_name("lion").unwrap().fsm;
+    let body = nova_serve::wire::machine_to_json(&m).to_pretty();
+    let resp = client::request(
+        &addr,
+        "POST",
+        "/encode?algorithms=ihybrid",
+        Some("application/json"),
+        body.as_bytes(),
+    )
+    .expect("post");
+    let doc = assert_bench_schema(&resp);
+    let Some(Json::Arr(machines)) = doc.get("machines") else {
+        panic!("machines missing");
+    };
+    assert_eq!(machines[0].get("best"), Some(&Json::str("ihybrid")));
+
+    // The JSON body and the KISS body address the same cache entry.
+    let via_kiss = client::post_kiss(&addr, &m.to_kiss(), "algorithms=ihybrid").expect("post");
+    assert!(via_kiss.cache_hit(), "KISS and JSON share a fingerprint");
+    assert_eq!(via_kiss.body, resp.body);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    // One worker, a queue of one: a burst of slow-ish requests must see
+    // some 503s with Retry-After while admitted ones still succeed.
+    let (handle, addr) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    let responses: Vec<RemoteResponse> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || client::post_kiss(&addr, &kiss("beecount"), "").expect("post"))
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    let ok = responses.iter().filter(|r| r.status == 200).count();
+    let shed = responses.iter().filter(|r| r.status == 503).count();
+    assert_eq!(ok + shed, responses.len(), "only 200 or 503 under load");
+    assert!(ok >= 1, "admitted requests complete");
+    for r in responses.iter().filter(|r| r.status == 503) {
+        assert_eq!(
+            r.header("retry-after"),
+            Some("1"),
+            "503 carries Retry-After"
+        );
+        assert!(r.body.contains("overloaded"));
+    }
+    let counters = json::parse(&client::get_counters(&addr).unwrap().body).unwrap();
+    assert_eq!(
+        counter(&counters, "queue", "rejected"),
+        shed as i128,
+        "rejections are counted"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_admitted_work() {
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    // Admit a few requests, then immediately request shutdown: every
+    // admitted request must still be answered in full.
+    let responses: Vec<RemoteResponse> = std::thread::scope(|s| {
+        let threads: Vec<_> = ["lion", "dk27", "bbtas"]
+            .iter()
+            .map(|name| {
+                let addr = addr.clone();
+                s.spawn(move || client::post_kiss(&addr, &kiss(name), "algorithms=ihybrid"))
+            })
+            .collect();
+        // Give the accept loop a moment to admit them, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        handle.shutdown();
+        threads
+            .into_iter()
+            .map(|t| t.join().unwrap().expect("admitted request answered"))
+            .collect()
+    });
+    for resp in &responses {
+        assert_bench_schema(resp);
+    }
+    handle.join();
+    // The listener is gone: new connections are refused.
+    assert!(client::post_kiss(&addr, &kiss("lion"), "").is_err());
+}

@@ -2,7 +2,8 @@
 //! stage-time accounting, span nesting in the JSONL sink, and the
 //! Chrome-trace golden shape.
 
-use nova_engine::{json, json::Json, run_one, run_portfolio, EngineConfig};
+use nova_engine::{run_one, run_portfolio, EngineConfig};
+use nova_trace::json::{self, Json};
 use nova_trace::Tracer;
 use std::time::Duration;
 
