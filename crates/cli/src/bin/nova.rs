@@ -6,7 +6,8 @@
 //! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2 | -]
 //! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [FILE.kiss2 | -]
 //! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--bench-out FILE]
-//! nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N]
+//! nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]
+//! nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]
 //! nova --remote HOST:PORT [-e ALG | --portfolio] [-b BITS] [--budget N] [--timeout-ms N] [FILE.kiss2 | -]
 //!
 //!   -e ALG         encoding algorithm (default ihybrid)
@@ -43,6 +44,17 @@
 //!   --cache-bytes N    result-cache byte bound (default 64 MiB)
 //!   --queue-depth N    admission queue bound; beyond it requests get 503
 //!                      (default 64)
+//!   --trace-dir DIR    write one nova-trace/1 JSONL per /encode request
+//!                      into DIR (req-<request id>.jsonl)
+//!
+//!   trace-report   analyze a nova-trace/1 JSONL trace offline: span tree
+//!                  with total/self wall time, per-stage aggregation, and
+//!                  histogram quantiles
+//!   --diff FILE2   compare per-stage totals against FILE2 — either a
+//!                  second nova-trace/1 trace or a committed nova-bench/1
+//!                  report (BENCH_*.json); exits 1 when any stage slowed
+//!                  beyond the threshold
+//!   --threshold P  slowdown tolerance for --diff, in percent (default 25)
 //! ```
 //!
 //! Reads stdin when no file is given or the file is `-`.
@@ -81,7 +93,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [--fault-plan SPEC] [--remote ADDR] [FILE.kiss2 | -]\n\
          \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2 | -]\n\
-         \u{20}      nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N]\n\
+         \u{20}      nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]\n\
+         \u{20}      nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]\n\
          ALG: {} (or onehot)",
         algs.join(" | ")
     );
@@ -374,6 +387,9 @@ fn serve_main(args: &[String]) -> ExitCode {
             "--cache-entries" => cfg.cache.max_entries = num(it.next()),
             "--cache-bytes" => cfg.cache.max_bytes = num(it.next()),
             "--queue-depth" => cfg.queue_depth = num(it.next()),
+            "--trace-dir" => {
+                cfg.trace_dir = Some(it.next().cloned().unwrap_or_else(|| usage()).into())
+            }
             _ => usage(),
         }
     }
@@ -394,12 +410,83 @@ fn serve_main(args: &[String]) -> ExitCode {
     let _ = writeln!(out, "# nova-serve listening on http://{}", handle.addr());
     let _ = writeln!(
         out,
-        "#   POST /encode (KISS2 or machine JSON) | GET /counters | GET /healthz"
+        "#   POST /encode (KISS2 or machine JSON) | GET /counters | GET /metrics | GET /healthz"
     );
     let _ = out.flush();
     handle.join();
     eprintln!("nova: serve drained cleanly");
     ExitCode::SUCCESS
+}
+
+/// `nova trace-report`: offline analysis of a `nova-trace/1` JSONL trace,
+/// with an optional `--diff` against a second trace or a committed
+/// `nova-bench/1` baseline. Exits 1 only when the diff finds a regression.
+fn trace_report_main(args: &[String]) -> ExitCode {
+    use nova_trace::report;
+    let mut file: Option<String> = None;
+    let mut diff_path: Option<String> = None;
+    let mut threshold = 25.0_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--diff" => diff_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage())
+            }
+            "-h" | "--help" => usage(),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = file else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("nova: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let doc = match report::TraceDoc::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("nova: {path}: {e}");
+            return ExitCode::from(EXIT_PARSE);
+        }
+    };
+    print!("{}", doc.render_report());
+    let Some(diff_path) = diff_path else {
+        return ExitCode::SUCCESS;
+    };
+    let base_text = match std::fs::read_to_string(&diff_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("nova: cannot read {diff_path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    // The baseline is auto-detected: a nova-bench/1 report contributes its
+    // stages_ms totals, anything else must be a second nova-trace/1 trace.
+    let base_totals = match report::bench_baseline_totals(&base_text) {
+        Ok(totals) => totals,
+        Err(_) => match report::TraceDoc::parse(&base_text) {
+            Ok(d) => d.stage_totals(),
+            Err(e) => {
+                eprintln!("nova: {diff_path}: neither nova-bench/1 nor nova-trace/1: {e}");
+                return ExitCode::from(EXIT_PARSE);
+            }
+        },
+    };
+    let regressions = report::diff(&base_totals, &doc.stage_totals(), threshold);
+    print!("{}", report::render_diff(&regressions, threshold));
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_NO_RESULT)
+    }
 }
 
 /// `--remote`: ship the machine to a resident service and print its
@@ -456,6 +543,9 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("trace-report") {
+        return trace_report_main(&argv[1..]);
     }
     let args = parse_args();
     let tracer = if args.trace.is_some() {

@@ -500,6 +500,178 @@ fn nova_serve_remote_round_trip_and_sigterm_drain() {
     );
 }
 
+/// A minimal hand-written `nova-trace/1` trace with two stages whose
+/// durations are given in nanoseconds — the diff-test fixture.
+fn synth_trace(espresso_ns: u64, embed_ns: u64) -> String {
+    let mut out = String::from("{\"schema\":\"nova-trace/1\",\"unit\":\"ns\"}\n");
+    let mut ts = 0u64;
+    for (id, (name, dur)) in [("stage.espresso", espresso_ns), ("stage.embed", embed_ns)]
+        .iter()
+        .enumerate()
+    {
+        let (id, seq) = (id as u64 + 1, 2 * id as u64);
+        out.push_str(&format!(
+            "{{\"ev\":\"B\",\"name\":\"{name}\",\"id\":{id},\"parent\":0,\"tid\":1,\"ts\":{ts},\"seq\":{seq}}}\n"
+        ));
+        ts += dur;
+        out.push_str(&format!(
+            "{{\"ev\":\"E\",\"name\":\"{name}\",\"id\":{id},\"parent\":0,\"tid\":1,\"ts\":{ts},\"seq\":{}}}\n",
+            seq + 1
+        ));
+    }
+    out
+}
+
+#[test]
+fn nova_trace_report_renders_a_real_trace() {
+    let path = temp_path("report-in.jsonl");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--portfolio", "--trace", path_s, "--trace-format", "jsonl"],
+        TOY_KISS,
+    );
+    assert!(ok, "{stderr}");
+    let (stdout, stderr, code) =
+        run_with_code(env!("CARGO_BIN_EXE_nova"), &["trace-report", path_s], "");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("span tree (total / self):"), "{stdout}");
+    assert!(stdout.contains("per-stage aggregation:"), "{stdout}");
+    assert!(stdout.contains("stage.espresso"), "{stdout}");
+}
+
+#[test]
+fn nova_trace_report_diff_flags_a_slowed_stage() {
+    let base = temp_path("diff-base.jsonl");
+    let new = temp_path("diff-new.jsonl");
+    std::fs::write(&base, synth_trace(1_000_000, 1_000_000)).unwrap();
+    std::fs::write(&new, synth_trace(5_000_000, 1_000_000)).unwrap();
+    let (base_s, new_s) = (base.to_str().unwrap(), new.to_str().unwrap());
+
+    // The espresso stage is 5x slower than baseline: regression, exit 1.
+    let (stdout, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["trace-report", new_s, "--diff", base_s, "--threshold", "50"],
+        "",
+    );
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stdout.contains("stage.espresso"), "{stdout}");
+    assert!(stdout.contains("5.00x"), "{stdout}");
+    assert!(!stdout.contains("stage.embed (5"), "{stdout}");
+
+    // Same comparison the other way round: nothing slowed, exit 0.
+    let (stdout, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["trace-report", base_s, "--diff", new_s, "--threshold", "50"],
+        "",
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("no stage slowed"), "{stdout}");
+
+    // A committed nova-bench/1 report works as the baseline too.
+    let bench = temp_path("diff-bench.json");
+    std::fs::write(
+        &bench,
+        "{\"schema\":\"nova-bench/1\",\"machines\":[{\"runs\":[{\"stages_ms\":{\"espresso\":1.0,\"embed\":1.0}}]}]}",
+    )
+    .unwrap();
+    let (stdout, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &[
+            "trace-report",
+            new_s,
+            "--diff",
+            bench.to_str().unwrap(),
+            "--threshold",
+            "50",
+        ],
+        "",
+    );
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stdout.contains("stage.espresso"), "{stdout}");
+
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&new).ok();
+    std::fs::remove_file(&bench).ok();
+}
+
+#[test]
+fn nova_trace_report_exit_codes_for_bad_input() {
+    let (_, _, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["trace-report", "/nonexistent/trace.jsonl"],
+        "",
+    );
+    assert_eq!(code, 4, "missing file is an I/O error");
+    let garbage = temp_path("not-a-trace.jsonl");
+    std::fs::write(&garbage, "hello\n").unwrap();
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["trace-report", garbage.to_str().unwrap()],
+        "",
+    );
+    std::fs::remove_file(&garbage).ok();
+    assert_eq!(code, 3, "malformed trace is a parse error");
+    assert_one_line_stderr(&stderr);
+}
+
+#[test]
+fn nova_serve_trace_dir_feeds_trace_report() {
+    use std::io::{BufRead as _, BufReader};
+    let dir = temp_path("serve-traces");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut server = Command::new(env!("CARGO_BIN_EXE_nova"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--trace-dir",
+            dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    let stdout = server.stdout.take().expect("stdout");
+    let banner = BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("banner line")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("# nova-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .trim()
+        .to_string();
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["--remote", &addr, "-e", "ihybrid", "-"],
+        TOY_KISS,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let _ = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", server.id())])
+        .status();
+    let _ = server.wait_with_output();
+
+    // Exactly one request was served: one trace file, analyzable offline.
+    let traces: Vec<_> = std::fs::read_dir(&dir)
+        .expect("trace dir exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(traces.len(), 1, "{traces:?}");
+    let (stdout, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["trace-report", traces[0].to_str().unwrap()],
+        "",
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("request "), "traces carry the id: {stdout}");
+    assert!(stdout.contains("stage.espresso"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn nova_remote_exit_codes_for_unreachable_and_misuse() {
     // Nothing listens on the discard port: I/O-class failure.

@@ -294,7 +294,7 @@ pub fn assign_codes_ctl(
         return (AssignOutcome::Exhausted, 0);
     }
     let tracer = ctl.tracer().clone();
-    tracer.incr("exact.assign_calls", 1);
+    tracer.incr("embed.assign_calls", 1);
     let _span = tracer.span("exact.assign");
 
     // Constraints: non-singleton, non-universe closure nodes.
@@ -345,7 +345,7 @@ pub fn assign_codes_ctl(
     };
     let found = search.dfs(0);
     search.flush_counters();
-    tracer.incr("exact.nodes_visited", search.work);
+    tracer.incr("embed.nodes_visited", search.work);
     let spent = search.work.min(budget.unwrap_or(u64::MAX));
     let outcome = if found {
         let codes = search.codes;

@@ -738,7 +738,7 @@ impl<'a> Search<'a> {
         self.pending_backtracks += 1;
         self.ctl
             .tracer()
-            .observe("exact.backtrack_depth", self.depth);
+            .observe("embed.backtrack_depth", self.depth);
         let popped = self.assigned.pop().expect("candidate on stack");
         debug_assert_eq!(popped.0, node);
         self.faces[node] = None;
@@ -1194,7 +1194,7 @@ fn pos_equiv_run(
         level_lo.push(lo);
     }
     let tracer = ctl.tracer().clone();
-    tracer.incr("exact.pos_equiv_calls", 1);
+    tracer.incr("embed.pos_equiv_calls", 1);
     let span = tracer.span("exact.pos_equiv");
     let t0 = Instant::now();
     let workers = effective_jobs(jobs);
@@ -1219,7 +1219,7 @@ fn pos_equiv_run(
         (o, s, s)
     };
     drop(span);
-    tracer.incr("exact.nodes_visited", actual);
+    tracer.incr("embed.nodes_visited", actual);
     let secs = t0.elapsed().as_secs_f64();
     if secs > 0.0 {
         tracer.gauge("embed.nodes_per_sec", (actual as f64 / secs) as i64);
@@ -1332,8 +1332,8 @@ pub fn iexact_code_ctl(
         if remaining == Some(0) {
             return Ok(None);
         }
-        tracer.incr("exact.dimensions_tried", 1);
-        tracer.gauge("exact.dimension", k as i64);
+        tracer.incr("embed.dimensions_tried", 1);
+        tracer.gauge("embed.dimension", k as i64);
         // Phase A: strict subposet embedding (free primary levels replace
         // the old explicit level-vector odometer).
         let cap = cap_for(remaining, per_phase);

@@ -101,8 +101,8 @@ pub fn igreedy_code_ctl(
             }
         }
     }
-    tracer.incr("greedy.face_trials", face_trials);
-    tracer.incr("greedy.constraints_dropped", dropped);
+    tracer.incr("embed.greedy.face_trials", face_trials);
+    tracer.incr("embed.greedy.constraints_dropped", dropped);
     let _pack_span = tracer.span("greedy.pack_codes");
 
     // Pack state codes: states constrained by the most faces first.

@@ -243,7 +243,7 @@ pub fn symbolic_minimize_ctl(
             single_pass,
             ..MinimizeOptions::default()
         };
-        tracer.incr("symbolic.passes", 1);
+        tracer.incr("espresso.symbolic.passes", 1);
         let pass_span = tracer.span("symbolic.state_pass");
         let (mb, _) = minimize_with_ctl(&f, &d, min_opts, ctl)?;
         drop(pass_span);

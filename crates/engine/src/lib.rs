@@ -32,12 +32,6 @@
 //! assert!(best.area > 0);
 //! ```
 
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nova_trace::json` directly; this re-export shim will be removed"
-)]
-pub mod json;
-
 use espresso::{FaultPlan, RunCounters, RunCtl};
 use fsm::Fsm;
 use nova_core::driver::{
@@ -597,6 +591,7 @@ pub fn suite_to_json(reports: &[PortfolioReport]) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nova_trace::json;
 
     fn machine(name: &str) -> Fsm {
         fsm::benchmarks::by_name(name)

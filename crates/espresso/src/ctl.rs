@@ -194,6 +194,13 @@ impl RunCtl {
         &self.inner.tracer
     }
 
+    /// The request id carried by this run's tracer session, or 0 when the
+    /// run is not serving a tagged request. Forked tracers share the id, so
+    /// every stage of a run reports the same value.
+    pub fn request_id(&self) -> u64 {
+        self.inner.tracer.request_id()
+    }
+
     /// Latches the stop flag; every subsequent [`RunCtl::charge`] fails.
     pub fn cancel(&self) {
         self.cancel_with(CancelReason::Stop);
@@ -444,6 +451,16 @@ impl Default for RunCtl {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    #[test]
+    fn request_id_rides_the_tracer_session() {
+        let ctl = RunCtl::unlimited();
+        assert_eq!(ctl.request_id(), 0, "untagged runs report 0");
+        let tracer = Tracer::enabled();
+        tracer.set_request_id(0xfeed);
+        let tagged = RunCtl::with_limits_traced(None, None, tracer.fork());
+        assert_eq!(tagged.request_id(), 0xfeed, "forks share the id");
+    }
 
     #[test]
     fn unlimited_never_cancels() {

@@ -10,7 +10,12 @@
 //! once.
 //!
 //! * [`server`] — request lifecycle, bounded-queue admission control,
-//!   graceful drain; start one with [`serve`].
+//!   graceful drain; start one with [`serve`]. Every request gets a
+//!   deterministic id at admission (echoed as `X-Nova-Request-Id`), the
+//!   always-on latency histograms feed `GET /metrics` (Prometheus text
+//!   exposition via [`nova_trace::prom`]), and an opt-in
+//!   [`ServerConfig::trace_dir`] writes one `nova-trace/1` JSONL per
+//!   `/encode` request for `nova trace-report`.
 //! * [`cache`] — the LRU byte/entry-bounded result cache.
 //! * [`wire`] — query-string options, the machine JSON shape, and the
 //!   cache-key construction over [`fsm::fingerprint`].

@@ -33,14 +33,16 @@ use crate::wire::{machine_from_json, EncodeOptions};
 use fsm::Fsm;
 use nova_engine::{run_portfolio, suite_to_json, Outcome};
 use nova_trace::json::Json;
-use nova_trace::Tracer;
+use nova_trace::sink::format_request_id;
+use nova_trace::{prom, MetricsSnapshot, Tracer};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`serve`] instance.
 #[derive(Debug, Clone)]
@@ -60,6 +62,14 @@ pub struct ServerConfig {
     /// load per counter — the `/counters` endpoint is fed by the always-on
     /// plain atomics below, so a disabled tracer loses nothing.
     pub tracer: Tracer,
+    /// Seed for request-id minting (SplitMix64 over the admission ordinal).
+    /// The default is fixed, so a test that restarts a server sees the same
+    /// id sequence.
+    pub seed: u64,
+    /// When set, every `/encode` request runs under its own enabled tracer
+    /// and writes one `nova-trace/1` JSONL file
+    /// (`req-<request id>.jsonl`) into this directory.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +80,8 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             queue_depth: 64,
             tracer: Tracer::disabled(),
+            seed: 0x6e6f_7661_2d37_0001, // "nova-7" — any fixed value works
+            trace_dir: None,
         }
     }
 }
@@ -97,9 +109,17 @@ struct ServeStats {
     degraded: AtomicU64,
 }
 
+/// One admitted connection: the stream plus the request id minted at the
+/// door and the admission timestamp (queue wait = admission → pop).
+struct Admitted {
+    stream: TcpStream,
+    id: u64,
+    at: Instant,
+}
+
 /// The bounded connection queue: admission control for the whole service.
 struct Queue {
-    inner: Mutex<VecDeque<TcpStream>>,
+    inner: Mutex<VecDeque<Admitted>>,
     ready: Condvar,
     depth: usize,
     closing: AtomicBool,
@@ -116,12 +136,12 @@ impl Queue {
     }
 
     /// Admits a connection, or returns it back when the queue is full.
-    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+    fn push(&self, adm: Admitted) -> Result<usize, Admitted> {
         let mut q = self.inner.lock().expect("queue lock");
         if q.len() >= self.depth {
-            return Err(stream);
+            return Err(adm);
         }
-        q.push_back(stream);
+        q.push_back(adm);
         let depth = q.len();
         drop(q);
         self.ready.notify_one();
@@ -130,7 +150,7 @@ impl Queue {
 
     /// Pops the next connection; `None` once the queue is closing *and*
     /// drained — the worker-exit condition.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<Admitted> {
         let mut q = self.inner.lock().expect("queue lock");
         loop {
             if let Some(s) = q.pop_front() {
@@ -164,6 +184,15 @@ struct Shared {
     queue: Queue,
     stats: ServeStats,
     stop: AtomicBool,
+    /// Service start time, for `/healthz` uptime.
+    started: Instant,
+    /// Admission ordinal feeding the request-id mint.
+    admissions: AtomicU64,
+    /// Always-enabled metrics-only tracer behind `/metrics`: the latency
+    /// histograms land here regardless of the session tracer (which stays
+    /// disabled by default). No spans are ever recorded on it, so its cost
+    /// is one short mutex lock per observation.
+    expo: Tracer,
 }
 
 impl Shared {
@@ -222,6 +251,9 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         queue: Queue::new(cfg.queue_depth.max(1)),
         stats: ServeStats::default(),
         stop: AtomicBool::new(false),
+        started: Instant::now(),
+        admissions: AtomicU64::new(0),
+        expo: Tracer::enabled(),
         cfg,
     });
     let mut threads = Vec::with_capacity(workers + 1);
@@ -273,18 +305,36 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     shared.queue.close();
 }
 
+/// Mints the request id for admission `n` under `seed`: the SplitMix64
+/// output function over a golden-ratio stream, so ids are deterministic
+/// per server instance yet well-mixed. `0` is reserved for "no id".
+fn mint_request_id(seed: u64, n: u64) -> u64 {
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let id = z ^ (z >> 31);
+    id.max(1)
+}
+
 fn admit(stream: TcpStream, shared: &Shared) {
     let tracer = &shared.cfg.tracer;
-    match shared.queue.push(stream) {
+    let n = shared.admissions.fetch_add(1, Ordering::Relaxed);
+    let adm = Admitted {
+        stream,
+        id: mint_request_id(shared.cfg.seed, n),
+        at: Instant::now(),
+    };
+    match shared.queue.push(adm) {
         Ok(depth) => {
             tracer.gauge("serve.queue.depth", depth as i64);
         }
-        Err(mut stream) => {
+        Err(adm) => {
             // Overload: shed at the door with a hint to come back. The
             // request is drained first (under a short timeout) so the
             // close does not RST the client before it reads the 503.
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
             tracer.incr("serve.reject", 1);
+            let mut stream = adm.stream;
             let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
             let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
             if let Ok(reader) = stream.try_clone() {
@@ -299,22 +349,27 @@ fn admit(stream: TcpStream, shared: &Shared) {
             ]);
             let _ = Response::json(503, body.to_pretty())
                 .with_header("Retry-After", "1")
+                .with_header("X-Nova-Request-Id", format_request_id(adm.id))
                 .write_to(&mut stream);
         }
     }
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(stream) = shared.queue.pop() {
+    while let Some(adm) = shared.queue.pop() {
         shared
             .cfg
             .tracer
             .gauge("serve.queue.depth", shared.queue.len() as i64);
-        handle_connection(stream, shared);
+        shared
+            .expo
+            .observe("serve.queue.wait_us", adm.at.elapsed().as_micros() as u64);
+        handle_connection(adm, shared);
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(adm: Admitted, shared: &Shared) {
+    let Admitted { stream, id, at } = adm;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -324,18 +379,28 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut stream = stream;
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     let response = match Request::read_from(&mut reader) {
-        Ok(req) => route(&req, shared),
+        Ok(req) => Some(route(&req, shared, id)),
         Err(RequestError::Bad(msg)) => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            error_response(400, &msg)
+            Some(error_response(400, &msg))
         }
         Err(RequestError::TooLarge(n)) => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            error_response(413, &format!("body of {n} bytes exceeds the limit"))
+            Some(error_response(
+                413,
+                &format!("body of {n} bytes exceeds the limit"),
+            ))
         }
-        Err(RequestError::Io(_)) => return, // client went away mid-request
+        Err(RequestError::Io(_)) => None, // client went away mid-request
     };
-    let _ = response.write_to(&mut stream);
+    if let Some(response) = response {
+        let _ = response
+            .with_header("X-Nova-Request-Id", format_request_id(id))
+            .write_to(&mut stream);
+    }
+    shared
+        .expo
+        .observe("serve.request.latency_us", at.elapsed().as_micros() as u64);
 }
 
 fn error_response(status: u16, message: &str) -> Response {
@@ -345,16 +410,32 @@ fn error_response(status: u16, message: &str) -> Response {
     )
 }
 
-fn route(req: &Request, shared: &Shared) -> Response {
+fn route(req: &Request, shared: &Shared, id: u64) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/encode") => handle_encode(req, shared),
+        ("POST", "/encode") => handle_encode(req, shared, id),
         ("GET", "/counters") => Response::json(200, counters_json(shared).to_pretty()),
-        ("GET", "/healthz") => Response::json(200, "{\"ok\":true}"),
-        (_, "/encode") | (_, "/counters") | (_, "/healthz") => {
+        ("GET", "/metrics") => {
+            let mut resp = Response::text(200, prom::render(&metrics_snapshot(shared)));
+            resp.content_type = prom::CONTENT_TYPE;
+            resp
+        }
+        ("GET", "/healthz") => Response::json(200, healthz_json(shared).to_pretty()),
+        (_, "/encode") | (_, "/counters") | (_, "/metrics") | (_, "/healthz") => {
             error_response(405, &format!("{} not allowed here", req.method))
         }
         _ => error_response(404, &format!("no route {}", req.path)),
     }
+}
+
+fn healthz_json(shared: &Shared) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "uptime_ms".into(),
+            Json::uint(shared.started.elapsed().as_millis() as u64),
+        ),
+    ])
 }
 
 /// Parses the request body into a machine: KISS2 text unless the request
@@ -375,7 +456,7 @@ fn parse_machine(req: &Request) -> Result<Fsm, String> {
     }
 }
 
-fn handle_encode(req: &Request, shared: &Shared) -> Response {
+fn handle_encode(req: &Request, shared: &Shared, id: u64) -> Response {
     let tracer = &shared.cfg.tracer;
     let options = match EncodeOptions::from_query(&parse_query(&req.query)) {
         Ok(o) => o,
@@ -395,7 +476,12 @@ fn handle_encode(req: &Request, shared: &Shared) -> Response {
     let key = options.cache_key(&fp);
 
     if options.cacheable() {
-        if let Some(body) = shared.cache.lock().expect("cache lock").get(&key) {
+        let lookup = Instant::now();
+        let hit = shared.cache.lock().expect("cache lock").get(&key);
+        shared
+            .expo
+            .observe("serve.cache.lookup_us", lookup.elapsed().as_micros() as u64);
+        if let Some(body) = hit {
             tracer.incr("serve.cache.hit", 1);
             return Response::json(200, body.as_slice().to_vec())
                 .with_header("X-Nova-Cache", "hit")
@@ -405,10 +491,27 @@ fn handle_encode(req: &Request, shared: &Shared) -> Response {
     }
 
     // Miss (or uncacheable): run the engine under this request's limits.
+    // With a trace dir configured, the run gets its own request-scoped
+    // session tracer — every span in the emitted JSONL carries this
+    // request's id — otherwise it forks off the (usually disabled)
+    // session tracer as before.
     shared.stats.engine_runs.fetch_add(1, Ordering::Relaxed);
     tracer.incr("serve.engine.run", 1);
-    let cfg = options.engine_config(tracer);
+    let request_tracer = shared.cfg.trace_dir.as_ref().map(|_| {
+        let t = Tracer::enabled();
+        t.set_request_id(id);
+        t
+    });
+    let cfg = options.engine_config(request_tracer.as_ref().unwrap_or(tracer));
+    let run_started = Instant::now();
     let report = run_portfolio(&machine, machine.name(), &cfg);
+    shared.expo.observe(
+        "serve.engine.run_us",
+        run_started.elapsed().as_micros() as u64,
+    );
+    if let (Some(dir), Some(rt)) = (&shared.cfg.trace_dir, &request_tracer) {
+        write_request_trace(dir, id, rt);
+    }
     let deterministic = report
         .runs
         .iter()
@@ -436,6 +539,76 @@ fn handle_encode(req: &Request, shared: &Shared) -> Response {
     Response::json(200, body.as_slice().to_vec())
         .with_header("X-Nova-Cache", "miss")
         .with_header("X-Nova-Fingerprint", fp)
+}
+
+/// Writes the request's `nova-trace/1` JSONL next to its siblings.
+/// Best-effort: a full disk or bad path must not fail the encode response,
+/// but is worth one stderr line.
+fn write_request_trace(dir: &std::path::Path, id: u64, tracer: &Tracer) {
+    let path = dir.join(format!("req-{}.jsonl", format_request_id(id)));
+    let result = std::fs::create_dir_all(dir).and_then(|()| {
+        let f = std::fs::File::create(&path)?;
+        tracer.write_jsonl(&mut std::io::BufWriter::new(f))
+    });
+    if let Err(e) = result {
+        eprintln!("nova-serve: cannot write trace {}: {e}", path.display());
+    }
+}
+
+/// The Prometheus exposition source: the always-on latency histograms from
+/// the exposition tracer, plus every `/counters` atomic re-expressed as a
+/// properly named counter or gauge.
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let mut snap = shared.expo.metrics_snapshot();
+    let (cache_stats, entries, bytes) = {
+        let cache = shared.cache.lock().expect("cache lock");
+        (cache.stats(), cache.len(), cache.bytes())
+    };
+    let s = &shared.stats;
+    snap.counters.extend([
+        (
+            "serve.requests".to_string(),
+            s.requests.load(Ordering::Relaxed),
+        ),
+        (
+            "serve.bad_requests".to_string(),
+            s.bad_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "serve.engine.runs".to_string(),
+            s.engine_runs.load(Ordering::Relaxed),
+        ),
+        (
+            "serve.degraded".to_string(),
+            s.degraded.load(Ordering::Relaxed),
+        ),
+        (
+            "serve.queue.rejected".to_string(),
+            s.rejected.load(Ordering::Relaxed),
+        ),
+        ("serve.cache.hits".to_string(), cache_stats.hits),
+        ("serve.cache.misses".to_string(), cache_stats.misses),
+        ("serve.cache.insertions".to_string(), cache_stats.insertions),
+        ("serve.cache.evictions".to_string(), cache_stats.evictions),
+        (
+            "serve.cache.oversize_rejects".to_string(),
+            cache_stats.oversize_rejects,
+        ),
+    ]);
+    snap.gauges.extend([
+        ("serve.cache.entries".to_string(), entries as i64),
+        ("serve.cache.bytes".to_string(), bytes as i64),
+        ("serve.queue.depth".to_string(), shared.queue.len() as i64),
+        (
+            "serve.queue.capacity".to_string(),
+            shared.cfg.queue_depth as i64,
+        ),
+        (
+            "serve.uptime_ms".to_string(),
+            shared.started.elapsed().as_millis() as i64,
+        ),
+    ]);
+    snap
 }
 
 fn counters_json(shared: &Shared) -> Json {

@@ -276,6 +276,133 @@ fn overload_sheds_with_503_and_retry_after() {
 }
 
 #[test]
+fn metrics_endpoint_exposes_prometheus_text() {
+    let (handle, addr) = start(ServerConfig::default());
+    let body = kiss("lion");
+    client::post_kiss(&addr, &body, "algorithms=ihybrid").expect("post");
+    client::post_kiss(&addr, &body, "algorithms=ihybrid").expect("post");
+
+    let resp = client::request(&addr, "GET", "/metrics", None, &[]).expect("scrape");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    let text = &resp.body;
+    // The always-on latency histogram: TYPE line, cumulative buckets
+    // ending at +Inf, and exact sum/count series.
+    assert!(text.contains("# TYPE nova_serve_request_latency_us histogram"));
+    assert!(text.contains("nova_serve_request_latency_us_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("nova_serve_request_latency_us_sum "));
+    assert!(text.contains("nova_serve_request_latency_us_count "));
+    // Cache traffic shows up as counters: one miss then one hit.
+    assert!(text.contains("nova_serve_cache_hits_total 1"), "{text}");
+    assert!(text.contains("nova_serve_cache_misses_total 1"), "{text}");
+    assert!(text.contains("# TYPE nova_serve_queue_depth gauge"));
+    // Every sample line parses as `name[{labels}] value`.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+        assert!(series.starts_with("nova_"), "{line}");
+        value.parse::<f64>().unwrap_or_else(|_| panic!("{line}"));
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn every_response_carries_a_deterministic_request_id() {
+    let (handle, addr) = start(ServerConfig {
+        seed: 7,
+        ..ServerConfig::default()
+    });
+    let first = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid").expect("post");
+    let second = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid").expect("post");
+    let id1 = first.header("x-nova-request-id").expect("id on response");
+    let id2 = second.header("x-nova-request-id").expect("id on response");
+    for id in [id1, id2] {
+        assert_eq!(id.len(), 16, "{id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+    }
+    assert_ne!(id1, id2, "every admission mints a fresh id");
+    // Error responses carry one too.
+    let bad = client::post_kiss(&addr, "not kiss", "").expect("post");
+    assert_eq!(bad.status, 400);
+    assert!(bad.header("x-nova-request-id").is_some());
+    let id1 = id1.to_string();
+    handle.shutdown();
+    handle.join();
+
+    // Same seed, fresh server: the first admission mints the same id.
+    let (handle, addr) = start(ServerConfig {
+        seed: 7,
+        ..ServerConfig::default()
+    });
+    let again = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid").expect("post");
+    assert_eq!(
+        again.header("x-nova-request-id"),
+        Some(id1.as_str()),
+        "ids are deterministic in (seed, admission order)"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn trace_dir_writes_one_trace_per_request_stamped_with_its_id() {
+    let dir = std::env::temp_dir().join(format!("nova-serve-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (handle, addr) = start(ServerConfig {
+        trace_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let resp = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid").expect("post");
+    assert_eq!(resp.status, 200);
+    let id = resp.header("x-nova-request-id").expect("id").to_string();
+    handle.shutdown();
+    handle.join();
+
+    let path = dir.join(format!("req-{id}.jsonl"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("trace file {} missing: {e}", path.display()));
+    let header = json::parse(text.lines().next().expect("header line")).expect("header JSON");
+    assert_eq!(header.get("schema"), Some(&Json::str("nova-trace/1")));
+    assert_eq!(header.get("req"), Some(&Json::str(id.clone())));
+    // Every span event in the trace is stamped with the request's id.
+    let mut span_events = 0;
+    for line in text.lines().skip(1) {
+        let v = json::parse(line).expect("trace line parses");
+        if matches!(v.get("ev"), Some(Json::Str(s)) if s == "B" || s == "E") {
+            assert_eq!(v.get("req"), Some(&Json::str(id.clone())), "{line}");
+            span_events += 1;
+        }
+    }
+    assert!(span_events > 0, "the engine run produced spans");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn healthz_reports_version_and_uptime() {
+    let (handle, addr) = start(ServerConfig::default());
+    let resp = client::request(&addr, "GET", "/healthz", None, &[]).expect("healthz");
+    assert_eq!(resp.status, 200);
+    let doc = json::parse(&resp.body).expect("healthz JSON");
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        doc.get("version"),
+        Some(&Json::str(env!("CARGO_PKG_VERSION")))
+    );
+    assert!(
+        matches!(doc.get("uptime_ms"), Some(Json::Int(ms)) if *ms >= 0),
+        "{doc:?}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn shutdown_drains_admitted_work() {
     let (handle, addr) = start(ServerConfig {
         workers: 2,

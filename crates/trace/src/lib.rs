@@ -41,6 +41,8 @@
 //! histogram snapshots.
 
 pub mod json;
+pub mod prom;
+pub mod report;
 pub mod sink;
 
 use json::Json;
@@ -93,6 +95,9 @@ pub struct Event {
     pub id: u64,
     /// Enclosing span id at enter time (`0` = root).
     pub parent: u64,
+    /// Request id of the session (`0` = none): every event recorded after
+    /// [`Tracer::set_request_id`] carries it, forks included.
+    pub req: u64,
 }
 
 /// State shared by a session tracer and all of its forks.
@@ -103,6 +108,9 @@ struct Shared {
     next_span: AtomicU64,
     next_seq: AtomicU64,
     next_tid: AtomicU64,
+    /// Request id stamped on every event (`0` = none). Shared by all forks,
+    /// so a per-request session tracer scopes the whole pipeline's events.
+    request_id: AtomicU64,
     /// Every registry created in this session (session tracer + forks), so
     /// the sinks see all events regardless of which fork recorded them.
     members: Mutex<Vec<Arc<Registry>>>,
@@ -200,6 +208,7 @@ impl Tracer {
                 next_span: AtomicU64::new(1),
                 next_seq: AtomicU64::new(1),
                 next_tid: AtomicU64::new(1),
+                request_id: AtomicU64::new(0),
                 members: Mutex::new(vec![registry.clone()]),
             }),
             registry,
@@ -220,6 +229,18 @@ impl Tracer {
     /// Is this tracer recording?
     pub fn is_enabled(&self) -> bool {
         self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Stamps a request id on the session: every event recorded from now on
+    /// (by this tracer and all of its forks) carries it, and the JSONL
+    /// header names it. `0` means "no request id".
+    pub fn set_request_id(&self, id: u64) {
+        self.shared.request_id.store(id, Ordering::Relaxed);
+    }
+
+    /// The session's request id (`0` = none set).
+    pub fn request_id(&self) -> u64 {
+        self.shared.request_id.load(Ordering::Relaxed)
     }
 
     /// A tracer sharing this session's clock, enabled flag and event
@@ -268,6 +289,7 @@ impl Tracer {
             name,
             id,
             parent,
+            req: self.shared.request_id.load(Ordering::Relaxed),
         };
         self.registry
             .events
@@ -441,7 +463,12 @@ impl Tracer {
     /// Writes the whole session as a JSONL event log (see [`sink`] for the
     /// schema).
     pub fn write_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        sink::write_jsonl(&self.collected_events(), &self.merged_metrics(), w)
+        sink::write_jsonl(
+            &self.collected_events(),
+            &self.merged_metrics(),
+            self.request_id(),
+            w,
+        )
     }
 
     /// Writes the whole session as a Chrome trace-event JSON document
@@ -531,6 +558,50 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Mean of the observed values (`0.0` when empty). Exact — the sum is
+    /// carried alongside the buckets, not reconstructed from them.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
+    /// inside the power-of-two bucket holding the target rank, clamped to
+    /// the exact observed `[min, max]`. Returns `0` for an empty histogram.
+    ///
+    /// The bucket bounds give the estimate a relative error of at most 2×
+    /// (one octave), which is the resolution trade-off of power-of-two
+    /// buckets; `min`/`max` keep the tails exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lt, n) in &self.buckets {
+            if rank > seen + n {
+                seen += n;
+                continue;
+            }
+            // Bucket bounds: `Some(1)` holds only the value 0; `Some(u)`
+            // holds `u/2 ≤ v < u`; the overflow bucket starts at the last
+            // finite bound and is capped by the observed max.
+            let (lo, hi) = match lt {
+                Some(1) => (0u64, 1u64),
+                Some(u) => (u / 2, u),
+                None => (1u64 << (HISTOGRAM_BUCKETS - 2), self.max.saturating_add(1)),
+            };
+            let frac = ((rank - seen) as f64 - 0.5) / n as f64;
+            let est = lo as f64 + frac * (hi.max(lo + 1) - lo) as f64;
+            return (est as u64).clamp(self.min, self.max);
+        }
+        self.max
+    }
+
     /// JSON form: `{"count":..,"sum":..,"min":..,"max":..,"buckets":[{"lt":2,"n":1},...]}`
     /// where `lt` is the exclusive upper bound (`null` = overflow bucket).
     pub fn to_json(&self) -> Json {
@@ -568,7 +639,7 @@ impl MetricsSnapshot {
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, v) in &other.counters {
             match self.counters.iter_mut().find(|(n, _)| n == name) {
-                Some((_, c)) => *c += v,
+                Some((_, c)) => *c = c.saturating_add(*v),
                 None => self.counters.push((name.clone(), *v)),
             }
         }
@@ -581,17 +652,22 @@ impl MetricsSnapshot {
         for (name, h) in &other.histograms {
             match self.histograms.iter_mut().find(|(n, _)| n == name) {
                 Some((_, mine)) => {
-                    mine.count += h.count;
+                    // min/max only mean anything on a non-empty side: an
+                    // empty snapshot reports `min: 0`, which must not win
+                    // the `.min()` against a real minimum.
+                    if h.count > 0 {
+                        mine.min = if mine.count == 0 {
+                            h.min
+                        } else {
+                            mine.min.min(h.min)
+                        };
+                        mine.max = mine.max.max(h.max);
+                    }
+                    mine.count = mine.count.saturating_add(h.count);
                     mine.sum = mine.sum.saturating_add(h.sum);
-                    mine.min = if mine.count == 0 {
-                        h.min
-                    } else {
-                        mine.min.min(h.min)
-                    };
-                    mine.max = mine.max.max(h.max);
                     for &(lt, n) in &h.buckets {
                         match mine.buckets.iter_mut().find(|(l, _)| *l == lt) {
-                            Some((_, c)) => *c += n,
+                            Some((_, c)) => *c = c.saturating_add(n),
                             None => mine.buckets.push((lt, n)),
                         }
                     }
@@ -801,6 +877,127 @@ mod tests {
         let evs = t.collected_events();
         let tids: std::collections::BTreeSet<u64> = evs.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 3, "each thread gets its own tid");
+    }
+
+    #[test]
+    fn request_id_stamps_events_across_forks() {
+        let root = Tracer::enabled();
+        {
+            let _before = root.span("before");
+        }
+        root.set_request_id(0xdead_beef);
+        let fork = root.fork();
+        {
+            let _in_fork = fork.span("in-fork");
+        }
+        let evs = root.collected_events();
+        let by_name = |n: &str| evs.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("before").req, 0, "pre-request events unstamped");
+        assert_eq!(by_name("in-fork").req, 0xdead_beef);
+        assert_eq!(fork.request_id(), 0xdead_beef, "forks share the id");
+    }
+
+    fn hist_of(values: &[u64]) -> HistogramSnapshot {
+        let t = Tracer::enabled();
+        for &v in values {
+            t.observe("h", v);
+        }
+        t.metrics_snapshot().histograms.remove(0).1
+    }
+
+    #[test]
+    fn merging_empty_histogram_keeps_real_min_max() {
+        let mut real = MetricsSnapshot {
+            histograms: vec![("h".into(), hist_of(&[8, 16]))],
+            ..Default::default()
+        };
+        let empty = MetricsSnapshot {
+            histograms: vec![("h".into(), HistogramSnapshot::default())],
+            ..Default::default()
+        };
+        // Empty into non-empty: nothing changes.
+        real.merge(&empty);
+        let (_, h) = &real.histograms[0];
+        assert_eq!((h.count, h.min, h.max, h.sum), (2, 8, 16, 24));
+        // Non-empty into empty: the real bounds take over wholesale.
+        let mut base = empty.clone();
+        base.merge(&real);
+        let (_, h) = &base.histograms[0];
+        assert_eq!((h.count, h.min, h.max, h.sum), (2, 8, 16, 24));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut huge = MetricsSnapshot {
+            counters: vec![("c".into(), u64::MAX)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot {
+                    count: u64::MAX,
+                    sum: u64::MAX,
+                    min: 1,
+                    max: 1,
+                    buckets: vec![(Some(2), u64::MAX)],
+                },
+            )],
+            ..Default::default()
+        };
+        let other = huge.clone();
+        huge.merge(&other);
+        assert_eq!(huge.counters[0].1, u64::MAX);
+        let (_, h) = &huge.histograms[0];
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.buckets, vec![(Some(2), u64::MAX)]);
+    }
+
+    #[test]
+    fn merged_gauges_take_the_last_write() {
+        let mut a = MetricsSnapshot {
+            gauges: vec![("g".into(), 5)],
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            gauges: vec![("g".into(), -3), ("only_b".into(), 1)],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.gauges,
+            vec![("g".to_string(), -3), ("only_b".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_power_of_two_buckets() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+
+        // A single value: every quantile is that value (min/max clamping).
+        let one = hist_of(&[700]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 700);
+        }
+
+        // 100 observations of 10 and one of 10_000: the p50 stays in the
+        // low bucket, the p99+ reaches the outlier's bucket.
+        let mut values = vec![10u64; 100];
+        values.push(10_000);
+        let h = hist_of(&values);
+        let p50 = h.quantile(0.5);
+        assert!((10..16).contains(&p50), "median within 10's octave: {p50}");
+        assert!(h.quantile(1.0) >= 8_192, "p100 lands in the top bucket");
+        assert!(h.quantile(1.0) <= 10_000, "clamped to the exact max");
+        assert!((h.mean() - (100.0 * 10.0 + 10_000.0) / 101.0).abs() < 1e-9);
+
+        // Uniform 1..=1024: the median estimate is within one octave.
+        let uniform: Vec<u64> = (1..=1024).collect();
+        let h = hist_of(&uniform);
+        let p50 = h.quantile(0.5);
+        assert!((256..=1024).contains(&p50), "p50 estimate {p50}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1024);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`].
+//!
+//! ## Name mapping
+//!
+//! Tracer metric names are dotted (`serve.request.latency_us`); Prometheus
+//! names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`. Every name is prefixed with
+//! `nova_` and every character outside `[a-z0-9_]` becomes `_`, so
+//! `serve.request.latency_us` exposes as `nova_serve_request_latency_us`.
+//! Counters additionally get the conventional `_total` suffix. The original
+//! dotted name is kept in the `# HELP` line, so a scrape can be mapped back
+//! to the tracer inventory.
+//!
+//! ## Histogram mapping
+//!
+//! Tracer histograms are power-of-two bucketed with *exclusive* upper
+//! bounds over integers; Prometheus buckets are cumulative with *inclusive*
+//! `le` bounds. Since every observed value is an integer, the bucket
+//! holding `v < 2^i` is exactly the bucket holding `v ≤ 2^i - 1`, so the
+//! finite `le` labels are `0, 1, 3, 7, 15, …` and stay exact. The overflow
+//! bucket becomes `le="+Inf"`, and `_sum` / `_count` come straight from the
+//! carried exact sum and count.
+
+use crate::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// The Content-Type a `/metrics` endpoint should answer with.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a dotted tracer metric name onto a Prometheus metric name (see the
+/// module docs for the mapping rules). The `nova_` prefix is always added.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("nova_");
+    for c in name.chars() {
+        match c {
+            'a'..='z' | '0'..='9' | '_' => out.push(c),
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as Prometheus text exposition format: one `# HELP`
+/// / `# TYPE` pair per metric, counters with a `_total` suffix, histograms
+/// as cumulative `_bucket{le=..}` series plus `_sum` and `_count`.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let pname = metric_name(name) + "_total";
+        let _ = writeln!(out, "# HELP {pname} Counter '{name}'.");
+        let _ = writeln!(out, "# TYPE {pname} counter");
+        let _ = writeln!(out, "{pname} {v}");
+    }
+    for (name, v) in &snapshot.gauges {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# HELP {pname} Gauge '{name}'.");
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = writeln!(out, "{pname} {v}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# HELP {pname} Histogram '{name}'.");
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        let mut cumulative: u64 = 0;
+        for &(lt, n) in &h.buckets {
+            cumulative = cumulative.saturating_add(n);
+            if let Some(lt) = lt {
+                // Exclusive integer bound 2^i ⟺ inclusive le = 2^i - 1.
+                let _ = writeln!(out, "{pname}_bucket{{le=\"{}\"}} {cumulative}", lt - 1);
+            }
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{pname}_sum {}", h.sum);
+        let _ = writeln!(out, "{pname}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample() -> MetricsSnapshot {
+        let t = Tracer::enabled();
+        t.incr("serve.cache.hit", 3);
+        t.gauge("serve.queue.depth", -2);
+        for v in [0, 1, 2, 3, 4, 100] {
+            t.observe("serve.request.latency_us", v);
+        }
+        t.metrics_snapshot()
+    }
+
+    /// A minimal validator of the exposition format: every non-comment line
+    /// is `name[{label}] value`, every named series is TYPEd first.
+    fn check_exposition(text: &str) {
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("TYPE name");
+                assert!(
+                    matches!(it.next(), Some("counter" | "gauge" | "histogram")),
+                    "{line}"
+                );
+                typed.push(name.to_string());
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "bad metric name in {line:?}"
+            );
+            assert!(
+                typed.iter().any(|t| name == t
+                    || name
+                        .strip_prefix(t.as_str())
+                        .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count"))),
+                "sample before TYPE: {line}"
+            );
+            if value != "+Inf" {
+                value.parse::<f64>().unwrap_or_else(|_| panic!("{line}"));
+            }
+        }
+    }
+
+    #[test]
+    fn renders_all_three_metric_kinds() {
+        let text = render(&sample());
+        check_exposition(&text);
+        assert!(text.contains("# TYPE nova_serve_cache_hit_total counter"));
+        assert!(text.contains("nova_serve_cache_hit_total 3"));
+        assert!(text.contains("# TYPE nova_serve_queue_depth gauge"));
+        assert!(text.contains("nova_serve_queue_depth -2"));
+        assert!(text.contains("# TYPE nova_serve_request_latency_us histogram"));
+        assert!(text.contains("nova_serve_request_latency_us_sum 110"));
+        assert!(text.contains("nova_serve_request_latency_us_count 6"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = render(&sample());
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("nova_serve_request_latency_us_bucket{le=\"") else {
+                continue;
+            };
+            let (le, count) = rest.split_once("\"} ").expect("bucket line");
+            let count: u64 = count.parse().unwrap();
+            assert!(count >= last, "buckets must be cumulative: {line}");
+            last = count;
+            if le == "+Inf" {
+                saw_inf = true;
+                assert_eq!(count, 6, "+Inf bucket equals the count");
+            } else {
+                le.parse::<u64>().expect("finite le is an integer");
+            }
+        }
+        assert!(saw_inf);
+        // Observations 0 and 1 land under le="0" and le="1": exclusive
+        // power-of-two bounds shift to inclusive integer bounds.
+        assert!(text.contains("nova_serve_request_latency_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("nova_serve_request_latency_us_bucket{le=\"1\"} 2"));
+    }
+
+    #[test]
+    fn names_are_sanitized_with_nova_prefix() {
+        assert_eq!(metric_name("serve.cache.hit"), "nova_serve_cache_hit");
+        assert_eq!(metric_name("ODD-Name.µs"), "nova_odd_name__s");
+    }
+}

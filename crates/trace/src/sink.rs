@@ -2,12 +2,15 @@
 //!
 //! ## JSONL schema (`nova-trace/1`)
 //!
-//! Line 1 is a header object: `{"schema":"nova-trace/1","unit":"ns"}`.
+//! Line 1 is a header object: `{"schema":"nova-trace/1","unit":"ns"}`, plus
+//! a `"req":"<16 hex digits>"` field when the session carries a request id
+//! ([`crate::Tracer::set_request_id`]).
 //! Every following line is one object:
 //!
 //! * span events — `{"ev":"B"|"E","name":..,"id":..,"parent":..,"tid":..,
 //!   "ts":<ns>,"seq":..}`; `B`/`E` pairs share `id` and are well-nested per
-//!   thread;
+//!   thread; events recorded under a request id additionally carry
+//!   `"req":"<16 hex digits>"`;
 //! * metric lines (after all events) —
 //!   `{"ev":"counter","name":..,"value":..}`,
 //!   `{"ev":"gauge","name":..,"value":..}`, and
@@ -25,8 +28,13 @@ use crate::json::Json;
 use crate::{Event, MetricsSnapshot, JSONL_SCHEMA};
 use std::io::Write;
 
+/// Canonical text form of a request id: 16 lower-case hex digits.
+pub fn format_request_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
 fn event_json(e: &Event) -> Json {
-    Json::Obj(vec![
+    let mut pairs = vec![
         ("ev".into(), Json::str(e.phase.letter())),
         ("name".into(), Json::str(e.name.as_ref())),
         ("id".into(), Json::uint(e.id)),
@@ -34,20 +42,31 @@ fn event_json(e: &Event) -> Json {
         ("tid".into(), Json::uint(e.tid)),
         ("ts".into(), Json::uint(e.ts_ns)),
         ("seq".into(), Json::uint(e.seq)),
-    ])
+    ];
+    if e.req != 0 {
+        pairs.push(("req".into(), Json::str(format_request_id(e.req))));
+    }
+    Json::Obj(pairs)
 }
 
 /// Writes the `nova-trace/1` JSONL log: header line, one line per span
-/// event (in sequence order), then one line per metric.
+/// event (in sequence order), then one line per metric. A non-zero
+/// `request_id` is named in the header (and stamped on the events that
+/// carried it when they were recorded).
 pub fn write_jsonl<W: Write>(
     events: &[Event],
     metrics: &MetricsSnapshot,
+    request_id: u64,
     w: &mut W,
 ) -> std::io::Result<()> {
-    let header = Json::Obj(vec![
+    let mut header = vec![
         ("schema".into(), Json::str(JSONL_SCHEMA)),
         ("unit".into(), Json::str("ns")),
-    ]);
+    ];
+    if request_id != 0 {
+        header.push(("req".into(), Json::str(format_request_id(request_id))));
+    }
+    let header = Json::Obj(header);
     writeln!(w, "{}", header.to_compact())?;
     for e in events {
         writeln!(w, "{}", event_json(e).to_compact())?;

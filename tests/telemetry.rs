@@ -142,6 +142,37 @@ fn chrome_trace_golden_shape() {
 }
 
 #[test]
+fn metric_names_follow_the_dotted_naming_convention() {
+    // Every metric the engine emits must be scrape-safe: lower-case dotted
+    // names under a documented prefix family, so the Prometheus mapping
+    // (`nova_` + dots→underscores) never collides or needs escaping.
+    const PREFIXES: [&str; 4] = ["serve.", "engine.", "espresso.", "embed."];
+    let well_formed = |n: &str| {
+        n.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+    };
+    let tracer = Tracer::enabled();
+    run_portfolio(&lion(), "lion", &traced_config(&tracer));
+    let snapshot = tracer.merged_metrics();
+    let names = snapshot
+        .counters
+        .iter()
+        .map(|(n, _)| n)
+        .chain(snapshot.gauges.iter().map(|(n, _)| n))
+        .chain(snapshot.histograms.iter().map(|(n, _)| n));
+    let mut seen = 0;
+    for name in names {
+        assert!(well_formed(name), "metric name {name:?} has odd characters");
+        assert!(
+            PREFIXES.iter().any(|p| name.starts_with(p)),
+            "metric name {name:?} outside the documented prefixes {PREFIXES:?}"
+        );
+        seen += 1;
+    }
+    assert!(seen > 0, "a traced portfolio run emits metrics");
+}
+
+#[test]
 fn per_algorithm_metrics_match_run_counters() {
     // The tracer metrics and the RunCtl counters are two views of the same
     // run; where they overlap (espresso iteration counts as histogram
