@@ -11,7 +11,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use espresso::factor::output_expr;
-use espresso::{complement, legacy, minimize, tautology};
+use espresso::{
+    complement, containment, cube_in_cover, legacy, minimize, tautology, with_ambient_jobs, Cover,
+    Cube, CubeSpace,
+};
 use fsm::symbolic_cover;
 use nova_bench::microbench::Harness;
 
@@ -89,6 +92,97 @@ fn bench_kernels(h: &mut Harness) {
     });
 }
 
+/// Local SplitMix64, matching the differential-test convention (no external
+/// crates, reproducible offline).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A mostly-full random cube (loose in at most 6 variables), the shape the
+/// wide-stride kernels see in practice: signature fast paths engage, word
+/// scans touch the full stride.
+fn mostly_full_cube(rng: &mut SplitMix64, space: &CubeSpace) -> Cube {
+    let mut c = Cube::full(space);
+    for _ in 0..rng.below(7) {
+        let v = rng.below(space.num_vars() as u64) as usize;
+        c.clear_part(space, v, rng.below(space.parts(v) as u64) as u32);
+    }
+    c
+}
+
+/// Per-kernel throughput over synthetic covers at strides 1 / 4 / 9 words —
+/// one word, one full portable chunk, and past the wide-dispatch threshold.
+/// Row-scan kernels report words/s; the pairwise absorb scan reports cube
+/// pairs/s.
+fn bench_kernel_throughput(h: &mut Harness) {
+    let mut g = h.group("espresso_throughput");
+    g.sample_size(10);
+    for w in [1usize, 4, 9] {
+        let space = CubeSpace::binary(32 * w);
+        let mut rng = SplitMix64(0x7482_0000 + w as u64);
+        let cubes: Vec<Cube> = (0..64)
+            .map(|_| mostly_full_cube(&mut rng, &space))
+            .collect();
+        let f = Cover::from_cubes(space.clone(), cubes);
+        let probe = mostly_full_cube(&mut rng, &space);
+        let words = (f.len() * space.words()) as f64;
+        let pairs = (f.len() * f.len()) as f64;
+        g.bench_throughput(&format!("tautology/w{w}"), words, "words", || tautology(&f));
+        g.bench_throughput(&format!("cube_in_cover/w{w}"), words, "words", || {
+            cube_in_cover(&f, &probe)
+        });
+        // The to_vec clone is O(n) against the O(n^2) scan being measured.
+        g.bench_throughput(&format!("absorb/w{w}"), pairs, "cube_pairs", || {
+            let mut v = f.cubes().to_vec();
+            containment::absorb_cubes(&space, &mut v);
+            v.len()
+        });
+    }
+}
+
+/// Steady-state allocation gate for the task-parallel paths: once the worker
+/// pool and every per-worker scratch arena are warm, a parallel dispatch must
+/// not touch the allocator at all. Warm-up is iterated because index claiming
+/// is racy — different runs can hand a worker different branch sizes, so each
+/// scratch arena only reaches its high-water capacity after a few rounds.
+fn report_parallel_allocations() {
+    println!();
+    println!("heap allocations per call under ambient jobs = 4 (steady state):");
+    let space = CubeSpace::binary_with_output(6, 3);
+    let mut rng = SplitMix64(0x9a11_e702);
+    let cubes: Vec<Cube> = (0..80)
+        .map(|_| mostly_full_cube(&mut rng, &space))
+        .collect();
+    let f = Cover::from_cubes(space, cubes);
+    let (mut taut, mut comp) = (u64::MAX, u64::MAX);
+    for _ in 0..50 {
+        taut = allocs_of(|| with_ambient_jobs(4, || tautology(&f)));
+        comp = allocs_of(|| with_ambient_jobs(4, || complement(&f)));
+        if taut == 0 && comp == 0 {
+            break;
+        }
+    }
+    println!("  tautology  (jobs=4)      {taut}");
+    println!("  complement (jobs=4)      {comp}");
+    assert_eq!(
+        (taut, comp),
+        (0, 0),
+        "parallel kernel paths must reach zero steady-state allocations"
+    );
+}
+
 /// Heap-allocation comparison of the arena hot path against the frozen
 /// legacy kernels (steady state, after the scratch pool is warm).
 fn report_allocations() {
@@ -139,5 +233,7 @@ fn main() {
     bench_mv_minimize(&mut h);
     bench_unate_paradigm(&mut h);
     bench_kernels(&mut h);
+    bench_kernel_throughput(&mut h);
     report_allocations();
+    report_parallel_allocations();
 }

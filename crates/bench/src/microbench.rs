@@ -57,7 +57,21 @@ impl Group<'_> {
 
     /// Runs one benchmark: warms up, takes `samples` timed runs, prints
     /// min / median / mean per-iteration time.
-    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) {
+        self.bench_throughput(id, 0.0, "", f);
+    }
+
+    /// Like [`bench`](Self::bench), but additionally reports
+    /// `units / median-time` as a throughput figure. `units` is the amount of
+    /// work a single call performs (e.g. row-words scanned, cube pairs
+    /// compared); `unit_name` is the label printed before `/s`.
+    pub fn bench_throughput<R>(
+        &mut self,
+        id: &str,
+        units: f64,
+        unit_name: &str,
+        mut f: impl FnMut() -> R,
+    ) {
         let full = format!("{}/{}", self.name, id);
         if !self.harness.matches(&full) {
             return;
@@ -80,6 +94,25 @@ impl Group<'_> {
         let min = times[0];
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
-        println!("{full:<48} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}");
+        let mut line =
+            format!("{full:<48} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}");
+        if units > 0.0 {
+            let rate = units / median.as_secs_f64().max(1e-12);
+            line.push_str(&format!("  {:>10} {unit_name}/s", human_rate(rate)));
+        }
+        println!("{line}");
+    }
+}
+
+/// Scales a per-second rate into a compact K/M/G figure.
+fn human_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
     }
 }

@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2 | -]
-//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [FILE.kiss2 | -]
-//! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--bench-out FILE]
+//! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--trace FILE] [FILE.kiss2 | -]
+//! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--bench-out FILE]
 //! nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]
 //! nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]
 //! nova --remote HOST:PORT [-e ALG | --portfolio] [-b BITS] [--budget N] [--timeout-ms N] [FILE.kiss2 | -]
@@ -23,6 +23,9 @@
 //!   --jobs N       worker threads (default: available parallelism)
 //!   --embed-jobs N embedding-search subtree workers per run (0 = one per
 //!                  core, 1 = sequential; encodings identical either way)
+//!   --espresso-jobs N  ESPRESSO unate-recursion branch workers per run
+//!                  (0 = one per core, 1 = sequential; results are
+//!                  bit-identical either way)
 //!   --trace FILE   write a structured trace of the run to FILE
 //!   --trace-format chrome (default; open in Perfetto / chrome://tracing)
 //!                  or jsonl (one event per line, schema nova-trace/1)
@@ -92,7 +95,7 @@ fn usage() -> ! {
     let algs: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
         "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [--fault-plan SPEC] [--remote ADDR] [FILE.kiss2 | -]\n\
-         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2 | -]\n\
+         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2 | -]\n\
          \u{20}      nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]\n\
          \u{20}      nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]\n\
          ALG: {} (or onehot)",
@@ -127,6 +130,7 @@ struct Args {
     budget: Option<u64>,
     jobs: usize,
     embed_jobs: usize,
+    espresso_jobs: usize,
     trace: Option<String>,
     trace_format: TraceFormat,
     bench: Option<String>,
@@ -151,6 +155,7 @@ fn parse_args() -> Args {
         budget: None,
         jobs: 0,
         embed_jobs: 0,
+        espresso_jobs: 0,
         trace: None,
         trace_format: TraceFormat::Chrome,
         bench: None,
@@ -180,6 +185,7 @@ fn parse_args() -> Args {
             "--budget" => out.budget = Some(num(&mut args)),
             "--jobs" => out.jobs = num(&mut args) as usize,
             "--embed-jobs" => out.embed_jobs = num(&mut args) as usize,
+            "--espresso-jobs" => out.espresso_jobs = num(&mut args) as usize,
             "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-format" => {
                 out.trace_format = match args.next().as_deref() {
@@ -220,6 +226,7 @@ fn engine_config(args: &Args, tracer: &Tracer) -> EngineConfig {
     EngineConfig {
         jobs: args.jobs,
         embed_jobs: args.embed_jobs,
+        espresso_jobs: args.espresso_jobs,
         timeout: args.timeout_ms.map(Duration::from_millis),
         node_budget: args.budget,
         target_bits: args.bits,
@@ -503,6 +510,7 @@ fn remote_main(addr: &str, machine: &Fsm, args: &Args) -> ExitCode {
         timeout_ms: args.timeout_ms,
         jobs: args.jobs,
         embed_jobs: args.embed_jobs,
+        espresso_jobs: args.espresso_jobs,
         fault_plan: args.fault_plan.clone(),
     };
     let resp = match nova_serve::client::post_kiss(addr, &machine.to_kiss(), &options.to_query()) {

@@ -277,19 +277,31 @@ pub fn run_traced(
     run_traced_shared(fsm, algorithm, target_bits, ctl, &cell)
 }
 
-/// [`run_traced`] with an explicit embedding worker count (`0` = one per
-/// core, `1` = sequential). Encodings are identical across job counts
-/// whenever no deadline fires mid-search; see
-/// [`crate::exact::pos_equiv_covers_jobs_ctl`].
+/// [`run_traced`] with explicit worker counts (`0` = one per core, `1` =
+/// sequential) for the embedding search (`embed_jobs`) and the ESPRESSO
+/// unate-recursion branch fan-out (`espresso_jobs`). Encodings are identical
+/// across embed job counts whenever no deadline fires mid-search (see
+/// [`crate::exact::pos_equiv_covers_jobs_ctl`]), and bit-identical across
+/// espresso job counts unconditionally (parallel branches write disjoint
+/// slots stitched in branch order).
 pub fn run_traced_jobs(
     fsm: &Fsm,
     algorithm: Algorithm,
     target_bits: Option<u32>,
     embed_jobs: usize,
+    espresso_jobs: usize,
     ctl: &RunCtl,
 ) -> TracedRun {
     let cell = StageCell::new();
-    run_traced_shared_jobs(fsm, algorithm, target_bits, embed_jobs, ctl, &cell)
+    run_traced_shared_jobs(
+        fsm,
+        algorithm,
+        target_bits,
+        embed_jobs,
+        espresso_jobs,
+        ctl,
+        &cell,
+    )
 }
 
 /// [`run_traced`] with the stage-time accumulator owned by the caller: the
@@ -302,20 +314,30 @@ pub fn run_traced_shared(
     ctl: &RunCtl,
     cell: &StageCell,
 ) -> TracedRun {
-    run_traced_shared_jobs(fsm, algorithm, target_bits, 0, ctl, cell)
+    run_traced_shared_jobs(fsm, algorithm, target_bits, 0, 0, ctl, cell)
 }
 
-/// [`run_traced_shared`] with an explicit embedding worker count (see
-/// [`run_traced_jobs`]).
+/// [`run_traced_shared`] with explicit embedding / espresso worker counts
+/// (see [`run_traced_jobs`]).
+#[allow(clippy::too_many_arguments)]
 pub fn run_traced_shared_jobs(
     fsm: &Fsm,
     algorithm: Algorithm,
     target_bits: Option<u32>,
     embed_jobs: usize,
+    espresso_jobs: usize,
     ctl: &RunCtl,
     cell: &StageCell,
 ) -> TracedRun {
-    let status = match run_traced_inner(fsm, algorithm, target_bits, embed_jobs, ctl, cell) {
+    let status = match run_traced_inner(
+        fsm,
+        algorithm,
+        target_bits,
+        embed_jobs,
+        espresso_jobs,
+        ctl,
+        cell,
+    ) {
         Ok(Some(result)) => RunStatus::Done(result),
         Ok(None) => RunStatus::Unsolved,
         Err(Cancelled) => match degrade(fsm, ctl) {
@@ -350,6 +372,7 @@ fn run_traced_inner(
     algorithm: Algorithm,
     target_bits: Option<u32>,
     embed_jobs: usize,
+    espresso_jobs: usize,
     ctl: &RunCtl,
     cell: &StageCell,
 ) -> Result<Option<EvalResult>, Cancelled> {
@@ -523,7 +546,13 @@ fn run_traced_inner(
         cell,
         "stage.espresso",
         |s| &mut s.espresso,
-        || minimize_with_ctl(&pla.on, &pla.dc, MinimizeOptions::default(), ctl),
+        || {
+            let opts = MinimizeOptions {
+                jobs: espresso_jobs,
+                ..MinimizeOptions::default()
+            };
+            minimize_with_ctl(&pla.on, &pla.dc, opts, ctl)
+        },
     )?;
     Ok(Some(EvalResult {
         bits: enc.bits(),

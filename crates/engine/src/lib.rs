@@ -63,6 +63,12 @@ pub struct EngineConfig {
     /// (`0` = one per core, `1` = sequential). Encodings are identical
     /// across values whenever no deadline fires mid-search.
     pub embed_jobs: usize,
+    /// Worker threads for the ESPRESSO unate-recursion branch fan-out
+    /// (`0` = one per core, `1` = sequential). Results are bit-identical
+    /// across values: parallel branches write disjoint slots stitched in
+    /// branch order, and the kernels never touch the run budget. Forced
+    /// sequential when a fault plan is armed, as belt and braces.
+    pub espresso_jobs: usize,
     /// Session tracer. Each algorithm run gets a [`Tracer::fork`] of it
     /// (shared clock and trace file, separate per-run metrics). Defaults to
     /// [`Tracer::disabled`], which costs one atomic load per instrumentation
@@ -84,6 +90,7 @@ impl Default for EngineConfig {
             node_budget: None,
             target_bits: None,
             embed_jobs: 0,
+            espresso_jobs: 0,
             tracer: Tracer::disabled(),
             fault_plan: None,
         }
@@ -452,7 +459,16 @@ fn run_one_under(
         ctl.arm_faults(plan);
     }
     run_contained(algorithm, &ctl, &tracer, |ctl, cell| {
-        run_traced_shared_jobs(fsm, algorithm, cfg.target_bits, cfg.embed_jobs, ctl, cell).status
+        run_traced_shared_jobs(
+            fsm,
+            algorithm,
+            cfg.target_bits,
+            cfg.embed_jobs,
+            cfg.espresso_jobs,
+            ctl,
+            cell,
+        )
+        .status
     })
 }
 

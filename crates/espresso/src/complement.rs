@@ -10,9 +10,11 @@
 use crate::containment::absorb_matrix;
 use crate::cover::Cover;
 use crate::cube::Cube;
-use crate::matrix::CubeMatrix;
+use crate::matrix::{nonfull_counts, select_binate, CubeMatrix, SIG_EXACT_VARS};
+use crate::parallel::{self, DisjointSlots};
 use crate::scratch::{with_scratch, Scratch};
 use crate::space::CubeSpace;
+use crate::tautology::PAR_MIN_ROWS;
 
 /// Complement of a single cube: one result cube per non-full variable,
 /// full everywhere except that variable, where it admits exactly the parts
@@ -74,7 +76,7 @@ pub fn complement(f: &Cover) -> Cover {
 /// recursion levels can share one output arena.
 fn comp_mat(space: &CubeSpace, m: &mut CubeMatrix, out: &mut CubeMatrix, s: &mut Scratch) {
     m.drop_degenerate();
-    if (0..m.len()).any(|i| m.row_is_full(space, i)) {
+    if m.any_row_full(space) {
         return;
     }
     if m.is_empty() {
@@ -88,55 +90,83 @@ fn comp_mat(space: &CubeSpace, m: &mut CubeMatrix, out: &mut CubeMatrix, s: &mut
         s.release_flags(keep);
     }
     if m.len() == 1 {
-        for v in space.vars() {
-            if !m.row_var_is_full(space, 0, v) {
+        // One result cube per non-full variable, read off the signature's
+        // nonfull bitmap when it is exact.
+        if space.num_vars() <= SIG_EXACT_VARS {
+            let mut nf = m.sig(0).nonfull;
+            while nf != 0 {
+                let v = nf.trailing_zeros() as usize;
+                nf &= nf - 1;
                 out.push_complement_var(space, m.row(0), v);
+            }
+        } else {
+            for v in space.vars() {
+                if !m.row_var_is_full(space, 0, v) {
+                    out.push_complement_var(space, m.row(0), v);
+                }
             }
         }
         return;
     }
 
-    // Most binate variable.
-    let mut best: Option<(usize, usize, u32)> = None;
-    for v in space.vars() {
-        let count = (0..m.len())
-            .filter(|&i| !m.row_var_is_full(space, i, v))
-            .count();
-        if count == 0 {
-            continue;
-        }
-        let parts = space.parts(v);
-        let cand = (v, count, parts);
-        best = Some(match best {
-            None => cand,
-            Some(b) => {
-                if count > b.1 || (count == b.1 && parts < b.2) {
-                    cand
-                } else {
-                    b
-                }
-            }
-        });
-    }
-    let v = best
-        .expect("non-universe multi-cube cover has an active variable")
-        .0;
+    // Most binate variable, from signature statistics alone.
+    let mut counts = s.acquire_counts();
+    nonfull_counts(space, m, &mut counts);
+    let best = select_binate(space, &counts);
+    s.release_counts(counts);
+    let v = best.expect("non-universe multi-cube cover has an active variable");
 
     // complement(F) = ⋃_p [ (v = p) ∧ complement(F cofactored at v = p) ]
     let level_start = out.len();
-    for p in 0..space.parts(v) {
-        let mut branch = s.acquire(space);
-        for i in 0..m.len() {
-            if m.row_has_part(space, i, v, p) {
-                branch.push_var_full(space, m.row(i), v);
-            }
+    let parts = space.parts(v);
+    let jobs = parallel::ambient_jobs();
+    if jobs > 1 && parts >= 2 && m.len() >= PAR_MIN_ROWS {
+        // Each branch complements into a private matrix; the slots are
+        // stitched back in part order, so the merged suffix is bit-identical
+        // to the sequential append order no matter how the branches raced.
+        let mut outs = s.acquire_matrix_list();
+        for _ in 0..parts {
+            outs.push(s.acquire(space));
         }
-        let mark = out.len();
-        comp_mat(space, &mut branch, out, s);
-        s.release(branch);
-        // Restrict the branch complement to v = p.
-        for i in mark..out.len() {
-            out.restrict_var_to_part(space, i, v, p);
+        {
+            let mr: &CubeMatrix = m;
+            let slots = DisjointSlots::new(&mut outs);
+            parallel::run_tasks(jobs, parts as usize, s, &|p, ts| {
+                // SAFETY: task index == slot index, each claimed once.
+                let o = unsafe { slots.get(p) };
+                let mut branch = ts.acquire(space);
+                for i in 0..mr.len() {
+                    if mr.row_has_part(space, i, v, p as u32) {
+                        branch.push_var_full_from(space, mr.row(i), v, mr.sig(i));
+                    }
+                }
+                comp_mat(space, &mut branch, o, ts);
+                ts.release(branch);
+                // Restrict the branch complement to v = p.
+                for i in 0..o.len() {
+                    o.restrict_var_to_part(space, i, v, p as u32);
+                }
+            });
+        }
+        for o in &outs {
+            out.append_from(o);
+        }
+        s.release_matrix_list(outs);
+    } else {
+        for p in 0..parts {
+            let mut branch = s.acquire(space);
+            for i in 0..m.len() {
+                if m.row_has_part(space, i, v, p) {
+                    branch.push_var_full_from(space, m.row(i), v, m.sig(i));
+                }
+            }
+            let mark = out.len();
+            comp_mat(space, &mut branch, out, s);
+            s.release(branch);
+            // Restrict the branch complement to v = p.
+            for i in mark..out.len() {
+                out.restrict_var_to_part(space, i, v, p);
+            }
         }
     }
 

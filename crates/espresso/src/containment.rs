@@ -10,10 +10,26 @@
 //! routine (see [`crate::legacy::absorb_in_place`]): degenerate cubes are
 //! dropped first, then a cube is removed when it is contained in another
 //! kept cube, keeping the earliest copy of exact duplicates.
+//!
+//! The scans here exploit that the kept set is *order-independent*: cube `i`
+//! is removed iff some `j ≠ i` has `row(i) ⊆ row(j)` with `i > j` breaking
+//! exact-duplicate ties. (If the absorbing `j` was itself absorbed, the
+//! absorbing chain — each step growing the cube or decreasing the index —
+//! terminates at a kept cube that absorbs `i` transitively, so the legacy
+//! `keep[j]` re-checks never change the answer.) That makes the O(n²) loop
+//! embarrassingly restructurable: signatures are scanned in blocks over the
+//! contiguous [`CubeMatrix::sigs`] slice, and row words are only read for
+//! the few pairs that survive the three-integer-compare reject.
 
 use crate::cube::Cube;
 use crate::matrix::{row_subset, CubeMatrix, Sig};
 use crate::space::CubeSpace;
+
+/// Rows per signature-scan block: survivors are gathered into a stack
+/// buffer of this size before any row words are read, so the sig pass runs
+/// unbranched over contiguous memory and the word pass touches only
+/// candidate rows (usually none).
+const BLOCK: usize = 64;
 
 /// Single-cube containment minimization over a cube list (the shared
 /// implementation behind [`Cover::absorb`](crate::cover::Cover::absorb)).
@@ -25,18 +41,29 @@ pub fn absorb_cubes(space: &CubeSpace, cubes: &mut Vec<Cube>) {
     }
     let sigs: Vec<Sig> = cubes.iter().map(|c| Sig::of(space, c.words())).collect();
     let mut keep = vec![true; n];
+    let mut cand = [0u32; BLOCK];
     for i in 0..n {
-        if !keep[i] {
-            continue;
-        }
-        for j in 0..n {
-            if i == j || !keep[j] || !sigs[i].may_be_subset_of(sigs[j]) {
-                continue;
+        let si = sigs[i];
+        let a = cubes[i].words();
+        'scan: for jb in (0..n).step_by(BLOCK) {
+            let je = (jb + BLOCK).min(n);
+            let mut nc = 0;
+            for (j, sj) in sigs[jb..je].iter().enumerate() {
+                if si.may_be_subset_of(*sj) {
+                    cand[nc] = (jb + j) as u32;
+                    nc += 1;
+                }
             }
-            let (a, b) = (cubes[i].words(), cubes[j].words());
-            if row_subset(a, b) && (a != b || i > j) {
-                keep[i] = false;
-                break;
+            for &j in &cand[..nc] {
+                let j = j as usize;
+                if j == i {
+                    continue;
+                }
+                let b = cubes[j].words();
+                if row_subset(a, b) && (a != b || i > j) {
+                    keep[i] = false;
+                    break 'scan;
+                }
             }
         }
     }
@@ -58,18 +85,30 @@ pub fn absorb_matrix(m: &mut CubeMatrix, keep_buf: &mut Vec<bool>) {
     }
     keep_buf.clear();
     keep_buf.resize(n, true);
+    let sigs = m.sigs();
+    let mut cand = [0u32; BLOCK];
     for i in 0..n {
-        if !keep_buf[i] {
-            continue;
-        }
-        for j in 0..n {
-            if i == j || !keep_buf[j] || !m.sig(i).may_be_subset_of(m.sig(j)) {
-                continue;
+        let si = sigs[i];
+        'scan: for jb in (0..n).step_by(BLOCK) {
+            let je = (jb + BLOCK).min(n);
+            let mut nc = 0;
+            for (j, sj) in sigs[jb..je].iter().enumerate() {
+                if si.may_be_subset_of(*sj) {
+                    cand[nc] = (jb + j) as u32;
+                    nc += 1;
+                }
             }
-            let (a, b) = (m.row(i), m.row(j));
-            if row_subset(a, b) && (a != b || i > j) {
-                keep_buf[i] = false;
-                break;
+            let a = m.row(i);
+            for &j in &cand[..nc] {
+                let j = j as usize;
+                if j == i {
+                    continue;
+                }
+                let b = m.row(j);
+                if row_subset(a, b) && (a != b || i > j) {
+                    keep_buf[i] = false;
+                    break 'scan;
+                }
             }
         }
     }
@@ -80,7 +119,23 @@ pub fn absorb_matrix(m: &mut CubeMatrix, keep_buf: &mut Vec<bool>) {
 /// (Sufficient but not necessary for cover containment — the fast accept in
 /// front of the exact tautology test.)
 pub fn any_row_contains(m: &CubeMatrix, c: &[u64], sig_c: Sig) -> bool {
-    (0..m.len()).any(|i| sig_c.may_be_subset_of(m.sig(i)) && row_subset(c, m.row(i)))
+    let n = m.len();
+    let sigs = m.sigs();
+    let mut cand = [0u32; BLOCK];
+    for jb in (0..n).step_by(BLOCK) {
+        let je = (jb + BLOCK).min(n);
+        let mut nc = 0;
+        for (j, sj) in sigs[jb..je].iter().enumerate() {
+            if sig_c.may_be_subset_of(*sj) {
+                cand[nc] = (jb + j) as u32;
+                nc += 1;
+            }
+        }
+        if cand[..nc].iter().any(|&j| row_subset(c, m.row(j as usize))) {
+            return true;
+        }
+    }
+    false
 }
 
 #[cfg(test)]

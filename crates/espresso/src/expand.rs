@@ -35,15 +35,16 @@ pub fn expand(f: &mut Cover, d: &Cover) {
         return;
     }
 
-    // Column counts: how many cubes of f admit each part.
+    // Column counts: how many cubes of f admit each part. One word pass per
+    // cube, iterating set bits (a part's global bit index is its word slot).
     let total_bits = space.total_bits() as usize;
     let mut col = vec![0u32; total_bits];
     for c in f.iter() {
-        for v in space.vars() {
-            for p in 0..space.parts(v) {
-                if c.has_part(&space, v, p) {
-                    col[space.bit(v, p) as usize] += 1;
-                }
+        for (k, &w) in c.words().iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                col[k * 64 + w.trailing_zeros() as usize] += 1;
+                w &= w - 1;
             }
         }
     }
@@ -86,14 +87,18 @@ pub fn expand(f: &mut Cover, d: &Cover) {
             }
             cands.sort_by_key(|&(v, p)| std::cmp::Reverse(col[space.bit(v, p) as usize]));
 
+            // The cube's signature is carried across raises and each
+            // candidate's derived incrementally — no per-candidate Sig::of.
+            let mut sig_c = Sig::of(&space, c.words());
             for (v, p) in cands {
                 t_words.clear();
                 t_words.extend_from_slice(c.words());
                 let b = space.bit(v, p) as usize;
                 t_words[b / 64] |= 1u64 << (b % 64);
-                let sig = Sig::of(&space, &t_words);
+                let sig = sig_c.with_part_raised(&space, &t_words, v, b);
                 if cube_in_matrix(&space, &oracle, &t_words, sig, s) {
                     c.set_part(&space, v, p);
+                    sig_c = sig;
                 }
             }
             s.release(oracle);

@@ -48,9 +48,11 @@ pub mod irredundant;
 pub mod legacy;
 pub mod matrix;
 pub mod minimize;
+pub mod parallel;
 pub mod pla;
 pub mod reduce;
 pub mod scratch;
+pub mod simd;
 pub mod space;
 pub mod tautology;
 
@@ -60,9 +62,11 @@ pub use ctl::{BestSoFar, CancelReason, Cancelled, RunCounters, RunCtl};
 pub use cube::{supercube, Cube};
 pub use exact::{all_primes, minimize_exact, ExactLimits};
 pub use fault::{FaultKind, FaultPlan, FaultPlanError, FaultPoint, PIPELINE_STAGES};
-pub use matrix::{CubeMatrix, Sig};
+pub use matrix::{CubeMatrix, Sig, SIG_EXACT_VARS};
 pub use minimize::{minimize, minimize_with, minimize_with_ctl, MinimizeOptions, MinimizeStats};
+pub use parallel::{ambient_jobs, resolve_jobs, with_ambient_jobs};
 pub use scratch::{thread_stats as scratch_thread_stats, Scratch, ScratchStats};
+pub use simd::{dispatch_tier, DispatchTier};
 pub use space::{CubeSpace, VarKind};
 pub use tautology::{
     cover_in_cover, covers_equivalent, cube_in_cover, tautology, verify_minimized,

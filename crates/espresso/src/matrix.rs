@@ -13,7 +13,15 @@
 //! pairs are rejected on three integer compares before any cube word is read.
 
 use crate::cube::Cube;
+use crate::simd;
 use crate::space::CubeSpace;
+
+/// Highest variable index the [`Sig::nonfull`] bitmap tracks exactly.
+/// Variables at or above this index share the saturated top bit (sound: it
+/// ORs their non-fullness), and the signature-driven kernel fast paths fall
+/// back to word scans for such spaces. NOVA's symbolic covers have a handful
+/// of variables, so the exact window covers every space seen in practice.
+pub const SIG_EXACT_VARS: usize = 127;
 
 /// Compressed per-cube signature: a set of necessary conditions for bitwise
 /// row containment, checkable in a few integer operations.
@@ -35,39 +43,56 @@ pub struct Sig {
     pub empty: bool,
     /// OR-fold of the row's words.
     pub orbits: u64,
-    /// Bit `min(v, 63)` set iff the row is non-full in variable `v`
-    /// (variables ≥ 63 share the saturated top bit, which keeps the test
-    /// sound: it ORs their non-fullness).
-    pub nonfull: u64,
+    /// Bit `min(v, SIG_EXACT_VARS)` set iff the row is non-full in variable
+    /// `v`. Exact for every variable below [`SIG_EXACT_VARS`]; beyond that
+    /// the top bit saturates, which keeps the containment test sound.
+    pub nonfull: u128,
+}
+
+#[inline]
+fn nonfull_bit(v: usize) -> u128 {
+    1u128 << v.min(SIG_EXACT_VARS)
 }
 
 impl Sig {
-    /// Computes the signature of a row.
+    /// Computes the signature of a row. Field scans only touch the words a
+    /// variable actually spans (one word for almost every field), so this is
+    /// `O(words + vars)` rather than `O(words × vars)`.
     pub fn of(space: &CubeSpace, words: &[u64]) -> Sig {
-        let mut ones = 0u32;
-        let mut orbits = 0u64;
-        for &w in words {
-            ones += w.count_ones();
-            orbits |= w;
-        }
-        let mut nonfull = 0u64;
+        let ones = simd::ones(words);
+        let orbits = simd::or_fold(words);
+        let mut nonfull = 0u128;
         let mut empty = false;
         for v in space.vars() {
-            let mask = space.mask(v);
-            let mut any = 0u64;
-            let mut full = true;
-            for (w, m) in words.iter().zip(mask) {
-                let x = w & m;
-                any |= x;
-                if x != *m {
-                    full = false;
+            match space.single_word_field(v) {
+                Some((k, m)) => {
+                    let x = words[k] & m;
+                    if x == 0 {
+                        empty = true;
+                    }
+                    if x != m {
+                        nonfull |= nonfull_bit(v);
+                    }
                 }
-            }
-            if any == 0 {
-                empty = true;
-            }
-            if !full {
-                nonfull |= 1u64 << v.min(63);
+                None => {
+                    let (lo, hi) = space.var_span(v);
+                    let mask = space.mask(v);
+                    let mut any = 0u64;
+                    let mut full = true;
+                    for k in lo..=hi {
+                        let x = words[k] & mask[k];
+                        any |= x;
+                        if x != mask[k] {
+                            full = false;
+                        }
+                    }
+                    if any == 0 {
+                        empty = true;
+                    }
+                    if !full {
+                        nonfull |= nonfull_bit(v);
+                    }
+                }
             }
         }
         Sig {
@@ -86,22 +111,107 @@ impl Sig {
         self.ones <= b.ones && self.orbits & !b.orbits == 0 && b.nonfull & !self.nonfull == 0
     }
 
+    /// Signature of `words`, given that `words` is this signature's row with
+    /// one previously absent bit (global index `bit`) of variable `v` raised
+    /// — the EXPAND candidate step. Derived in `O(span)` instead of a full
+    /// [`Sig::of`] recomputation; falls back to it outside the exact window.
+    pub fn with_part_raised(self, space: &CubeSpace, words: &[u64], v: usize, bit: usize) -> Sig {
+        if self.empty || v >= SIG_EXACT_VARS {
+            return Sig::of(space, words);
+        }
+        let full = match space.single_word_field(v) {
+            Some((k, m)) => words[k] & m == m,
+            None => {
+                let (lo, hi) = space.var_span(v);
+                let mask = space.mask(v);
+                (lo..=hi).all(|k| words[k] & mask[k] == mask[k])
+            }
+        };
+        let sig = Sig {
+            ones: self.ones + 1,
+            empty: false,
+            orbits: self.orbits | (1u64 << (bit % 64)),
+            // The raised bit was absent, so `v` was non-full before; it
+            // stays marked unless the raise completed the field.
+            nonfull: if full {
+                self.nonfull & !(1u128 << v)
+            } else {
+                self.nonfull
+            },
+        };
+        debug_assert_eq!(sig, Sig::of(space, words));
+        sig
+    }
+
     /// Whether the row is full in variable `v`, answered from the signature
     /// alone when `v` is below the saturation bit.
     #[inline]
     pub fn var_full_fast(self, v: usize) -> Option<bool> {
-        if v < 63 {
-            Some(self.nonfull & (1u64 << v) == 0)
+        if v < SIG_EXACT_VARS {
+            Some(self.nonfull & (1u128 << v) == 0)
         } else {
             None
         }
     }
 }
 
-/// Bitwise row containment: `a ⊆ b` iff `a & !b == 0` word-wise.
+/// Bitwise row containment: `a ⊆ b` iff `a & !b == 0` word-wise (chunked,
+/// dispatch-aware for long rows — see [`crate::simd`]).
 #[inline]
 pub fn row_subset(a: &[u64], b: &[u64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+    simd::subset(a, b)
+}
+
+/// Fills `counts[v]` with the number of rows non-full in variable `v`.
+///
+/// For spaces inside the exact signature window this is one pass over the
+/// contiguous signature slice iterating set `nonfull` bits — no row words
+/// are touched. Wider spaces (where the top signature bit saturates) fall
+/// back to per-variable word scans.
+pub(crate) fn nonfull_counts(space: &CubeSpace, m: &CubeMatrix, counts: &mut Vec<u32>) {
+    let nv = space.num_vars();
+    counts.clear();
+    counts.resize(nv, 0);
+    if nv <= SIG_EXACT_VARS {
+        for sg in m.sigs() {
+            let mut nf = sg.nonfull;
+            while nf != 0 {
+                counts[nf.trailing_zeros() as usize] += 1;
+                nf &= nf - 1;
+            }
+        }
+    } else {
+        for v in space.vars() {
+            counts[v] = (0..m.len())
+                .filter(|&i| !m.row_var_is_full(space, i, v))
+                .count() as u32;
+        }
+    }
+}
+
+/// The most binate active variable given per-variable non-full counts: the
+/// variable with the most non-full rows, ties broken toward fewer parts to
+/// keep branching narrow. `None` iff every row is full in every variable.
+pub(crate) fn select_binate(space: &CubeSpace, counts: &[u32]) -> Option<usize> {
+    let mut best: Option<(usize, u32, u32)> = None;
+    for v in space.vars() {
+        let count = counts[v];
+        if count == 0 {
+            continue;
+        }
+        let parts = space.parts(v);
+        best = Some(match best {
+            None => (v, count, parts),
+            Some(b) => {
+                if count > b.1 || (count == b.1 && parts < b.2) {
+                    (v, count, parts)
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.map(|b| b.0)
 }
 
 /// A cover as a flat arena: `len` rows of `stride` words each, plus one
@@ -156,6 +266,32 @@ impl CubeMatrix {
         self.sigs[i]
     }
 
+    /// All row signatures as one contiguous slice (for hoisted signature
+    /// scans that must not interleave with row-word reads).
+    #[inline]
+    pub fn sigs(&self) -> &[Sig] {
+        &self.sigs
+    }
+
+    /// The whole arena as one flat word slice (`len() * stride()` words).
+    #[inline]
+    pub fn words_flat(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs every row into `acc` column-wise; `acc` must be `stride()` long.
+    #[inline]
+    pub fn fold_or_into(&self, acc: &mut [u64]) {
+        simd::fold_or_strided(&self.words, self.stride, acc);
+    }
+
+    /// Whether any row is the universal row (signature scan only).
+    #[inline]
+    pub fn any_row_full(&self, space: &CubeSpace) -> bool {
+        let total = space.total_bits();
+        self.sigs.iter().any(|s| s.ones == total)
+    }
+
     /// Appends a row, computing its signature.
     pub fn push_row(&mut self, space: &CubeSpace, words: &[u64]) {
         debug_assert_eq!(words.len(), self.stride);
@@ -184,16 +320,59 @@ impl CubeMatrix {
         self.push_row(space, space.full_words());
     }
 
+    /// Appends every row of `other` (same stride), reusing its already
+    /// computed signatures — the stitch step when parallel branches write
+    /// into private matrices that are merged back in branch order.
+    pub fn append_from(&mut self, other: &CubeMatrix) {
+        debug_assert_eq!(self.stride, other.stride);
+        self.words.extend_from_slice(&other.words);
+        self.sigs.extend_from_slice(&other.sigs);
+    }
+
     /// Appends `words` with variable `v`'s field raised to full (the
     /// branch-building step of the unate recursion).
     pub fn push_var_full(&mut self, space: &CubeSpace, words: &[u64], v: usize) {
         debug_assert_eq!(words.len(), self.stride);
         let start = self.words.len();
         self.words.extend_from_slice(words);
-        for (w, m) in self.words[start..].iter_mut().zip(space.mask(v)) {
-            *w |= m;
+        let (lo, hi) = space.var_span(v);
+        let mask = space.mask(v);
+        for (k, &mk) in mask.iter().enumerate().take(hi + 1).skip(lo) {
+            self.words[start + k] |= mk;
         }
         let sig = Sig::of(space, &self.words[start..]);
+        self.sigs.push(sig);
+    }
+
+    /// [`CubeMatrix::push_var_full`] with the source row's signature known:
+    /// the pushed row's signature is derived incrementally in `O(span)`
+    /// instead of recomputed, which removes the dominant per-branch cost of
+    /// the unate recursion. Falls back to the full recomputation when the
+    /// parent is degenerate or the space exceeds the exact signature window.
+    pub fn push_var_full_from(&mut self, space: &CubeSpace, words: &[u64], v: usize, parent: Sig) {
+        if parent.empty || v >= SIG_EXACT_VARS {
+            self.push_var_full(space, words, v);
+            return;
+        }
+        debug_assert_eq!(words.len(), self.stride);
+        let start = self.words.len();
+        self.words.extend_from_slice(words);
+        let (lo, hi) = space.var_span(v);
+        let mask = space.mask(v);
+        let mut field_before = 0u32;
+        let mut mask_fold = 0u64;
+        for k in lo..=hi {
+            field_before += (words[k] & mask[k]).count_ones();
+            mask_fold |= mask[k];
+            self.words[start + k] |= mask[k];
+        }
+        let sig = Sig {
+            ones: parent.ones - field_before + space.parts(v),
+            empty: false,
+            orbits: parent.orbits | mask_fold,
+            nonfull: parent.nonfull & !(1u128 << v),
+        };
+        debug_assert_eq!(sig, Sig::of(space, &self.words[start..]));
         self.sigs.push(sig);
     }
 
@@ -218,12 +397,21 @@ impl CubeMatrix {
     pub fn push_cofactor(&mut self, space: &CubeSpace, row: &[u64], p: &[u64]) -> bool {
         debug_assert_eq!(row.len(), self.stride);
         // Distance check: any variable whose field vanishes in row ∩ p means
-        // the cubes are disjoint and the row drops out of the cofactor.
+        // the cubes are disjoint and the row drops out of the cofactor. Only
+        // the words each field spans are read.
         for v in space.vars() {
-            let mut any = 0u64;
-            for ((r, q), m) in row.iter().zip(p).zip(space.mask(v)) {
-                any |= r & q & m;
-            }
+            let any = match space.single_word_field(v) {
+                Some((k, m)) => row[k] & p[k] & m,
+                None => {
+                    let (lo, hi) = space.var_span(v);
+                    let mask = space.mask(v);
+                    let mut acc = 0u64;
+                    for k in lo..=hi {
+                        acc |= row[k] & p[k] & mask[k];
+                    }
+                    acc
+                }
+            };
             if any == 0 {
                 return false;
             }
@@ -311,9 +499,7 @@ impl CubeMatrix {
         let last = n - 1;
         if i != last {
             let (is, ls) = (i * self.stride, last * self.stride);
-            for k in 0..self.stride {
-                self.words[is + k] = self.words[ls + k];
-            }
+            self.words.copy_within(ls..ls + self.stride, is);
             self.sigs[i] = self.sigs[last];
         }
         self.words.truncate(last * self.stride);
@@ -330,9 +516,7 @@ impl CubeMatrix {
             if k {
                 if out != i {
                     let (os, is) = (out * stride, i * stride);
-                    for k in 0..stride {
-                        self.words[os + k] = self.words[is + k];
-                    }
+                    self.words.copy_within(is..is + stride, os);
                     self.sigs[out] = self.sigs[i];
                 }
                 out += 1;
@@ -351,9 +535,7 @@ impl CubeMatrix {
             if self.row_var_is_full(space, i, v) {
                 if out != i {
                     let (os, is) = (out * stride, i * stride);
-                    for k in 0..stride {
-                        self.words[os + k] = self.words[is + k];
-                    }
+                    self.words.copy_within(is..is + stride, os);
                     self.sigs[out] = self.sigs[i];
                 }
                 out += 1;
@@ -372,9 +554,7 @@ impl CubeMatrix {
             if !self.sigs[i].empty {
                 if out != i {
                     let (os, is) = (out * stride, i * stride);
-                    for k in 0..stride {
-                        self.words[os + k] = self.words[is + k];
-                    }
+                    self.words.copy_within(is..is + stride, os);
                     self.sigs[out] = self.sigs[i];
                 }
                 out += 1;

@@ -23,6 +23,13 @@ pub struct MinimizeOptions {
     pub essentials: bool,
     /// Run the LAST_GASP escape step when the loop converges.
     pub last_gasp: bool,
+    /// Worker threads for the unate-recursion branch fan-out (`0` = all
+    /// available cores, `1` = sequential). Any value yields bit-identical
+    /// results: parallel branches write disjoint slots stitched in branch
+    /// order, and kernels never touch the [`RunCtl`] budget. Forced to 1
+    /// when the ctl [requires determinism](RunCtl::requires_determinism)
+    /// (fault injection / chaos replay), as belt and braces.
+    pub jobs: usize,
 }
 
 impl Default for MinimizeOptions {
@@ -33,6 +40,7 @@ impl Default for MinimizeOptions {
             single_pass: false,
             essentials: true,
             last_gasp: true,
+            jobs: 1,
         }
     }
 }
@@ -90,7 +98,36 @@ pub fn minimize_with_ctl(
     opts: MinimizeOptions,
     ctl: &RunCtl,
 ) -> Result<(Cover, MinimizeStats), Cancelled> {
+    let jobs = if ctl.requires_determinism() {
+        1
+    } else {
+        crate::parallel::resolve_jobs(opts.jobs)
+    };
+    if jobs <= 1 {
+        minimize_impl(f, d, opts, ctl)
+    } else {
+        crate::parallel::with_ambient_jobs(jobs, || minimize_impl(f, d, opts, ctl))
+    }
+}
+
+/// Logs the process's SIMD dispatch decision into the tracer exactly once
+/// (the `espresso.simd.dispatch.*` counter from the tentpole spec).
+fn log_dispatch_once(t: &nova_trace::Tracer) {
+    static LOGGED: std::sync::Once = std::sync::Once::new();
+    LOGGED.call_once(|| match crate::simd::dispatch_tier() {
+        crate::simd::DispatchTier::Portable => t.incr("espresso.simd.dispatch.portable", 1),
+        crate::simd::DispatchTier::Avx2 => t.incr("espresso.simd.dispatch.avx2", 1),
+    });
+}
+
+fn minimize_impl(
+    f: &Cover,
+    d: &Cover,
+    opts: MinimizeOptions,
+    ctl: &RunCtl,
+) -> Result<(Cover, MinimizeStats), Cancelled> {
     let tracer = ctl.tracer().clone();
+    log_dispatch_once(&tracer);
     let _minimize_span = tracer.span("espresso.minimize");
     let scratch_before = crate::scratch::thread_stats();
     let initial_cubes = f.len();

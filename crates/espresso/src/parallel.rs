@@ -1,0 +1,355 @@
+//! Task-parallel execution of unate-recursion branches.
+//!
+//! The unate kernels ([`tautology`](crate::tautology),
+//! [`complement`](crate::complement), the expand oracle) split a cover into
+//! cofactor branches that are independent by construction. This module lets
+//! those branches race across a small persistent worker pool while keeping
+//! the results bit-identical to the sequential order:
+//!
+//! * Each task writes only to its own pre-assigned output slot
+//!   ([`DisjointSlots`]); the caller stitches slots back together in index
+//!   order, so the merged result never depends on completion order.
+//! * Workers are detached process-lifetime threads, each owning a private
+//!   [`Scratch`] pool — after warm-up a parallel dispatch performs no heap
+//!   allocation (no per-call `thread::scope`, no channel, no boxed closures).
+//! * Kernels never touch [`RunCtl`](crate::ctl::RunCtl) budgets; charges are
+//!   applied per pass by the minimizer on the calling thread, so charge
+//!   parity, fault-injection offsets and chaos replay are unaffected by how
+//!   many workers raced.
+//!
+//! The pool accepts one dispatch at a time. Nested or concurrent dispatches
+//! (a parallel branch that itself wants to fan out, or two minimizations in
+//! different threads) detect the busy pool and simply run their indices
+//! inline on the calling thread — still correct, just sequential.
+//!
+//! Parallelism is requested ambiently: [`with_ambient_jobs`] scopes a job
+//! count onto the calling thread and the kernels read it via
+//! [`ambient_jobs`], so the recursive APIs did not have to grow a parameter.
+
+use crate::scratch::Scratch;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+thread_local! {
+    static AMBIENT: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The job count scoped onto this thread (1 = sequential).
+pub fn ambient_jobs() -> usize {
+    AMBIENT.with(|c| c.get()).max(1)
+}
+
+/// Runs `f` with `jobs` as this thread's ambient parallelism, restoring the
+/// previous value afterwards (also on unwind).
+pub fn with_ambient_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT.with(|c| c.set(self.0));
+        }
+    }
+    let prev = AMBIENT.with(|c| {
+        let p = c.get();
+        c.set(jobs.max(1));
+        p
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Resolves a user-facing jobs knob: `0` means "all available cores".
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested != 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// A mutable slice shared across tasks under the disjoint-index contract:
+/// task `i` touches only slot `i`, so no two tasks alias.
+pub(crate) struct DisjointSlots<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: slots are handed out by index and the run_tasks contract gives
+// each index to exactly one task, so cross-thread access never aliases.
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+unsafe impl<T: Send> Send for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    pub fn new(slots: &'a mut [T]) -> Self {
+        DisjointSlots {
+            ptr: slots.as_mut_ptr(),
+            len: slots.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Exclusive access to slot `i`.
+    ///
+    /// # Safety
+    /// Each index must be accessed by at most one task at a time (the
+    /// [`run_tasks`] index assignment guarantees this when `i` is the task
+    /// index).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Type-erased task pointer stored in the pool while a dispatch is live.
+/// Only dereferenced between job installation and the caller observing
+/// `remaining == 0`, which happens before `run_tasks` returns — so the
+/// borrow it was created from is always still alive.
+struct TaskPtr(*const (dyn Fn(usize, &mut Scratch) + Sync));
+
+// SAFETY: the pointee is `Sync` and the pool's protocol (above) keeps every
+// dereference within the originating borrow's lifetime.
+unsafe impl Send for TaskPtr {}
+
+struct PoolState {
+    task: Option<TaskPtr>,
+    n: usize,
+    next: usize,
+    remaining: usize,
+    generation: u64,
+    workers: usize,
+    panicked: bool,
+}
+
+struct Pool {
+    busy: AtomicBool,
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+static POOL: Pool = Pool {
+    busy: AtomicBool::new(false),
+    state: Mutex::new(PoolState {
+        task: None,
+        n: 0,
+        next: 0,
+        remaining: 0,
+        generation: 0,
+        workers: 0,
+        panicked: false,
+    }),
+    work_cv: Condvar::new(),
+    done_cv: Condvar::new(),
+};
+
+fn worker_loop() {
+    let mut scratch = Scratch::new();
+    let mut seen_generation = 0u64;
+    loop {
+        let generation = {
+            let mut st = POOL.state.lock().unwrap();
+            loop {
+                if st.task.is_some() && st.generation != seen_generation && st.next < st.n {
+                    seen_generation = st.generation;
+                    break;
+                }
+                st = POOL.work_cv.wait(st).unwrap();
+            }
+            st.generation
+        };
+        run_indices(generation, &mut scratch);
+    }
+}
+
+/// Claims and runs indices of the current job until none remain (or the job
+/// changed under us, which only happens after all its indices completed).
+fn run_indices(generation: u64, scratch: &mut Scratch) {
+    loop {
+        let (task, i) = {
+            let mut st = POOL.state.lock().unwrap();
+            if st.generation != generation || st.next >= st.n {
+                return;
+            }
+            let i = st.next;
+            st.next += 1;
+            (st.task.as_ref().unwrap().0, i)
+        };
+        // SAFETY: see TaskPtr — the dispatch that installed `task` is still
+        // blocked in run_tasks until we decrement `remaining` below.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task)(i, scratch) }));
+        let mut st = POOL.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            POOL.done_cv.notify_all();
+        }
+    }
+}
+
+/// Runs `task(i, scratch)` for every `i in 0..n`, racing across up to `jobs`
+/// threads (the caller participates; `jobs - 1` pool workers join in).
+///
+/// Contract for determinism: `task` must write only to per-index output
+/// slots — given that, the stitched result is independent of scheduling.
+/// With `jobs <= 1`, a trivial `n`, or a busy pool (nested / concurrent
+/// dispatch) every index runs inline on the caller with its own scratch.
+///
+/// A panic in any task is caught, the remaining indices still run (so the
+/// pool drains), and the panic is re-raised on the caller.
+pub(crate) fn run_tasks(
+    jobs: usize,
+    n: usize,
+    caller_scratch: &mut Scratch,
+    task: &(dyn Fn(usize, &mut Scratch) + Sync),
+) {
+    let jobs = jobs.min(n).max(1);
+    if jobs <= 1 || n <= 1 || POOL.busy.swap(true, Ordering::Acquire) {
+        run_inline(n, caller_scratch, task);
+        return;
+    }
+    // SAFETY: lifetime erasure only — the pool's protocol (see TaskPtr)
+    // guarantees every dereference happens before run_tasks returns, i.e.
+    // within `task`'s real lifetime.
+    let erased = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize, &mut Scratch) + Sync + '_),
+            *const (dyn Fn(usize, &mut Scratch) + Sync + 'static),
+        >(task)
+    };
+    let generation = {
+        let mut st = POOL.state.lock().unwrap();
+        st.generation += 1;
+        st.task = Some(TaskPtr(erased));
+        st.n = n;
+        st.next = 0;
+        st.remaining = n;
+        st.panicked = false;
+        while st.workers < jobs - 1 {
+            let spawned = std::thread::Builder::new()
+                .name("espresso-kernel".into())
+                .spawn(worker_loop)
+                .is_ok();
+            if !spawned {
+                break;
+            }
+            st.workers += 1;
+        }
+        st.generation
+    };
+    POOL.work_cv.notify_all();
+    run_indices(generation, caller_scratch);
+    let panicked = {
+        let mut st = POOL.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = POOL.done_cv.wait(st).unwrap();
+        }
+        st.task = None;
+        st.panicked
+    };
+    POOL.busy.store(false, Ordering::Release);
+    if panicked {
+        panic!("espresso parallel task panicked");
+    }
+}
+
+fn run_inline(n: usize, scratch: &mut Scratch, task: &(dyn Fn(usize, &mut Scratch) + Sync)) {
+    let mut panicked = false;
+    for i in 0..n {
+        if catch_unwind(AssertUnwindSafe(|| task(i, scratch))).is_err() {
+            panicked = true;
+        }
+    }
+    if panicked {
+        panic!("espresso parallel task panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        let mut s = Scratch::new();
+        run_tasks(4, hits.len(), &mut s, &|i, _s| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn disjoint_slots_collect_per_index_results() {
+        let mut out = vec![0usize; 33];
+        let slots = DisjointSlots::new(&mut out);
+        let mut s = Scratch::new();
+        run_tasks(3, 33, &mut s, &|i, _s| {
+            // SAFETY: task index == slot index, each claimed once.
+            *unsafe { slots.get(i) } = i * i;
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_falls_back_inline() {
+        let hits: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let mut s = Scratch::new();
+        run_tasks(2, 2, &mut s, &|outer, inner_scratch| {
+            run_tasks(2, 4, inner_scratch, &|i, _s| {
+                hits[outer * 4 + i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_stays_usable() {
+        let mut s = Scratch::new();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(2, 8, &mut s, &|i, _s| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        let hits: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        run_tasks(2, hits.len(), &mut s, &|i, _s| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn ambient_jobs_scope_and_restore() {
+        assert_eq!(ambient_jobs(), 1);
+        let inner = with_ambient_jobs(6, || {
+            let nested = with_ambient_jobs(2, ambient_jobs);
+            (ambient_jobs(), nested)
+        });
+        assert_eq!(inner, (6, 2));
+        assert_eq!(ambient_jobs(), 1);
+        assert_eq!(with_ambient_jobs(0, ambient_jobs), 1, "0 clamps to 1");
+    }
+
+    #[test]
+    fn resolve_jobs_zero_means_all_cores() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

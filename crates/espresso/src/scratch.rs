@@ -54,6 +54,9 @@ impl ScratchStats {
 pub struct Scratch {
     free: Vec<CubeMatrix>,
     free_flags: Vec<Vec<bool>>,
+    free_counts: Vec<Vec<u32>>,
+    free_words: Vec<Vec<u64>>,
+    free_matrix_lists: Vec<Vec<CubeMatrix>>,
     live: u64,
     stats: ScratchStats,
 }
@@ -98,6 +101,47 @@ impl Scratch {
     /// Returns a flags buffer to the pool.
     pub fn release_flags(&mut self, f: Vec<bool>) {
         self.free_flags.push(f);
+    }
+
+    /// Hands out an empty `Vec<u32>` work buffer (per-variable part counts
+    /// for binate selection), reusing released capacity.
+    pub fn acquire_counts(&mut self) -> Vec<u32> {
+        let mut c = self.free_counts.pop().unwrap_or_default();
+        c.clear();
+        c
+    }
+
+    /// Returns a counts buffer to the pool.
+    pub fn release_counts(&mut self, c: Vec<u32>) {
+        self.free_counts.push(c);
+    }
+
+    /// Hands out an empty `Vec<u64>` word buffer (column folds, cube
+    /// scratch), reusing released capacity.
+    pub fn acquire_words(&mut self) -> Vec<u64> {
+        let mut w = self.free_words.pop().unwrap_or_default();
+        w.clear();
+        w
+    }
+
+    /// Returns a word buffer to the pool.
+    pub fn release_words(&mut self, w: Vec<u64>) {
+        self.free_words.push(w);
+    }
+
+    /// Hands out an empty `Vec<CubeMatrix>` container (per-branch output
+    /// slots for parallel dispatch), reusing released capacity.
+    pub fn acquire_matrix_list(&mut self) -> Vec<CubeMatrix> {
+        self.free_matrix_lists.pop().unwrap_or_default()
+    }
+
+    /// Returns a matrix container to the pool, recycling any matrices still
+    /// inside it into the matrix pool.
+    pub fn release_matrix_list(&mut self, mut l: Vec<CubeMatrix>) {
+        for m in l.drain(..) {
+            self.release(m);
+        }
+        self.free_matrix_lists.push(l);
     }
 
     /// Snapshot of the pool's statistics.

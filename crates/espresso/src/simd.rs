@@ -1,0 +1,282 @@
+//! Chunked bit-parallel word kernels with runtime SIMD dispatch.
+//!
+//! The cube kernels operate on rows of `u64` words. This module provides the
+//! word-level primitives they share — subset tests, OR folds, popcounts,
+//! strided column folds — written over [`CHUNK`]-word lanes so the portable
+//! path auto-vectorizes, plus runtime-dispatched AVX2 variants behind
+//! `is_x86_feature_detected!` for the long-row cases where explicit 256-bit
+//! lanes beat what the autovectorizer emits.
+//!
+//! Dispatch is decided once per process ([`dispatch_tier`]) and recorded in
+//! traces as the one-time `espresso.simd.dispatch.*` counter (flushed by
+//! [`minimize_with_ctl`](crate::minimize::minimize_with_ctl) on the first
+//! minimization of the process).
+//!
+//! Correctness note: every wide path computes the exact same function as the
+//! portable path (pure bitwise algebra, no reassociation of anything
+//! order-sensitive), so kernel results are independent of the dispatched
+//! tier.
+
+use std::sync::OnceLock;
+
+/// Lane width of the portable chunked loops, in 64-bit words.
+pub const CHUNK: usize = 4;
+
+/// Row-word threshold above which the dispatched wide paths are consulted;
+/// below it the specialized short-row code is always faster.
+const WIDE_MIN_WORDS: usize = 8;
+
+/// The instruction tier selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DispatchTier {
+    /// Chunked portable `u64` ops (always available).
+    Portable = 0,
+    /// 256-bit AVX2 lanes on x86-64.
+    Avx2 = 1,
+}
+
+impl DispatchTier {
+    /// Stable name, used for the `espresso.simd.dispatch.*` trace counter.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchTier::Portable => "portable",
+            DispatchTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The tier the running machine dispatches to, decided once per process.
+pub fn dispatch_tier() -> DispatchTier {
+    static TIER: OnceLock<DispatchTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return DispatchTier::Avx2;
+            }
+        }
+        DispatchTier::Portable
+    })
+}
+
+/// Word-wise subset test: `a & !b == 0` over equal-length slices.
+///
+/// Short rows (the overwhelmingly common strides 1–2) take branch-free
+/// specializations; longer rows run [`CHUNK`]-word lanes with one early exit
+/// per chunk, dispatched to AVX2 when available.
+#[inline]
+pub fn subset(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    match a.len() {
+        0 => true,
+        1 => a[0] & !b[0] == 0,
+        2 => (a[0] & !b[0]) | (a[1] & !b[1]) == 0,
+        3 => (a[0] & !b[0]) | (a[1] & !b[1]) | (a[2] & !b[2]) == 0,
+        _ => subset_long(a, b),
+    }
+}
+
+fn subset_long(a: &[u64], b: &[u64]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if a.len() >= WIDE_MIN_WORDS && dispatch_tier() == DispatchTier::Avx2 {
+        // SAFETY: the AVX2 feature was detected at runtime.
+        return unsafe { subset_avx2(a, b) };
+    }
+    subset_chunked(a, b)
+}
+
+#[inline]
+fn subset_chunked(a: &[u64], b: &[u64]) -> bool {
+    let mut ac = a.chunks_exact(CHUNK);
+    let mut bc = b.chunks_exact(CHUNK);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        let mut acc = 0u64;
+        for k in 0..CHUNK {
+            acc |= ca[k] & !cb[k];
+        }
+        if acc != 0 {
+            return false;
+        }
+    }
+    ac.remainder()
+        .iter()
+        .zip(bc.remainder())
+        .all(|(x, y)| x & !y == 0)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn subset_avx2(a: &[u64], b: &[u64]) -> bool {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut i = 0;
+    unsafe {
+        while i + 4 <= n {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            // andnot(b, a) = a & !b; testz returns 1 iff the result is zero.
+            if _mm256_testz_si256(_mm256_andnot_si256(vb, va), _mm256_andnot_si256(vb, va)) == 0 {
+                return false;
+            }
+            i += 4;
+        }
+    }
+    a[i..].iter().zip(&b[i..]).all(|(x, y)| x & !y == 0)
+}
+
+/// OR-fold of a word slice (used for orbit signatures and stride-1 column
+/// checks, where the whole matrix is one flat array).
+#[inline]
+pub fn or_fold(a: &[u64]) -> u64 {
+    if a.len() < WIDE_MIN_WORDS {
+        return a.iter().fold(0, |acc, &w| acc | w);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_tier() == DispatchTier::Avx2 {
+        // SAFETY: the AVX2 feature was detected at runtime.
+        return unsafe { or_fold_avx2(a) };
+    }
+    or_fold_chunked(a)
+}
+
+#[inline]
+fn or_fold_chunked(a: &[u64]) -> u64 {
+    let mut lanes = [0u64; CHUNK];
+    let mut c = a.chunks_exact(CHUNK);
+    for ca in c.by_ref() {
+        for k in 0..CHUNK {
+            lanes[k] |= ca[k];
+        }
+    }
+    let tail = c.remainder().iter().fold(0, |acc, &w| acc | w);
+    lanes.iter().fold(tail, |acc, &w| acc | w)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn or_fold_avx2(a: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut i = 0;
+    let mut acc;
+    unsafe {
+        acc = _mm256_setzero_si256();
+        while i + 4 <= n {
+            let v = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            acc = _mm256_or_si256(acc, v);
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        a[i..]
+            .iter()
+            .fold(lanes[0] | lanes[1] | lanes[2] | lanes[3], |s, &w| s | w)
+    }
+}
+
+/// Popcount sum over a word slice.
+#[inline]
+pub fn ones(a: &[u64]) -> u32 {
+    // Chunked so the counts run in independent dependency chains; popcnt is
+    // already one instruction per word on every supported tier.
+    let mut lanes = [0u32; CHUNK];
+    let mut c = a.chunks_exact(CHUNK);
+    for ca in c.by_ref() {
+        for k in 0..CHUNK {
+            lanes[k] += ca[k].count_ones();
+        }
+    }
+    let tail: u32 = c.remainder().iter().map(|w| w.count_ones()).sum();
+    lanes.iter().sum::<u32>() + tail
+}
+
+/// Column fold of a row-major matrix: `acc[k] |= OR over rows of word k`,
+/// for `words.len() / stride` rows of `stride` words. `acc` must be `stride`
+/// long. The stride-1 case — most NOVA covers — collapses to one flat
+/// [`or_fold`] over the whole arena.
+pub fn fold_or_strided(words: &[u64], stride: usize, acc: &mut [u64]) {
+    debug_assert_eq!(acc.len(), stride);
+    debug_assert_eq!(words.len() % stride.max(1), 0);
+    if stride == 1 {
+        acc[0] |= or_fold(words);
+        return;
+    }
+    for row in words.chunks_exact(stride) {
+        for (a, w) in acc.iter_mut().zip(row) {
+            *a |= w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64, to exercise the wide paths with irregular data.
+    fn rng_stream(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn subset_matches_reference_across_widths() {
+        for n in 0..=20 {
+            let a = rng_stream(7 + n as u64, n);
+            for case in 0..4 {
+                let b: Vec<u64> = match case {
+                    0 => a.clone(),                                    // equal
+                    1 => a.iter().map(|w| w | 0xf0f0).collect(),       // superset
+                    2 => a.iter().map(|w| w & !0x8000_0001).collect(), // subset-ish
+                    _ => rng_stream(99 + n as u64, n),                 // unrelated
+                };
+                let reference = a.iter().zip(&b).all(|(x, y)| x & !y == 0);
+                assert_eq!(subset(&a, &b), reference, "n={n} case={case}");
+            }
+        }
+    }
+
+    #[test]
+    fn folds_match_reference_across_widths() {
+        for n in 0..=40 {
+            let a = rng_stream(n as u64, n);
+            assert_eq!(or_fold(&a), a.iter().fold(0, |s, &w| s | w), "n={n}");
+            assert_eq!(
+                ones(&a),
+                a.iter().map(|w| w.count_ones()).sum::<u32>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn strided_column_fold() {
+        for stride in 1..=5usize {
+            let rows = 7;
+            let words = rng_stream(13, rows * stride);
+            let mut acc = vec![0u64; stride];
+            fold_or_strided(&words, stride, &mut acc);
+            let mut reference = vec![0u64; stride];
+            for r in 0..rows {
+                for k in 0..stride {
+                    reference[k] |= words[r * stride + k];
+                }
+            }
+            assert_eq!(acc, reference, "stride={stride}");
+        }
+    }
+
+    #[test]
+    fn dispatch_tier_is_stable() {
+        assert_eq!(dispatch_tier(), dispatch_tier());
+        assert!(!dispatch_tier().name().is_empty());
+    }
+}

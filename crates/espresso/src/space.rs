@@ -61,6 +61,12 @@ struct SpaceData {
     masks: Vec<Vec<u64>>,
     /// OR of all field masks: the universal-cube bit pattern.
     full: Vec<u64>,
+    /// Per-variable `(first, last)` word index of the field, so kernels only
+    /// touch the words a field actually spans.
+    spans: Vec<(u32, u32)>,
+    /// For single-word fields (`spans[v].0 == spans[v].1`): the field mask
+    /// within that word. Zero for multi-word fields.
+    word_masks: Vec<u64>,
 }
 
 impl PartialEq for CubeSpace {
@@ -117,6 +123,8 @@ impl CubeSpace {
         let words = (total_bits as usize).div_ceil(64).max(1);
         let mut masks = Vec::with_capacity(sizes.len());
         let mut full = vec![0u64; words];
+        let mut spans = Vec::with_capacity(sizes.len());
+        let mut word_masks = Vec::with_capacity(sizes.len());
         for (v, &s) in sizes.iter().enumerate() {
             let mut m = vec![0u64; words];
             for p in 0..s {
@@ -126,6 +134,10 @@ impl CubeSpace {
             for (f, w) in full.iter_mut().zip(&m) {
                 *f |= w;
             }
+            let lo = offsets[v] as usize / 64;
+            let hi = (offsets[v] + s - 1) as usize / 64;
+            spans.push((lo as u32, hi as u32));
+            word_masks.push(if lo == hi { m[lo] } else { 0 });
             masks.push(m);
         }
         CubeSpace {
@@ -137,6 +149,8 @@ impl CubeSpace {
                 words,
                 masks,
                 full,
+                spans,
+                word_masks,
             }),
         }
     }
@@ -214,6 +228,26 @@ impl CubeSpace {
     /// cofactoring does not rebuild it per call.
     pub fn full_words(&self) -> &[u64] {
         &self.inner.full
+    }
+
+    /// The `(first, last)` word index of variable `v`'s field: kernels that
+    /// read or write a single field only touch words in this range.
+    #[inline]
+    pub fn var_span(&self, v: usize) -> (usize, usize) {
+        let (lo, hi) = self.inner.spans[v];
+        (lo as usize, hi as usize)
+    }
+
+    /// For a field contained in a single word: `(word index, mask within
+    /// that word)`. `None` when the field straddles a word boundary.
+    #[inline]
+    pub fn single_word_field(&self, v: usize) -> Option<(usize, u64)> {
+        let (lo, hi) = self.inner.spans[v];
+        if lo == hi {
+            Some((lo as usize, self.inner.word_masks[v]))
+        } else {
+            None
+        }
     }
 
     /// Iterator over variable indices.
@@ -303,6 +337,28 @@ mod tests {
             }
         }
         assert_eq!(acc, s.full_words());
+    }
+
+    #[test]
+    fn spans_locate_fields() {
+        let s = CubeSpace::new(
+            &[2, 100, 30],
+            &[VarKind::Binary, VarKind::Multi, VarKind::Output],
+        );
+        assert_eq!(s.var_span(0), (0, 0));
+        assert_eq!(s.single_word_field(0), Some((0, 0b11)));
+        // Variable 1 spans bits 2..=101: words 0..=1, no single-word mask.
+        assert_eq!(s.var_span(1), (0, 1));
+        assert_eq!(s.single_word_field(1), None);
+        // Variable 2 spans bits 102..=131: words 1..=2.
+        assert_eq!(s.var_span(2), (1, 2));
+        assert_eq!(s.single_word_field(2), None);
+        let t = CubeSpace::binary_with_output(3, 4);
+        for v in t.vars() {
+            let (w, m) = t.single_word_field(v).expect("one-word space");
+            assert_eq!(w, 0);
+            assert_eq!(m, t.mask(v)[0]);
+        }
     }
 
     #[test]

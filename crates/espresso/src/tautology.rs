@@ -15,9 +15,15 @@
 use crate::containment::{absorb_matrix, any_row_contains};
 use crate::cover::Cover;
 use crate::cube::Cube;
-use crate::matrix::{CubeMatrix, Sig};
+use crate::matrix::{nonfull_counts, select_binate, CubeMatrix, Sig, SIG_EXACT_VARS};
+use crate::parallel;
 use crate::scratch::{with_scratch, Scratch};
 use crate::space::CubeSpace;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Minimum rows before a branch fan-out is dispatched to the worker pool;
+/// below this the per-dispatch synchronization dwarfs the branch work.
+pub(crate) const PAR_MIN_ROWS: usize = 48;
 
 /// Is the cover a tautology (covers every minterm of its space)?
 ///
@@ -50,20 +56,22 @@ pub fn tautology(f: &Cover) -> bool {
 pub(crate) fn taut_mat(space: &CubeSpace, m: &mut CubeMatrix, s: &mut Scratch) -> bool {
     loop {
         m.drop_degenerate();
-        if (0..m.len()).any(|i| m.row_is_full(space, i)) {
+        if m.any_row_full(space) {
             return true;
         }
         if m.is_empty() {
             return false;
         }
         // Column check: the supercube of a tautology must be the universe.
-        // Folded word-wise without materializing the supercube.
-        for (k, full) in space.full_words().iter().enumerate() {
-            let mut or = 0u64;
-            for i in 0..m.len() {
-                or |= m.row(i)[k];
-            }
-            if or != *full {
+        // One strided fold over the flat arena (a single flat OR fold for
+        // stride-1 spaces), no per-row indexing.
+        {
+            let mut col = s.acquire_words();
+            col.resize(space.words(), 0);
+            m.fold_or_into(&mut col);
+            let universe = col.as_slice() == space.full_words();
+            s.release_words(col);
+            if !universe {
                 return false;
             }
         }
@@ -74,20 +82,67 @@ pub(crate) fn taut_mat(space: &CubeSpace, m: &mut CubeMatrix, s: &mut Scratch) -
         // v = p cofactor (a subset of every other cofactor's cubes) implies
         // tautology of all cofactors, F is a tautology iff the v-full cubes
         // alone are.
+        //
+        // Inside the exact signature window the per-variable statistics come
+        // from one fused pass: each row contributes only to the variables
+        // whose `nonfull` bit is set, and the admitted-part union of those
+        // rows accumulates per variable, so the pass is O(rows × nonfull
+        // vars) with at most one word read per contribution.
+        let nv = space.num_vars();
         let mut reduced = false;
-        for v in space.vars() {
-            let any_non_full = (0..m.len()).any(|i| !m.row_var_is_full(space, i, v));
-            if !any_non_full {
-                continue;
+        if nv <= SIG_EXACT_VARS {
+            let mut counts = s.acquire_counts();
+            counts.resize(nv, 0);
+            let mut union1 = s.acquire_words();
+            union1.resize(nv, 0);
+            for i in 0..m.len() {
+                let mut nf = m.sig(i).nonfull;
+                if nf == 0 {
+                    continue;
+                }
+                let row = m.row(i);
+                while nf != 0 {
+                    let v = nf.trailing_zeros() as usize;
+                    nf &= nf - 1;
+                    counts[v] += 1;
+                    if let Some((k, mask)) = space.single_word_field(v) {
+                        union1[v] |= row[k] & mask;
+                    }
+                }
             }
-            let union_full = (0..space.parts(v)).all(|p| {
-                (0..m.len())
-                    .any(|i| !m.row_var_is_full(space, i, v) && m.row_has_part(space, i, v, p))
-            });
-            if !union_full {
-                m.retain_var_full(space, v);
-                reduced = true;
-                break;
+            for v in space.vars() {
+                if counts[v] == 0 {
+                    continue;
+                }
+                let union_full = match space.single_word_field(v) {
+                    Some((_, mask)) => union1[v] == mask,
+                    None => multiword_union_full(space, m, v),
+                };
+                if !union_full {
+                    m.retain_var_full(space, v);
+                    reduced = true;
+                    break;
+                }
+            }
+            s.release_words(union1);
+            s.release_counts(counts);
+        } else {
+            // Beyond the window the saturated top bit is only an over-
+            // approximation, so fall back to exact per-variable scans.
+            for v in space.vars() {
+                let any_non_full = (0..m.len()).any(|i| !m.row_var_is_full(space, i, v));
+                if !any_non_full {
+                    continue;
+                }
+                let union_full = (0..space.parts(v)).all(|p| {
+                    (0..m.len())
+                        .any(|i| !m.row_var_is_full(space, i, v) && m.row_has_part(space, i, v, p))
+                });
+                if !union_full {
+                    m.retain_var_full(space, v);
+                    reduced = true;
+                    break;
+                }
             }
         }
         if reduced {
@@ -101,43 +156,50 @@ pub(crate) fn taut_mat(space: &CubeSpace, m: &mut CubeMatrix, s: &mut Scratch) -
             return m.row_is_full(space, 0);
         }
 
-        // Select the most binate variable: the active variable with the most
-        // non-full cubes (ties broken toward fewer parts to keep branching
-        // narrow).
-        let mut best: Option<(usize, usize, u32)> = None; // (var, count, parts)
-        for v in space.vars() {
-            let count = (0..m.len())
-                .filter(|&i| !m.row_var_is_full(space, i, v))
-                .count();
-            if count == 0 {
-                continue;
-            }
-            let parts = space.parts(v);
-            let cand = (v, count, parts);
-            best = Some(match best {
-                None => cand,
-                Some(b) => {
-                    if count > b.1 || (count == b.1 && parts < b.2) {
-                        cand
-                    } else {
-                        b
-                    }
-                }
-            });
-        }
-        let (v, _, _) = match best {
-            Some(b) => b,
+        // Select the most binate variable (absorption changed the rows, so
+        // the counts are retaken — from signatures alone).
+        let mut counts = s.acquire_counts();
+        nonfull_counts(space, m, &mut counts);
+        let best = select_binate(space, &counts);
+        s.release_counts(counts);
+        let v = match best {
+            Some(v) => v,
             // All cubes full in all variables, but none was the universe:
             // impossible (a cube full in every variable *is* the universe).
             None => return true,
         };
 
         // Branch over every part of v: all cofactors must be tautologies.
-        for p in 0..space.parts(v) {
+        // The conjunction is order-free, so the branches may race across the
+        // worker pool; the failed flag only skips work whose outcome cannot
+        // change the (already false) answer.
+        let parts = space.parts(v);
+        let jobs = parallel::ambient_jobs();
+        if jobs > 1 && parts >= 2 && m.len() >= PAR_MIN_ROWS {
+            let mr: &CubeMatrix = m;
+            let failed = AtomicBool::new(false);
+            parallel::run_tasks(jobs, parts as usize, s, &|p, ts| {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                let mut branch = ts.acquire(space);
+                for i in 0..mr.len() {
+                    if mr.row_has_part(space, i, v, p as u32) {
+                        branch.push_var_full_from(space, mr.row(i), v, mr.sig(i));
+                    }
+                }
+                if !taut_mat(space, &mut branch, ts) {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                ts.release(branch);
+            });
+            return !failed.load(Ordering::Relaxed);
+        }
+        for p in 0..parts {
             let mut branch = s.acquire(space);
             for i in 0..m.len() {
                 if m.row_has_part(space, i, v, p) {
-                    branch.push_var_full(space, m.row(i), v);
+                    branch.push_var_full_from(space, m.row(i), v, m.sig(i));
                 }
             }
             let ok = taut_mat(space, &mut branch, s);
@@ -148,6 +210,25 @@ pub(crate) fn taut_mat(space: &CubeSpace, m: &mut CubeMatrix, s: &mut Scratch) -
         }
         return true;
     }
+}
+
+/// Exact union-fullness check for a variable spanning multiple words (rare;
+/// only reachable for parts > 64 fields).
+fn multiword_union_full(space: &CubeSpace, m: &CubeMatrix, v: usize) -> bool {
+    let (lo, hi) = space.var_span(v);
+    let mask = space.mask(v);
+    for (k, &mk) in mask.iter().enumerate().take(hi + 1).skip(lo) {
+        let mut acc = 0u64;
+        for i in 0..m.len() {
+            if !m.row_var_is_full(space, i, v) {
+                acc |= m.row(i)[k];
+            }
+        }
+        if acc & mk != mk {
+            return false;
+        }
+    }
+    true
 }
 
 /// Exact containment of the cube with words `c` (signature `sig_c`) in the

@@ -209,6 +209,154 @@ fn full_minimize_matches_legacy_cover_and_cost() {
     }
 }
 
+/// A mostly-full cube: non-full in at most `loose` variables. Wide spaces
+/// need this bias — a cube that is loose everywhere makes the legacy
+/// reference complement intractable at hundreds of variables.
+fn mostly_full_cube(rng: &mut SplitMix64, space: &CubeSpace, loose: u64) -> Cube {
+    let mut c = Cube::full(space);
+    for _ in 0..rng.below(loose + 1) {
+        let v = rng.below(space.num_vars() as u64) as usize;
+        c.clear_part(space, v, rng.below(space.parts(v) as u64) as u32);
+    }
+    c
+}
+
+/// The universe split on one variable: two cubes, each full everywhere
+/// except one complementary half of `v` — their union is a tautology no
+/// matter how wide the space is.
+fn universe_split(space: &CubeSpace, v: usize) -> Vec<Cube> {
+    let mut a = Cube::full(space);
+    a.clear_part(space, v, 0);
+    let mut b = Cube::full(space);
+    b.clear_part(space, v, 1);
+    vec![a, b]
+}
+
+#[test]
+fn kernels_match_legacy_across_chunk_boundary_widths() {
+    // Strides 1..=9 cross every portable-chunk (4-word) and AVX2-lane
+    // boundary, plus the WIDE_MIN_WORDS dispatch threshold; 32 binary
+    // variables occupy exactly one 64-bit word.
+    for w in 1..=9usize {
+        let space = CubeSpace::binary(32 * w);
+        assert_eq!(space.words(), w, "stride setup for width {w}");
+        let mut rng = SplitMix64::new(0x51_3d00 + w as u64);
+        for round in 0..10 {
+            let n = 2 + rng.below(8) as usize;
+            let mut cubes: Vec<Cube> = (0..n)
+                .map(|_| mostly_full_cube(&mut rng, &space, 5))
+                .collect();
+            if round % 2 == 0 {
+                // Make the true-tautology path reachable at every width.
+                cubes.extend(universe_split(
+                    &space,
+                    rng.below(space.num_vars() as u64) as usize,
+                ));
+            }
+            let f = Cover::from_cubes(space.clone(), cubes);
+            assert_eq!(
+                tautology(&f),
+                legacy::tautology(&f),
+                "tautology diverged at stride {w}, round {round}"
+            );
+            let c = mostly_full_cube(&mut rng, &space, 5);
+            assert_eq!(
+                cube_in_cover(&f, &c),
+                legacy::cube_in_cover(&f, &c),
+                "cube_in_cover diverged at stride {w}, round {round}"
+            );
+            let mut ours = f.cubes().to_vec();
+            let mut theirs = f.cubes().to_vec();
+            containment::absorb_cubes(&space, &mut ours);
+            legacy::absorb_in_place(&space, &mut theirs);
+            assert_eq!(ours, theirs, "absorb diverged at stride {w}, round {round}");
+            if round < 3 {
+                let g = Cover::from_cubes(space.clone(), f.cubes()[..n.min(3)].to_vec());
+                assert_eq!(
+                    complement(&g).cubes(),
+                    legacy::complement(&g).cubes(),
+                    "complement diverged at stride {w}, round {round}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn saturated_signature_window_stays_exact_beyond_127_vars() {
+    // 130 binary variables exceed SIG_EXACT_VARS: high variables share the
+    // saturated nonfull bit and every sig-driven fast path must fall back to
+    // word scans without changing any answer.
+    let space = CubeSpace::binary(130);
+    assert!(space.num_vars() > espresso::SIG_EXACT_VARS);
+    let mut rng = SplitMix64::new(0x5a7_0b17);
+    for round in 0..8 {
+        let mut cubes: Vec<Cube> = (0..(2 + rng.below(6)))
+            .map(|_| mostly_full_cube(&mut rng, &space, 4))
+            .collect();
+        if round % 2 == 0 {
+            // Split on a variable above the saturation bit, so the exact
+            // answer depends on exactly the aliased range.
+            cubes.extend(universe_split(&space, 127 + round % 3));
+        }
+        let f = Cover::from_cubes(space.clone(), cubes);
+        assert_eq!(tautology(&f), legacy::tautology(&f), "round {round}");
+        let c = mostly_full_cube(&mut rng, &space, 4);
+        assert_eq!(
+            cube_in_cover(&f, &c),
+            legacy::cube_in_cover(&f, &c),
+            "round {round}"
+        );
+        let mut ours = f.cubes().to_vec();
+        let mut theirs = f.cubes().to_vec();
+        containment::absorb_cubes(&space, &mut ours);
+        legacy::absorb_in_place(&space, &mut theirs);
+        assert_eq!(ours, theirs, "round {round}");
+    }
+}
+
+#[test]
+fn espresso_jobs_results_are_byte_identical() {
+    // The PR 4 embed-jobs divergence gate, mirrored for --espresso-jobs:
+    // any worker count must produce byte-identical covers, both at the
+    // kernel level (ambient jobs) and through the MinimizeOptions knob.
+    let mut rng = SplitMix64::new(0x9a11_e701);
+    let space = CubeSpace::binary_with_output(6, 3);
+    for _ in 0..5 {
+        let f = random_cover(&mut rng, &space, 80);
+        let seq_c = complement(&f);
+        let par_c = espresso::with_ambient_jobs(4, || complement(&f));
+        assert_eq!(seq_c.cubes(), par_c.cubes(), "complement diverged on {f:?}");
+        let seq_t = tautology(&f);
+        let par_t = espresso::with_ambient_jobs(4, || tautology(&f));
+        assert_eq!(seq_t, par_t, "tautology diverged on {f:?}");
+    }
+    for _ in 0..3 {
+        let f = random_cover(&mut rng, &space, 40);
+        let d = random_cover(&mut rng, &space, 8);
+        let one = minimize_with(
+            &f,
+            &d,
+            MinimizeOptions {
+                jobs: 1,
+                verify: true,
+                ..MinimizeOptions::default()
+            },
+        );
+        let four = minimize_with(
+            &f,
+            &d,
+            MinimizeOptions {
+                jobs: 4,
+                verify: true,
+                ..MinimizeOptions::default()
+            },
+        );
+        assert_eq!(one.0.cubes(), four.0.cubes(), "minimize diverged on {f:?}");
+        assert_eq!(one.1, four.1, "stats diverged on {f:?}");
+    }
+}
+
 #[test]
 fn minimize_still_satisfies_contract_on_larger_random_covers() {
     // Not a differential check (legacy would be slow here): property-test the

@@ -8,7 +8,7 @@
 //!   and re-parsing KISS).
 //! * The **options** arrive as query parameters and map one-to-one onto
 //!   [`nova_engine::EngineConfig`]: `algorithms`, `bits`, `budget`,
-//!   `timeout_ms`, `jobs`, `embed_jobs`, `fault_plan`.
+//!   `timeout_ms`, `jobs`, `embed_jobs`, `espresso_jobs`, `fault_plan`.
 //! * The **cache key** is the canonical serialization of everything that
 //!   determines the deterministic part of the result: the machine
 //!   fingerprint plus every result-affecting option. Wall-clock options
@@ -40,6 +40,10 @@ pub struct EncodeOptions {
     pub jobs: usize,
     /// Embedding subtree workers (`embed_jobs=N`).
     pub embed_jobs: usize,
+    /// ESPRESSO unate-recursion branch workers (`espresso_jobs=N`). Results
+    /// are bit-identical across values, so this knob is excluded from the
+    /// cache key: a cached report answers any `espresso_jobs`.
+    pub espresso_jobs: usize,
     /// Deterministic fault plan (`fault_plan=SPEC`, nova-chaos). Requests
     /// carrying one are never cached.
     pub fault_plan: Option<FaultPlan>,
@@ -54,6 +58,7 @@ impl Default for EncodeOptions {
             timeout_ms: None,
             jobs: 0,
             embed_jobs: 0,
+            espresso_jobs: 0,
             fault_plan: None,
         }
     }
@@ -100,6 +105,7 @@ impl EncodeOptions {
                 "timeout_ms" => out.timeout_ms = Some(v.parse().map_err(|_| bad(k, v))?),
                 "jobs" => out.jobs = v.parse().map_err(|_| bad(k, v))?,
                 "embed_jobs" => out.embed_jobs = v.parse().map_err(|_| bad(k, v))?,
+                "espresso_jobs" => out.espresso_jobs = v.parse().map_err(|_| bad(k, v))?,
                 "fault_plan" => {
                     out.fault_plan =
                         Some(FaultPlan::parse(v).map_err(|e| BadOption(format!("{k}={v}: {e}")))?)
@@ -115,7 +121,9 @@ impl EncodeOptions {
 
     /// The canonical cache key for this machine/options pair. Covers the
     /// machine fingerprint and every deterministic result-affecting option;
-    /// excludes wall-clock-only options (see module docs).
+    /// excludes wall-clock-only options (see module docs) and
+    /// `espresso_jobs` (bit-identical results at any value, so a cached
+    /// report answers all of them).
     pub fn cache_key(&self, machine_fingerprint: &str) -> String {
         let algs: Vec<&str> = self.algorithms.iter().map(|a| a.name()).collect();
         format!(
@@ -144,6 +152,7 @@ impl EncodeOptions {
             node_budget: self.budget,
             target_bits: self.bits,
             embed_jobs: self.embed_jobs,
+            espresso_jobs: self.espresso_jobs,
             tracer: tracer.clone(),
             fault_plan: self.fault_plan.clone(),
         }
@@ -174,6 +183,9 @@ impl EncodeOptions {
         }
         if self.embed_jobs != 0 {
             parts.push(format!("embed_jobs={}", self.embed_jobs));
+        }
+        if self.espresso_jobs != 0 {
+            parts.push(format!("espresso_jobs={}", self.espresso_jobs));
         }
         if let Some(p) = &self.fault_plan {
             parts.push(format!(
@@ -311,7 +323,7 @@ mod tests {
     #[test]
     fn options_round_trip_through_query_strings() {
         let o = EncodeOptions::from_query(&pairs(
-            "algorithms=ihybrid,igreedy&bits=4&budget=1000&timeout_ms=500&jobs=2&embed_jobs=1",
+            "algorithms=ihybrid,igreedy&bits=4&budget=1000&timeout_ms=500&jobs=2&embed_jobs=1&espresso_jobs=3",
         ))
         .unwrap();
         assert_eq!(o.algorithms, vec![Algorithm::IHybrid, Algorithm::IGreedy]);
@@ -319,9 +331,11 @@ mod tests {
             (o.bits, o.budget, o.timeout_ms),
             (Some(4), Some(1000), Some(500))
         );
+        assert_eq!(o.espresso_jobs, 3);
         let again = EncodeOptions::from_query(&pairs(&o.to_query())).unwrap();
         assert_eq!(again.cache_key("fp"), o.cache_key("fp"));
         assert_eq!(again.timeout_ms, o.timeout_ms);
+        assert_eq!(again.espresso_jobs, o.espresso_jobs);
     }
 
     #[test]
@@ -344,6 +358,12 @@ mod tests {
         let budgeted = EncodeOptions::from_query(&pairs("algorithms=ihybrid&budget=5")).unwrap();
         assert_ne!(base.cache_key("fp"), budgeted.cache_key("fp"));
         assert_ne!(base.cache_key("fp"), base.cache_key("other"));
+        let par = EncodeOptions::from_query(&pairs("algorithms=ihybrid&espresso_jobs=4")).unwrap();
+        assert_eq!(
+            base.cache_key("fp"),
+            par.cache_key("fp"),
+            "espresso_jobs excluded: results are bit-identical at any value"
+        );
     }
 
     #[test]
