@@ -15,7 +15,7 @@ use espresso::{
     complement, containment, cube_in_cover, legacy, minimize, tautology, with_ambient_jobs, Cover,
     Cube, CubeSpace,
 };
-use fsm::symbolic_cover;
+use fsm::{symbolic_cover, SplitMix64};
 use nova_bench::microbench::Harness;
 
 /// Counts every allocation and reallocation (frees are not counted: the
@@ -92,32 +92,14 @@ fn bench_kernels(h: &mut Harness) {
     });
 }
 
-/// Local SplitMix64, matching the differential-test convention (no external
-/// crates, reproducible offline).
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
-}
-
 /// A mostly-full random cube (loose in at most 6 variables), the shape the
 /// wide-stride kernels see in practice: signature fast paths engage, word
 /// scans touch the full stride.
 fn mostly_full_cube(rng: &mut SplitMix64, space: &CubeSpace) -> Cube {
     let mut c = Cube::full(space);
-    for _ in 0..rng.below(7) {
-        let v = rng.below(space.num_vars() as u64) as usize;
-        c.clear_part(space, v, rng.below(space.parts(v) as u64) as u32);
+    for _ in 0..rng.below_u64(7) {
+        let v = rng.below_u64(space.num_vars() as u64) as usize;
+        c.clear_part(space, v, rng.below_u64(space.parts(v) as u64) as u32);
     }
     c
 }
@@ -131,7 +113,7 @@ fn bench_kernel_throughput(h: &mut Harness) {
     g.sample_size(10);
     for w in [1usize, 4, 9] {
         let space = CubeSpace::binary(32 * w);
-        let mut rng = SplitMix64(0x7482_0000 + w as u64);
+        let mut rng = SplitMix64::new(0x7482_0000 + w as u64);
         let cubes: Vec<Cube> = (0..64)
             .map(|_| mostly_full_cube(&mut rng, &space))
             .collect();
@@ -161,7 +143,7 @@ fn report_parallel_allocations() {
     println!();
     println!("heap allocations per call under ambient jobs = 4 (steady state):");
     let space = CubeSpace::binary_with_output(6, 3);
-    let mut rng = SplitMix64(0x9a11_e702);
+    let mut rng = SplitMix64::new(0x9a11_e702);
     let cubes: Vec<Cube> = (0..80)
         .map(|_| mostly_full_cube(&mut rng, &space))
         .collect();

@@ -6,6 +6,7 @@
 //! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2 | -]
 //! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--trace FILE] [FILE.kiss2 | -]
 //! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--bench-out FILE]
+//! nova bench [--synthetic SPEC | --filter A,B] [--batch-jobs N] [--stream FILE|-] [--bench-out FILE] [--scale-out FILE] [--timeout-ms N] [--budget N] [--fault-plan SPEC]
 //! nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]
 //! nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]
 //! nova --remote HOST:PORT [-e ALG | --portfolio] [-b BITS] [--budget N] [--timeout-ms N] [FILE.kiss2 | -]
@@ -40,6 +41,26 @@
 //!                  instead of encoding in-process; prints the service's
 //!                  nova-bench/1 JSON response
 //!
+//!   bench          sweep a corpus through the sharded batch engine:
+//!   --synthetic S  sweep a generated scale corpus instead of the embedded
+//!                  suite; S is a comma-separated ScaleSpec, e.g.
+//!                  "machines=1000,states=16,inputs=4,outputs=4,seed=7"
+//!                  (keys: machines states inputs outputs density reducible
+//!                  family=random|kstage seed prefix)
+//!   --batch-jobs N worker threads sweeping machines (0 = one per core;
+//!                  default 1). Report content is identical at any count.
+//!   --stream F     write the sweep as nova-bench-stream/1 JSONL to F
+//!                  ("-" = stdout): one line per machine as it completes
+//!                  plus a throughput summary — constant memory, use this
+//!                  for large corpora
+//!   --scale-out F  write a small nova-bench-scale/1 throughput baseline
+//!                  (machines/sec) to F — what CI gates BENCH_SCALE.json on
+//!   (--bench-out, --filter, --timeout-ms, --budget, --jobs, --embed-jobs,
+//!    --espresso-jobs, --fault-plan as in --portfolio --batch; --bench-out
+//!    accumulates nova-bench/1 in memory, so prefer --stream at scale.
+//!    Output files are created up front: an unwritable path fails fast
+//!    with exit 4 before any machine runs.)
+//!
 //!   serve          run the resident encoding service (see nova-serve):
 //!   --addr A       bind address (default 127.0.0.1:7171; port 0 = any)
 //!   --workers N    request workers (default: available parallelism)
@@ -72,7 +93,7 @@ use espresso::FaultPlan;
 use fsm::minimize_states::minimize_states;
 use fsm::Fsm;
 use nova_core::driver::Algorithm;
-use nova_engine::{run_one, run_portfolio, run_suite_filtered, suite_to_json, EngineConfig};
+use nova_engine::{run_one, run_portfolio, EngineConfig};
 use nova_trace::json::Json;
 use nova_trace::Tracer;
 use std::io::Read as _;
@@ -95,7 +116,8 @@ fn usage() -> ! {
     let algs: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
         "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [--fault-plan SPEC] [--remote ADDR] [FILE.kiss2 | -]\n\
-         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2 | -]\n\
+         \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE] [--batch-jobs N]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2 | -]\n\
+         \u{20}      nova bench [--synthetic SPEC | --filter A,B] [--batch-jobs N] [--stream FILE|-] [--bench-out FILE] [--scale-out FILE] [--timeout-ms N] [--budget N] [--fault-plan SPEC]\n\
          \u{20}      nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]\n\
          \u{20}      nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]\n\
          ALG: {} (or onehot)",
@@ -129,6 +151,7 @@ struct Args {
     timeout_ms: Option<u64>,
     budget: Option<u64>,
     jobs: usize,
+    batch_jobs: usize,
     embed_jobs: usize,
     espresso_jobs: usize,
     trace: Option<String>,
@@ -154,6 +177,7 @@ fn parse_args() -> Args {
         timeout_ms: None,
         budget: None,
         jobs: 0,
+        batch_jobs: 1,
         embed_jobs: 0,
         espresso_jobs: 0,
         trace: None,
@@ -184,6 +208,7 @@ fn parse_args() -> Args {
             "--timeout-ms" => out.timeout_ms = Some(num(&mut args)),
             "--budget" => out.budget = Some(num(&mut args)),
             "--jobs" => out.jobs = num(&mut args) as usize,
+            "--batch-jobs" => out.batch_jobs = num(&mut args) as usize,
             "--embed-jobs" => out.embed_jobs = num(&mut args) as usize,
             "--espresso-jobs" => out.espresso_jobs = num(&mut args) as usize,
             "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),
@@ -377,6 +402,215 @@ fn read_machine(args: &Args) -> Result<Fsm, ExitCode> {
     Ok(machine)
 }
 
+/// `nova bench`: sweep a corpus (embedded suite or `--synthetic` scale
+/// spec) through the sharded batch engine, optionally streaming JSONL
+/// (`nova-bench-stream/1`) so memory stays constant at any corpus size.
+fn bench_main(argv: &[String]) -> ExitCode {
+    let mut synthetic: Option<fsm::ScaleSpec> = None;
+    let mut filter: Vec<String> = Vec::new();
+    let mut batch_jobs = 1usize;
+    let mut stream: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut scale_out: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut budget: Option<u64> = None;
+    let mut jobs = 0usize;
+    let mut embed_jobs = 0usize;
+    let mut espresso_jobs = 0usize;
+    let mut fault_plan: Option<FaultPlan> = None;
+    let mut it = argv.iter();
+    let num =
+        |v: Option<&String>| -> u64 { v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--synthetic" => {
+                let spec = it.next().cloned().unwrap_or_else(|| usage());
+                match fsm::ScaleSpec::parse(&spec) {
+                    Ok(s) => synthetic = Some(s),
+                    Err(e) => {
+                        eprintln!("nova: bad --synthetic {spec:?}: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--filter" => {
+                let list = it.next().cloned().unwrap_or_else(|| usage());
+                filter = list.split(',').map(str::to_string).collect();
+            }
+            "--batch-jobs" => batch_jobs = num(it.next()) as usize,
+            "--stream" => stream = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--bench-out" => bench_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--scale-out" => scale_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--timeout-ms" => timeout_ms = Some(num(it.next())),
+            "--budget" => budget = Some(num(it.next())),
+            "--jobs" => jobs = num(it.next()) as usize,
+            "--embed-jobs" => embed_jobs = num(it.next()) as usize,
+            "--espresso-jobs" => espresso_jobs = num(it.next()) as usize,
+            "--fault-plan" => {
+                let spec = it.next().cloned().unwrap_or_else(|| usage());
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => fault_plan = Some(plan),
+                    Err(e) => {
+                        eprintln!("nova: bad --fault-plan {spec:?}: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            _ => usage(),
+        }
+    }
+    if synthetic.is_some() && !filter.is_empty() {
+        eprintln!("nova: --synthetic and --filter are mutually exclusive");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    for name in &filter {
+        if fsm::benchmarks::by_name(name).is_none() {
+            eprintln!("nova: unknown embedded benchmark '{name}'");
+            return ExitCode::from(EXIT_UNKNOWN_BENCH);
+        }
+    }
+    let suite;
+    let src: &dyn nova_engine::MachineSource = match &synthetic {
+        Some(spec) => spec,
+        None => {
+            suite = nova_engine::SuiteSource::filtered(&filter);
+            &suite
+        }
+    };
+
+    // Every output file is created before the sweep starts: a 100k-machine
+    // run must not discover an unwritable path at the finish line, and a
+    // bad path must exit 4 (I/O), never panic.
+    let create = |path: &str| -> Result<std::fs::File, ExitCode> {
+        std::fs::File::create(path).map_err(|e| {
+            eprintln!("nova: cannot write {path}: {e}");
+            ExitCode::from(EXIT_IO)
+        })
+    };
+    let stream_writer: Option<Box<dyn std::io::Write + Send>> = match stream.as_deref() {
+        Some("-") => Some(Box::new(std::io::BufWriter::new(std::io::stdout()))),
+        Some(path) => match create(path) {
+            Ok(f) => Some(Box::new(std::io::BufWriter::new(f))),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let bench_out_file = match bench_out.as_deref().map(create) {
+        Some(Ok(f)) => Some(f),
+        Some(Err(code)) => return code,
+        None => None,
+    };
+    let scale_out_file = match scale_out.as_deref().map(create) {
+        Some(Ok(f)) => Some(f),
+        Some(Err(code)) => return code,
+        None => None,
+    };
+
+    let cfg = EngineConfig {
+        jobs,
+        embed_jobs,
+        espresso_jobs,
+        timeout: timeout_ms.map(Duration::from_millis),
+        node_budget: budget,
+        fault_plan,
+        ..EngineConfig::default()
+    };
+    let bcfg = nova_engine::BatchConfig {
+        batch_jobs,
+        ..nova_engine::BatchConfig::default()
+    };
+
+    let mut sw = match stream_writer
+        .map(|w| {
+            nova_engine::StreamWriter::new(w, &src.describe(), src.len(), bcfg.effective_jobs())
+        })
+        .transpose()
+    {
+        Ok(sw) => sw,
+        Err(e) => {
+            eprintln!("nova: cannot write stream: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    // Reports are only accumulated when the caller asked for the in-memory
+    // nova-bench/1 document; a streamed sweep stays O(window).
+    let mut kept: Vec<nova_engine::PortfolioReport> = Vec::new();
+    let keep = bench_out_file.is_some();
+    let mut tally = nova_engine::StreamTally::default();
+    let mut stream_err: Option<std::io::Error> = None;
+    let started = std::time::Instant::now();
+    nova_engine::run_batch(src, &cfg, &bcfg, &mut |_, rep| {
+        if rep.best().is_some() {
+            tally.solved += 1;
+        } else if rep.best_degraded().is_some() {
+            tally.degraded += 1;
+        } else {
+            tally.unresolved += 1;
+        }
+        if let Some(w) = &mut sw {
+            if let Err(e) = w.report(&rep) {
+                stream_err.get_or_insert(e);
+            }
+        }
+        if keep {
+            kept.push(rep);
+        }
+    });
+    let wall = started.elapsed();
+    let per_sec = nova_engine::throughput(src.len(), wall);
+    if let Some(w) = sw {
+        if let Some(e) = w.finish().err().or(stream_err) {
+            eprintln!("nova: cannot write stream: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    if let Some(mut f) = bench_out_file {
+        let doc = nova_engine::suite_to_json_timed(&kept, wall);
+        if let Err(e) = f.write_all(doc.to_pretty().as_bytes()) {
+            eprintln!(
+                "nova: cannot write {}: {e}",
+                bench_out.as_deref().unwrap_or("?")
+            );
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    if let Some(mut f) = scale_out_file {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str("nova-bench-scale/1")),
+            ("corpus".into(), Json::str(src.describe())),
+            (
+                "batch_jobs".into(),
+                Json::uint(bcfg.effective_jobs() as u64),
+            ),
+            ("machines".into(), Json::uint(src.len() as u64)),
+            ("solved".into(), Json::uint(tally.solved as u64)),
+            ("degraded".into(), Json::uint(tally.degraded as u64)),
+            ("unresolved".into(), Json::uint(tally.unresolved as u64)),
+            ("wall_ms".into(), Json::Float(wall.as_secs_f64() * 1e3)),
+            ("machines_per_sec".into(), Json::Float(per_sec)),
+        ]);
+        if let Err(e) = f.write_all(format!("{}\n", doc.to_pretty()).as_bytes()) {
+            eprintln!(
+                "nova: cannot write {}: {e}",
+                scale_out.as_deref().unwrap_or("?")
+            );
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    // The human-facing throughput line goes to stderr so `--stream -` keeps
+    // stdout pure JSONL.
+    eprintln!(
+        "nova: swept {} machines in {:.1} ms ({:.1} machines/sec): {} solved, {} degraded, {} unresolved",
+        src.len(),
+        wall.as_secs_f64() * 1e3,
+        per_sec,
+        tally.solved,
+        tally.degraded,
+        tally.unresolved
+    );
+    ExitCode::SUCCESS
+}
+
 /// `nova serve`: run the resident encoding service until SIGTERM/ctrl-c,
 /// then drain and exit 0.
 fn serve_main(args: &[String]) -> ExitCode {
@@ -549,6 +783,9 @@ fn remote_main(addr: &str, machine: &Fsm, args: &Args) -> ExitCode {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("bench") {
+        return bench_main(&argv[1..]);
+    }
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
     }
@@ -588,7 +825,13 @@ fn main() -> ExitCode {
             }
         }
         let cfg = engine_config(&args, &tracer);
-        let reports = run_suite_filtered(&cfg, &args.filter);
+        let bcfg = nova_engine::BatchConfig {
+            batch_jobs: args.batch_jobs,
+            ..nova_engine::BatchConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let reports = nova_engine::run_suite_batched(&cfg, &args.filter, &bcfg);
+        let elapsed = started.elapsed();
         if args.json {
             let arr = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
             println!("{}", arr.to_pretty());
@@ -598,7 +841,10 @@ fn main() -> ExitCode {
             }
         }
         let bench_path = args.bench_out.as_deref().unwrap_or("BENCH_portfolio.json");
-        if let Err(e) = std::fs::write(bench_path, suite_to_json(&reports).to_pretty()) {
+        if let Err(e) = std::fs::write(
+            bench_path,
+            nova_engine::suite_to_json_timed(&reports, elapsed).to_pretty(),
+        ) {
             eprintln!("nova: cannot write {bench_path}: {e}");
             return ExitCode::from(EXIT_IO);
         }

@@ -714,3 +714,140 @@ fn espresso_min_rejects_bad_pla() {
     assert!(!ok);
     assert!(stderr.contains("espresso-min:"));
 }
+
+#[test]
+fn nova_bench_synthetic_streams_jsonl_and_replays_across_batch_jobs() {
+    let spec = "machines=4,states=5,inputs=2,outputs=2,seed=11";
+    let stream_for = |jobs: &str, tag: &str| -> Vec<String> {
+        let path = temp_path(&format!("stream-{tag}.jsonl"));
+        let path_s = path.to_str().unwrap().to_string();
+        let (_, stderr, ok) = run_with_stdin(
+            env!("CARGO_BIN_EXE_nova"),
+            &[
+                "bench",
+                "--synthetic",
+                spec,
+                "--budget",
+                "5000",
+                "--batch-jobs",
+                jobs,
+                "--stream",
+                &path_s,
+            ],
+            "",
+        );
+        assert!(ok, "{stderr}");
+        assert!(stderr.contains("machines/sec"), "{stderr}");
+        let text = std::fs::read_to_string(&path).expect("stream written");
+        std::fs::remove_file(&path).ok();
+        text.lines().map(str::to_string).collect()
+    };
+    let seq = stream_for("1", "seq");
+    assert_eq!(seq.len(), 4 + 2, "header + 4 machines + summary");
+    let header = json::parse(&seq[0]).expect("header parses");
+    assert_eq!(
+        header.get("schema"),
+        Some(&json::Json::str("nova-bench-stream/1"))
+    );
+    let fingerprint = |line: &str| -> String {
+        match json::parse(line).expect("line parses").get("fingerprint") {
+            Some(json::Json::Str(fp)) => fp.clone(),
+            other => panic!("no fingerprint in {line}: {other:?}"),
+        }
+    };
+    let summary = json::parse(&seq[5]).expect("summary parses");
+    let s = summary.get("summary").expect("summary object");
+    assert_eq!(s.get("machines"), Some(&json::Json::uint(4)));
+    assert!(s.get("machines_per_sec").is_some());
+    // The same sweep at --batch-jobs 3 replays to the same fingerprints.
+    let par = stream_for("3", "par");
+    let fps =
+        |lines: &[String]| -> Vec<String> { lines[1..=4].iter().map(|l| fingerprint(l)).collect() };
+    assert_eq!(fps(&seq), fps(&par), "fingerprints diverged across jobs");
+}
+
+#[test]
+fn nova_bench_unwritable_output_fails_fast_with_io_exit() {
+    // The output files are opened before the sweep: a bad path must exit 4
+    // immediately (no machines run), never panic at the finish line.
+    for flag in ["--bench-out", "--stream", "--scale-out"] {
+        let (_, stderr, code) = run_with_code(
+            env!("CARGO_BIN_EXE_nova"),
+            &[
+                "bench",
+                "--synthetic",
+                "machines=1000,states=8",
+                flag,
+                "/nonexistent-dir/out.json",
+            ],
+            "",
+        );
+        assert_eq!(code, 4, "{flag}: {stderr}");
+        assert!(stderr.contains("cannot write"), "{flag}: {stderr}");
+        assert!(!stderr.contains("panic"), "{flag}: {stderr}");
+    }
+}
+
+#[test]
+fn nova_bench_rejects_bad_spec_and_conflicting_corpora() {
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["bench", "--synthetic", "machines=0"],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("machines"), "{stderr}");
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["bench", "--synthetic", "states=9,family=kstage"],
+        "",
+    );
+    assert_eq!(code, 2, "kstage needs power-of-two states: {stderr}");
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["bench", "--synthetic", "machines=1", "--filter", "lion"],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["bench", "--filter", "nope"],
+        "",
+    );
+    assert_eq!(code, 5, "{stderr}");
+    assert!(stderr.contains("unknown embedded benchmark"), "{stderr}");
+}
+
+#[test]
+fn nova_bench_scale_out_writes_throughput_baseline() {
+    let path = temp_path("scale.json");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run_with_stdin(
+        env!("CARGO_BIN_EXE_nova"),
+        &[
+            "bench",
+            "--synthetic",
+            "machines=3,states=5,inputs=2,outputs=2,seed=3",
+            "--budget",
+            "5000",
+            "--batch-jobs",
+            "2",
+            "--scale-out",
+            path_s,
+        ],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("scale baseline written");
+    std::fs::remove_file(&path).ok();
+    let doc = json::parse(&text).expect("scale baseline parses");
+    assert_eq!(
+        doc.get("schema"),
+        Some(&json::Json::str("nova-bench-scale/1"))
+    );
+    assert_eq!(doc.get("machines"), Some(&json::Json::uint(3)));
+    assert_eq!(doc.get("batch_jobs"), Some(&json::Json::uint(2)));
+    assert!(doc.get("machines_per_sec").is_some());
+    assert!(doc.get("corpus").is_some());
+}

@@ -8,34 +8,19 @@ use nova_core::exact::{iexact_code, pos_equiv_covers_jobs_ctl, ExactOptions, Pos
 use nova_core::{InputGraph, RunCtl, StateSet};
 use std::collections::BTreeMap;
 
-/// SplitMix64: tiny deterministic PRNG for reproducible instances.
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
+use fsm::SplitMix64;
 
 /// A random instance: `n` states, `m` constraints of cardinality 2..n.
 fn random_graph(rng: &mut SplitMix64) -> InputGraph {
-    let n = 4 + rng.below(6) as usize; // 4..=9 states
-    let m = 1 + rng.below(5) as usize; // 1..=5 constraints
+    let n = 4 + rng.below_u64(6) as usize; // 4..=9 states
+    let m = 1 + rng.below_u64(5) as usize; // 1..=5 constraints
     let mut sets = Vec::new();
     for _ in 0..m {
-        let card = 2 + rng.below(n as u64 - 1) as usize;
+        let card = 2 + rng.below_u64(n as u64 - 1) as usize;
         let mut members = vec![false; n];
         let mut placed = 0;
         while placed < card {
-            let s = rng.below(n as u64) as usize;
+            let s = rng.below_u64(n as u64) as usize;
             if !members[s] {
                 members[s] = true;
                 placed += 1;
@@ -68,7 +53,7 @@ fn assert_same(seed: u64, a: &PosEquiv, b: &PosEquiv, jobs: usize) {
 #[test]
 fn random_graphs_embed_identically_across_job_counts() {
     let instances = if cfg!(debug_assertions) { 40 } else { 120 };
-    let mut rng = SplitMix64(0x5eed_cafe);
+    let mut rng = SplitMix64::new(0x5eed_cafe);
     let no_levels = BTreeMap::new();
     let ctl = RunCtl::unlimited();
     for case in 0..instances {
@@ -92,7 +77,7 @@ fn random_graphs_embed_identically_across_job_counts() {
 #[test]
 fn random_graphs_iexact_identical_across_job_counts() {
     let instances = if cfg!(debug_assertions) { 15 } else { 60 };
-    let mut rng = SplitMix64(0xfeed_f00d);
+    let mut rng = SplitMix64::new(0xfeed_f00d);
     for case in 0..instances {
         let ig = random_graph(&mut rng);
         let opts = ExactOptions {

@@ -1,0 +1,507 @@
+//! Sharded work-stealing batch engine: constant-memory portfolio sweeps
+//! over corpora far past the embedded MCNC suite.
+//!
+//! The pre-scale batch path walked machines one at a time and accumulated
+//! every [`PortfolioReport`] in a `Vec` — single-threaded across machines,
+//! O(corpus) memory. This module replaces it with:
+//!
+//! * **A machine source, not a machine list** ([`MachineSource`]): corpora
+//!   are described (embedded suite, [`ScaleSpec`] synthetic family) and each
+//!   machine is materialized on demand by the worker that runs it, then
+//!   dropped. A 100k-machine sweep never holds more than
+//!   `workers + window` machines' worth of state.
+//! * **A chunked work-stealing scheduler** ([`run_batch`]): an atomic shard
+//!   cursor hands out contiguous index ranges; each worker keeps its shard
+//!   in a private deque, pops from the front, and — when both its deque and
+//!   the cursor are exhausted — steals the back half of a sibling's deque.
+//!   Whole portfolios run per worker (inner algorithm/embed/espresso
+//!   parallelism is forced sequential when `batch_jobs > 1`, so the thread
+//!   count is exactly `batch_jobs` and the thread-local scratch pools are
+//!   reused across every machine a worker touches).
+//! * **Deterministic, bounded, in-order emission**: completed reports enter
+//!   a reorder buffer and are handed to the sink strictly in machine-index
+//!   order. The buffer is capped at `window` reports; a worker about to run
+//!   a machine too far ahead of the emission cursor blocks until the prefix
+//!   catches up, which bounds memory independent of corpus size. Report
+//!   *content* is identical at any `--batch-jobs` count (the PR 4/8
+//!   sequential-replay pattern: node budgets, not wall clocks, limit work),
+//!   which the batch determinism tests pin via [`report_fingerprint`].
+//! * **A streamed report** ([`StreamWriter`], schema `nova-bench-stream/1`):
+//!   one JSONL line per machine as it is emitted plus a final throughput
+//!   summary, so the accumulated `nova-bench/1` document is only needed for
+//!   the small committed baselines.
+//!
+//! Telemetry: `engine.batch.machines` / `.shards` / `.steals` /
+//! `.backpressure` counters and the `engine.batch.queue.depth` gauge on the
+//! session tracer.
+
+use crate::{machine_summary_json, report_fingerprint, EngineConfig, PortfolioReport};
+use fsm::{Fsm, ScaleSpec};
+use nova_trace::json::Json;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A corpus the batch engine can sweep: machines addressed by index,
+/// materialized on demand. Implementations must be cheap to query for
+/// `len`/`name` and must return the identical machine for the same index on
+/// every call, from any thread — the determinism and replay guarantees rest
+/// on it.
+pub trait MachineSource: Sync {
+    /// Number of machines in the corpus.
+    fn len(&self) -> usize;
+    /// Whether the corpus is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Name of machine `i` (report key; stable across calls).
+    fn name(&self, i: usize) -> String;
+    /// Materializes machine `i`. Called exactly once per sweep by whichever
+    /// worker claimed the index; the machine is dropped after its portfolio.
+    fn machine(&self, i: usize) -> Fsm;
+    /// One-line corpus description for stream headers and scale baselines.
+    fn describe(&self) -> String;
+}
+
+/// The embedded MCNC benchmark suite (optionally filtered by name) as a
+/// batch corpus.
+pub struct SuiteSource {
+    benches: Vec<fsm::benchmarks::Benchmark>,
+}
+
+impl SuiteSource {
+    /// The whole embedded suite.
+    pub fn new() -> Self {
+        Self::filtered(&[])
+    }
+
+    /// The suite restricted to `names`; an empty slice keeps every machine.
+    /// Unknown names are silently skipped — callers that care (the CLI)
+    /// validate against [`fsm::benchmarks::by_name`] up front.
+    pub fn filtered(names: &[String]) -> Self {
+        SuiteSource {
+            benches: fsm::benchmarks::suite()
+                .into_iter()
+                .filter(|b| names.is_empty() || names.iter().any(|n| n == b.name))
+                .collect(),
+        }
+    }
+}
+
+impl Default for SuiteSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MachineSource for SuiteSource {
+    fn len(&self) -> usize {
+        self.benches.len()
+    }
+    fn name(&self, i: usize) -> String {
+        self.benches[i].name.to_string()
+    }
+    fn machine(&self, i: usize) -> Fsm {
+        self.benches[i].fsm.clone()
+    }
+    fn describe(&self) -> String {
+        format!("suite:{}", self.benches.len())
+    }
+}
+
+/// A [`ScaleSpec`] synthetic corpus: machine `i` is generated (and later
+/// dropped) by the worker that runs it.
+impl MachineSource for ScaleSpec {
+    fn len(&self) -> usize {
+        self.machines
+    }
+    fn name(&self, i: usize) -> String {
+        ScaleSpec::name(self, i)
+    }
+    fn machine(&self, i: usize) -> Fsm {
+        ScaleSpec::machine(self, i)
+    }
+    fn describe(&self) -> String {
+        self.spec_string()
+    }
+}
+
+/// Shape of a sharded batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads sweeping machines; `0` = available parallelism. Each
+    /// worker runs whole portfolios, so this is also the total thread count
+    /// when it exceeds 1 (inner parallelism is forced sequential).
+    pub batch_jobs: usize,
+    /// Machines per claimed shard; `0` = auto (corpus size over
+    /// `8 × workers`, clamped to `1..=64`). Larger shards amortize cursor
+    /// traffic, smaller ones balance ragged corpora — stealing covers the
+    /// tail either way.
+    pub shard: usize,
+    /// Reorder-buffer capacity in reports; `0` = auto
+    /// (`max(4 × workers × shard, 16)`). This is the memory bound: a worker
+    /// never runs a machine `window` or more indices ahead of the emission
+    /// cursor.
+    pub window: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_jobs: 1,
+            shard: 0,
+            window: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The worker count actually used.
+    pub fn effective_jobs(&self) -> usize {
+        if self.batch_jobs > 0 {
+            self.batch_jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    fn effective_shard(&self, len: usize, workers: usize) -> usize {
+        if self.shard > 0 {
+            self.shard
+        } else {
+            (len / (8 * workers.max(1))).clamp(1, 64)
+        }
+    }
+
+    fn effective_window(&self, workers: usize, shard: usize) -> usize {
+        if self.window > 0 {
+            self.window
+        } else {
+            (4 * workers * shard).max(16)
+        }
+    }
+}
+
+/// Shared in-order emission state: the reorder buffer plus the sink.
+struct Emit<'s> {
+    /// Next machine index to hand to the sink.
+    next: usize,
+    /// Completed reports waiting for their prefix.
+    pending: BTreeMap<usize, PortfolioReport>,
+    /// Receives `(index, report)` strictly in index order.
+    sink: &'s mut (dyn FnMut(usize, PortfolioReport) + Send),
+}
+
+/// Sweeps every machine of `src` through [`crate::run_portfolio`] under
+/// `cfg`, sharded across `bcfg` workers, and hands each report to `sink` in
+/// machine-index order. Memory is bounded by the reorder window, not the
+/// corpus; report content is identical at any worker count (wall-clock
+/// deadlines excepted, as everywhere in the engine).
+///
+/// A machine whose generation or portfolio panics contributes an empty
+/// report (no runs, `best: null`) rather than poisoning the sweep — the
+/// engine's panic-free guarantee extends to the batch layer.
+pub fn run_batch(
+    src: &dyn MachineSource,
+    cfg: &EngineConfig,
+    bcfg: &BatchConfig,
+    sink: &mut (dyn FnMut(usize, PortfolioReport) + Send),
+) {
+    let len = src.len();
+    if len == 0 {
+        return;
+    }
+    let workers = bcfg.effective_jobs().min(len);
+    let shard = bcfg.effective_shard(len, workers);
+    let window = bcfg.effective_window(workers, shard).max(1);
+    let num_shards = len.div_ceil(shard);
+    let tracer = &cfg.tracer;
+
+    // Whole portfolios per worker: with more than one batch worker the
+    // inner pools go sequential so the sweep runs exactly `workers` threads
+    // and every per-thread scratch pool is reused machine after machine.
+    // Content is unaffected by construction (the engine's determinism
+    // contracts across jobs / embed_jobs / espresso_jobs).
+    let inner = if workers > 1 {
+        EngineConfig {
+            jobs: 1,
+            embed_jobs: 1,
+            espresso_jobs: 1,
+            ..cfg.clone()
+        }
+    } else {
+        cfg.clone()
+    };
+
+    let cursor = AtomicUsize::new(0);
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let emit = Mutex::new(Emit {
+        next: 0,
+        pending: BTreeMap::new(),
+        sink,
+    });
+    let emitted = Condvar::new();
+
+    // Blocks until `i` is inside the reorder window, then runs machine `i`
+    // and pushes its report through the in-order emitter.
+    let run_one = |i: usize| {
+        {
+            let mut g = emit.lock().unwrap();
+            while i >= g.next + window {
+                tracer.incr("engine.batch.backpressure", 1);
+                g = emitted.wait(g).unwrap();
+            }
+        }
+        let name = src.name(i);
+        let report = catch_unwind(AssertUnwindSafe(|| {
+            let machine = src.machine(i);
+            crate::run_portfolio(&machine, &name, &inner)
+        }))
+        .unwrap_or_else(|_| PortfolioReport {
+            machine: name,
+            runs: Vec::new(),
+            wall: Duration::default(),
+        });
+        tracer.incr("engine.batch.machines", 1);
+        let mut g = emit.lock().unwrap();
+        g.pending.insert(i, report);
+        tracer.gauge("engine.batch.queue.depth", g.pending.len() as i64);
+        loop {
+            let at = g.next;
+            let Some(r) = g.pending.remove(&at) else {
+                break;
+            };
+            (g.sink)(at, r);
+            g.next += 1;
+        }
+        drop(g);
+        emitted.notify_all();
+    };
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let deques = &deques;
+            let cursor = &cursor;
+            let run_one = &run_one;
+            s.spawn(move || loop {
+                // 1. Own deque, front first (ascending indices keep the
+                //    worker close to the emission cursor).
+                if let Some(i) = deques[w].lock().unwrap().pop_front() {
+                    run_one(i);
+                    continue;
+                }
+                // 2. Claim the next shard from the atomic cursor.
+                let sh = cursor.fetch_add(1, Ordering::Relaxed);
+                if sh < num_shards {
+                    tracer.incr("engine.batch.shards", 1);
+                    let start = sh * shard;
+                    let end = ((sh + 1) * shard).min(len);
+                    let mut q = deques[w].lock().unwrap();
+                    q.extend(start..end);
+                    continue;
+                }
+                // 3. Cursor exhausted: steal the back half of the fullest
+                //    sibling deque.
+                let victim = (0..workers)
+                    .filter(|&v| v != w)
+                    .max_by_key(|&v| deques[v].lock().unwrap().len());
+                let stolen: VecDeque<usize> = match victim {
+                    Some(v) => {
+                        let mut q = deques[v].lock().unwrap();
+                        let keep = q.len() - q.len() / 2;
+                        q.split_off(keep)
+                    }
+                    None => VecDeque::new(),
+                };
+                if stolen.is_empty() {
+                    // Nothing left anywhere reachable: done. (A machine
+                    // still *running* on a sibling is not stealable.)
+                    break;
+                }
+                tracer.incr("engine.batch.steals", 1);
+                *deques[w].lock().unwrap() = stolen;
+            });
+        }
+    });
+
+    // Every machine completed, so the reorder buffer fully drained.
+    debug_assert_eq!(emit.lock().unwrap().next, len);
+}
+
+/// FNV-1a over a report fingerprint: the short replay key embedded in
+/// stream lines so byte-identity across worker counts is checkable from the
+/// JSONL alone.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-machine outcome tallies accumulated by a [`StreamWriter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamTally {
+    /// Machines whose portfolio produced a completed best result.
+    pub solved: usize,
+    /// Machines with only a degraded (anytime) fallback.
+    pub degraded: usize,
+    /// Machines with neither.
+    pub unresolved: usize,
+}
+
+/// Incremental `nova-bench-stream/1` JSONL writer: a header line, one
+/// report line per machine (in emission order — machine-index order when
+/// fed from [`run_batch`]), and a final summary line carrying wall time and
+/// machines/sec throughput. Memory is O(1) in the corpus: each line is
+/// serialized and flushed from the report it came from, nothing is
+/// retained.
+///
+/// ```text
+/// {"schema":"nova-bench-stream/1","corpus":"machines=3,...","machines":3,"batch_jobs":2}
+/// {"machine":"synth-000000","best":"ihybrid","area":112,...,"fingerprint":"9f3c..."}
+/// ...
+/// {"summary":{"machines":3,"solved":3,"degraded":0,"unresolved":0,"wall_ms":41.2,"machines_per_sec":72.8}}
+/// ```
+pub struct StreamWriter<W: Write> {
+    w: W,
+    start: Instant,
+    count: usize,
+    tally: StreamTally,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Writes the header line and starts the throughput clock.
+    pub fn new(mut w: W, corpus: &str, machines: usize, batch_jobs: usize) -> io::Result<Self> {
+        let header = Json::Obj(vec![
+            ("schema".into(), Json::str("nova-bench-stream/1")),
+            ("corpus".into(), Json::str(corpus)),
+            ("machines".into(), Json::uint(machines as u64)),
+            ("batch_jobs".into(), Json::uint(batch_jobs as u64)),
+        ]);
+        writeln!(w, "{}", header.to_compact())?;
+        Ok(StreamWriter {
+            w,
+            start: Instant::now(),
+            count: 0,
+            tally: StreamTally::default(),
+        })
+    }
+
+    /// Writes one machine's report line (the `nova-bench/1` machine object
+    /// plus its timing-stripped fingerprint).
+    pub fn report(&mut self, rep: &PortfolioReport) -> io::Result<()> {
+        let mut line = machine_summary_json(rep);
+        if let Json::Obj(pairs) = &mut line {
+            pairs.push((
+                "fingerprint".into(),
+                Json::str(format!("{:016x}", fnv64(&report_fingerprint(rep)))),
+            ));
+        }
+        self.count += 1;
+        if rep.best().is_some() {
+            self.tally.solved += 1;
+        } else if rep.best_degraded().is_some() {
+            self.tally.degraded += 1;
+        } else {
+            self.tally.unresolved += 1;
+        }
+        writeln!(self.w, "{}", line.to_compact())
+    }
+
+    /// Writes the summary line and returns `(tally, machines/sec)`.
+    pub fn finish(mut self) -> io::Result<(StreamTally, f64)> {
+        let wall = self.start.elapsed();
+        let per_sec = throughput(self.count, wall);
+        let summary = Json::Obj(vec![(
+            "summary".into(),
+            Json::Obj(vec![
+                ("machines".into(), Json::uint(self.count as u64)),
+                ("solved".into(), Json::uint(self.tally.solved as u64)),
+                ("degraded".into(), Json::uint(self.tally.degraded as u64)),
+                (
+                    "unresolved".into(),
+                    Json::uint(self.tally.unresolved as u64),
+                ),
+                ("wall_ms".into(), Json::Float(wall.as_secs_f64() * 1e3)),
+                ("machines_per_sec".into(), Json::Float(per_sec)),
+            ]),
+        )]);
+        writeln!(self.w, "{}", summary.to_compact())?;
+        self.w.flush()?;
+        Ok((self.tally, per_sec))
+    }
+}
+
+/// Machines/sec over a wall time, saturating instead of dividing by zero.
+pub fn throughput(machines: usize, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        machines as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_source_filters_and_names() {
+        let all = SuiteSource::new();
+        assert!(all.len() > 30, "embedded suite should be Table I sized");
+        let some = SuiteSource::filtered(&["lion".into(), "bbtas".into()]);
+        assert_eq!(some.len(), 2);
+        let names: Vec<String> = (0..some.len()).map(|i| some.name(i)).collect();
+        assert!(names.contains(&"lion".to_string()));
+        assert!(some.machine(0).num_states() > 0);
+        assert!(some.describe().starts_with("suite:"));
+    }
+
+    #[test]
+    fn scale_source_len_matches_spec() {
+        let spec = ScaleSpec::parse("machines=5,states=8,inputs=3").unwrap();
+        let src: &dyn MachineSource = &spec;
+        assert_eq!(src.len(), 5);
+        assert_eq!(src.name(3), "synth-000003");
+        assert_eq!(src.machine(3).num_states(), 8);
+        assert_eq!(src.describe(), spec.spec_string());
+    }
+
+    #[test]
+    fn batch_config_auto_sizing_is_sane() {
+        let b = BatchConfig::default();
+        assert_eq!(b.batch_jobs, 1);
+        assert_eq!(b.effective_shard(100_000, 4), 64);
+        assert_eq!(b.effective_shard(10, 4), 1);
+        assert!(b.effective_window(4, 64) >= 16);
+        let fixed = BatchConfig {
+            shard: 7,
+            window: 3,
+            ..BatchConfig::default()
+        };
+        assert_eq!(fixed.effective_shard(100, 4), 7);
+        assert_eq!(fixed.effective_window(4, 7), 3);
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("a"), fnv64("a"));
+        assert_ne!(fnv64("a"), fnv64("b"));
+    }
+
+    #[test]
+    fn throughput_handles_zero_wall() {
+        assert!(throughput(10, Duration::ZERO).is_infinite());
+        assert!((throughput(10, Duration::from_secs(2)) - 5.0).abs() < 1e-9);
+    }
+}

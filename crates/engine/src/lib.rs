@@ -32,6 +32,12 @@
 //! assert!(best.area > 0);
 //! ```
 
+pub mod batch;
+
+pub use batch::{
+    run_batch, throughput, BatchConfig, MachineSource, StreamTally, StreamWriter, SuiteSource,
+};
+
 use espresso::{FaultPlan, RunCounters, RunCtl};
 use fsm::Fsm;
 use nova_core::driver::{
@@ -508,9 +514,9 @@ fn run_contained(
 }
 
 /// Runs the portfolio over every machine in the embedded benchmark suite
-/// (the `nova --portfolio --batch` sweep). Machines run sequentially; the
-/// parallelism lives inside each portfolio, keeping per-machine reports
-/// directly comparable to single-machine runs.
+/// (the `nova --portfolio --batch` sweep). With one batch worker (the
+/// default here) the parallelism lives inside each portfolio, keeping
+/// per-machine reports directly comparable to single-machine runs.
 pub fn run_suite(cfg: &EngineConfig) -> Vec<PortfolioReport> {
     run_suite_filtered(cfg, &[])
 }
@@ -519,11 +525,23 @@ pub fn run_suite(cfg: &EngineConfig) -> Vec<PortfolioReport> {
 /// sweeps the whole suite. Unknown names are silently skipped — callers that
 /// care (the CLI) validate against [`fsm::benchmarks::by_name`] up front.
 pub fn run_suite_filtered(cfg: &EngineConfig, names: &[String]) -> Vec<PortfolioReport> {
-    fsm::benchmarks::suite()
-        .iter()
-        .filter(|b| names.is_empty() || names.iter().any(|n| n == b.name))
-        .map(|b| run_portfolio(&b.fsm, b.name, cfg))
-        .collect()
+    run_suite_batched(cfg, names, &BatchConfig::default())
+}
+
+/// [`run_suite_filtered`] over the sharded batch engine: machines are swept
+/// by `bcfg.batch_jobs` work-stealing workers and the reports accumulate in
+/// machine order. Report content is identical at any worker count; use
+/// [`run_batch`] with a [`StreamWriter`] sink instead when the corpus is too
+/// large to accumulate.
+pub fn run_suite_batched(
+    cfg: &EngineConfig,
+    names: &[String],
+    bcfg: &BatchConfig,
+) -> Vec<PortfolioReport> {
+    let src = SuiteSource::filtered(names);
+    let mut out = Vec::with_capacity(src.len());
+    run_batch(&src, cfg, bcfg, &mut |_, rep| out.push(rep));
+    out
 }
 
 fn stages_to_json(stages: &StageTimes) -> Json {
@@ -538,68 +556,86 @@ fn stages_to_json(stages: &StageTimes) -> Json {
     ])
 }
 
-/// Machine-readable benchmark trajectory of a suite sweep (the
-/// `BENCH_portfolio.json` the `--batch` CLI writes): per machine the winning
-/// algorithm with its area/cubes/bits, and per algorithm the outcome, area
-/// and stage wall times — enough to diff performance between PRs.
-pub fn suite_to_json(reports: &[PortfolioReport]) -> Json {
-    let machines = reports
-        .iter()
-        .map(|rep| {
-            let mut pairs = vec![("machine".into(), Json::str(&rep.machine))];
-            match rep.best() {
-                Some((i, best)) => {
-                    pairs.push(("best".into(), Json::str(rep.runs[i].algorithm.name())));
-                    pairs.push(("area".into(), Json::uint(best.area)));
-                    pairs.push(("cubes".into(), Json::uint(best.cubes as u64)));
-                    pairs.push(("bits".into(), Json::uint(best.bits as u64)));
-                    pairs.push(("literals".into(), Json::uint(best.literals as u64)));
-                }
-                None => {
-                    pairs.push(("best".into(), Json::Null));
-                    if let Some((i, d)) = rep.best_degraded() {
-                        pairs.push((
-                            "degraded".into(),
-                            degradation_summary(rep.runs[i].algorithm, d),
-                        ));
-                    }
-                }
+/// The per-machine object of the `nova-bench/1` report (and of each
+/// `nova-bench-stream/1` line): the winning algorithm with its
+/// area/cubes/bits, and per algorithm the outcome, area and stage wall
+/// times.
+pub fn machine_summary_json(rep: &PortfolioReport) -> Json {
+    let mut pairs = vec![("machine".into(), Json::str(&rep.machine))];
+    match rep.best() {
+        Some((i, best)) => {
+            pairs.push(("best".into(), Json::str(rep.runs[i].algorithm.name())));
+            pairs.push(("area".into(), Json::uint(best.area)));
+            pairs.push(("cubes".into(), Json::uint(best.cubes as u64)));
+            pairs.push(("bits".into(), Json::uint(best.bits as u64)));
+            pairs.push(("literals".into(), Json::uint(best.literals as u64)));
+        }
+        None => {
+            pairs.push(("best".into(), Json::Null));
+            if let Some((i, d)) = rep.best_degraded() {
+                pairs.push((
+                    "degraded".into(),
+                    degradation_summary(rep.runs[i].algorithm, d),
+                ));
             }
-            pairs.push(("wall_ms".into(), Json::Float(millis(rep.wall))));
-            pairs.push((
-                "runs".into(),
-                Json::Arr(
-                    rep.runs
-                        .iter()
-                        .map(|run| {
-                            let mut rp = vec![
-                                ("algorithm".into(), Json::str(run.algorithm.name())),
-                                ("outcome".into(), Json::str(run.outcome.tag())),
-                            ];
-                            if let Some(res) = run.outcome.result() {
-                                rp.push(("area".into(), Json::uint(res.area)));
-                                rp.push(("cubes".into(), Json::uint(res.cubes as u64)));
-                            }
-                            if let Some(d) = run.outcome.degradation() {
-                                rp.push(("degraded_reason".into(), Json::str(d.reason.tag())));
-                                rp.push((
-                                    "degraded_bits".into(),
-                                    Json::uint(d.encoding.bits() as u64),
-                                ));
-                            }
-                            rp.push(("wall_ms".into(), Json::Float(millis(run.wall))));
-                            rp.push(("stages_ms".into(), stages_to_json(&run.stages)));
-                            rp
-                        })
-                        .map(Json::Obj)
-                        .collect(),
-                ),
-            ));
-            Json::Obj(pairs)
-        })
-        .collect();
+        }
+    }
+    pairs.push(("wall_ms".into(), Json::Float(millis(rep.wall))));
+    pairs.push((
+        "runs".into(),
+        Json::Arr(
+            rep.runs
+                .iter()
+                .map(|run| {
+                    let mut rp = vec![
+                        ("algorithm".into(), Json::str(run.algorithm.name())),
+                        ("outcome".into(), Json::str(run.outcome.tag())),
+                    ];
+                    if let Some(res) = run.outcome.result() {
+                        rp.push(("area".into(), Json::uint(res.area)));
+                        rp.push(("cubes".into(), Json::uint(res.cubes as u64)));
+                    }
+                    if let Some(d) = run.outcome.degradation() {
+                        rp.push(("degraded_reason".into(), Json::str(d.reason.tag())));
+                        rp.push(("degraded_bits".into(), Json::uint(d.encoding.bits() as u64)));
+                    }
+                    rp.push(("wall_ms".into(), Json::Float(millis(run.wall))));
+                    rp.push(("stages_ms".into(), stages_to_json(&run.stages)));
+                    rp
+                })
+                .map(Json::Obj)
+                .collect(),
+        ),
+    ));
+    Json::Obj(pairs)
+}
+
+/// Machine-readable benchmark trajectory of a suite sweep (the
+/// `BENCH_portfolio.json` the `--batch` CLI writes): one
+/// [`machine_summary_json`] entry per machine plus a throughput summary —
+/// enough to diff both area and machines/sec between PRs. The summary's
+/// wall time is the sum of per-machine portfolio walls (the sequential
+/// equivalent); use [`suite_to_json_timed`] to record a measured elapsed
+/// wall instead (shorter under `--batch-jobs N`).
+pub fn suite_to_json(reports: &[PortfolioReport]) -> Json {
+    suite_to_json_timed(reports, reports.iter().map(|r| r.wall).sum())
+}
+
+/// [`suite_to_json`] with an explicitly measured total wall time for the
+/// throughput summary.
+pub fn suite_to_json_timed(reports: &[PortfolioReport], wall: Duration) -> Json {
+    let machines = reports.iter().map(machine_summary_json).collect();
+    let summary = Json::Obj(vec![
+        ("machines".into(), Json::uint(reports.len() as u64)),
+        ("wall_ms".into(), Json::Float(millis(wall))),
+        (
+            "machines_per_sec".into(),
+            Json::Float(throughput(reports.len(), wall)),
+        ),
+    ]);
     Json::Obj(vec![
         ("schema".into(), Json::str("nova-bench/1")),
+        ("summary".into(), summary),
         ("machines".into(), Json::Arr(machines)),
     ])
 }
@@ -816,6 +852,10 @@ mod tests {
         let text = j.to_compact();
         let parsed = json::parse(&text).expect("suite json parses");
         assert_eq!(parsed.get("schema"), Some(&Json::str("nova-bench/1")));
+        let summary = parsed.get("summary").expect("summary object");
+        assert_eq!(summary.get("machines"), Some(&Json::uint(2)));
+        assert!(summary.get("wall_ms").is_some());
+        assert!(summary.get("machines_per_sec").is_some());
         let Some(Json::Arr(machines)) = parsed.get("machines") else {
             panic!("machines missing: {text}");
         };

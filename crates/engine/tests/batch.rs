@@ -1,0 +1,240 @@
+//! Sharded-batch determinism and ordering: at any `batch_jobs` count the
+//! sweep must emit the same machines, in machine-index order, with
+//! byte-identical timing-stripped report fingerprints — including when a
+//! fault plan degrades runs mid-corpus — and the stream writer must produce
+//! a well-formed `nova-bench-stream/1` document.
+
+use espresso::{FaultKind, FaultPlan};
+use fsm::ScaleSpec;
+use nova_core::driver::Algorithm;
+use nova_engine::{
+    report_fingerprint, run_batch, BatchConfig, EngineConfig, StreamWriter, SuiteSource,
+};
+use nova_trace::json::{self, Json};
+use nova_trace::Tracer;
+
+fn corpus() -> ScaleSpec {
+    ScaleSpec::parse("machines=16,states=10,inputs=3,outputs=3,reducible=0.2,seed=21")
+        .expect("valid spec")
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        algorithms: vec![Algorithm::IGreedy, Algorithm::IHybrid, Algorithm::OneHot],
+        node_budget: Some(200_000),
+        ..EngineConfig::default()
+    }
+}
+
+/// Sweeps the corpus and returns `(index, machine, fingerprint)` per
+/// emission, in emission order.
+fn sweep(cfg: &EngineConfig, bcfg: &BatchConfig) -> Vec<(usize, String, String)> {
+    let src = corpus();
+    let mut out = Vec::new();
+    run_batch(&src, cfg, bcfg, &mut |i, rep| {
+        out.push((i, rep.machine.clone(), report_fingerprint(&rep)));
+    });
+    out
+}
+
+#[test]
+fn batch_emits_in_machine_index_order() {
+    let got = sweep(
+        &config(),
+        &BatchConfig {
+            batch_jobs: 4,
+            shard: 2,
+            window: 5,
+        },
+    );
+    assert_eq!(got.len(), 16);
+    for (k, (i, name, _)) in got.iter().enumerate() {
+        assert_eq!(*i, k, "emission order broke at {k}");
+        assert_eq!(name, &corpus().name(k));
+    }
+}
+
+#[test]
+fn batch_reports_are_byte_identical_across_worker_counts() {
+    let base = sweep(&config(), &BatchConfig::default());
+    for jobs in [2usize, 4, 8] {
+        let par = sweep(
+            &config(),
+            &BatchConfig {
+                batch_jobs: jobs,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(base, par, "batch_jobs={jobs} diverged from jobs=1");
+    }
+    // A degenerate window/shard must change scheduling, never results.
+    let tight = sweep(
+        &config(),
+        &BatchConfig {
+            batch_jobs: 4,
+            shard: 1,
+            window: 1,
+        },
+    );
+    assert_eq!(base, tight, "window=1 sweep diverged");
+}
+
+#[test]
+fn batch_determinism_survives_an_injected_fault_plan() {
+    // A deterministic mid-espresso budget fault degrades every machine's
+    // runs; the degraded reports must still replay byte-identically at any
+    // worker count (the chaos-suite guarantee, extended to the batch layer).
+    let cfg = EngineConfig {
+        fault_plan: Some(FaultPlan::single("stage.espresso", 1, FaultKind::Budget)),
+        ..config()
+    };
+    let seq = sweep(&cfg, &BatchConfig::default());
+    let par = sweep(
+        &cfg,
+        &BatchConfig {
+            batch_jobs: 4,
+            ..BatchConfig::default()
+        },
+    );
+    assert_eq!(seq, par, "fault-plan sweep diverged across worker counts");
+    // The fault actually bit: some run somewhere degraded.
+    assert!(
+        seq.iter().any(|(_, _, fp)| fp.contains("outcome=degraded")),
+        "fault plan never fired — the test lost its teeth"
+    );
+}
+
+#[test]
+fn stream_writer_emits_well_formed_nova_bench_stream() {
+    let src = corpus();
+    let mut buf = Vec::new();
+    {
+        let mut w =
+            StreamWriter::new(&mut buf, &src.spec_string(), src.machines, 3).expect("header write");
+        let mut sink_err = false;
+        run_batch(
+            &src,
+            &config(),
+            &BatchConfig {
+                batch_jobs: 3,
+                ..BatchConfig::default()
+            },
+            &mut |_, rep| {
+                if w.report(&rep).is_err() {
+                    sink_err = true;
+                }
+            },
+        );
+        assert!(!sink_err);
+        let (tally, per_sec) = w.finish().expect("summary write");
+        assert_eq!(
+            tally.solved + tally.degraded + tally.unresolved,
+            src.machines
+        );
+        assert!(per_sec > 0.0);
+    }
+    let text = String::from_utf8(buf).expect("utf8 stream");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), src.machines + 2, "header + machines + summary");
+    let header = json::parse(lines[0]).expect("header parses");
+    assert_eq!(
+        header.get("schema"),
+        Some(&Json::str("nova-bench-stream/1"))
+    );
+    assert_eq!(header.get("corpus"), Some(&Json::str(src.spec_string())));
+    assert_eq!(header.get("batch_jobs"), Some(&Json::uint(3)));
+    for (k, line) in lines[1..=src.machines].iter().enumerate() {
+        let doc = json::parse(line).expect("report line parses");
+        assert_eq!(doc.get("machine"), Some(&Json::str(src.name(k))));
+        let Some(Json::Str(fp)) = doc.get("fingerprint") else {
+            panic!("line {k} lacks a fingerprint: {line}");
+        };
+        assert_eq!(fp.len(), 16, "fingerprint is 16 hex chars");
+        assert!(doc.get("runs").is_some());
+    }
+    let summary = json::parse(lines[lines.len() - 1]).expect("summary parses");
+    let s = summary.get("summary").expect("summary object");
+    assert_eq!(s.get("machines"), Some(&Json::uint(src.machines as u64)));
+    assert!(s.get("machines_per_sec").is_some());
+    assert!(s.get("wall_ms").is_some());
+}
+
+#[test]
+fn stream_fingerprints_match_across_worker_counts() {
+    // The whole point of embedding fingerprints in the stream: two sweeps
+    // at different worker counts must be comparable line by line.
+    let src = corpus();
+    let stream = |jobs: usize| -> Vec<String> {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, "c", src.machines, jobs).unwrap();
+        run_batch(
+            &src,
+            &config(),
+            &BatchConfig {
+                batch_jobs: jobs,
+                ..BatchConfig::default()
+            },
+            &mut |_, rep| w.report(&rep).unwrap(),
+        );
+        w.finish().unwrap();
+        String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .skip(1)
+            .take(src.machines)
+            .map(|l| match json::parse(l).unwrap().get("fingerprint") {
+                Some(Json::Str(fp)) => fp.clone(),
+                other => panic!("no fingerprint: {other:?}"),
+            })
+            .collect()
+    };
+    assert_eq!(stream(1), stream(4));
+}
+
+#[test]
+fn batch_counters_reach_the_session_tracer() {
+    let tracer = Tracer::enabled();
+    let cfg = EngineConfig {
+        tracer: tracer.clone(),
+        ..config()
+    };
+    let src = corpus();
+    let mut n = 0usize;
+    run_batch(
+        &src,
+        &cfg,
+        &BatchConfig {
+            batch_jobs: 4,
+            shard: 2,
+            ..BatchConfig::default()
+        },
+        &mut |_, _| n += 1,
+    );
+    assert_eq!(n, src.machines);
+    let snap = tracer.merged_metrics();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    assert_eq!(counter("engine.batch.machines"), Some(16));
+    assert_eq!(counter("engine.batch.shards"), Some(8), "16 machines / 2");
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|(n, _)| n == "engine.batch.queue.depth"),
+        "queue-depth gauge missing: {:?}",
+        snap.gauges
+    );
+}
+
+#[test]
+fn empty_corpus_is_a_clean_no_op() {
+    let src = SuiteSource::filtered(&["no-such-machine".into()]);
+    let mut calls = 0usize;
+    run_batch(&src, &config(), &BatchConfig::default(), &mut |_, _| {
+        calls += 1
+    });
+    assert_eq!(calls, 0);
+}

@@ -3,37 +3,16 @@
 //! `espresso::legacy`, across randomized covers in mixed binary /
 //! multiple-valued spaces.
 //!
-//! The RNG is a local SplitMix64 (no external crates, reproducible offline),
-//! matching the convention used by the synthetic FSM generator.
+//! The RNG is the repo's canonical SplitMix64 (`fsm::rng`, no external
+//! crates, reproducible offline) — the same stream every seeded component
+//! draws from.
 
 use espresso::legacy;
 use espresso::{
     complement, containment, cube_in_cover, minimize_with, tautology, Cover, Cube, CubeSpace,
     MinimizeOptions, VarKind,
 };
-
-/// SplitMix64 (Steele et al.): tiny, deterministic, good enough to drive
-/// structural test-case generation.
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `0..n`.
-    fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
-}
+use fsm::SplitMix64;
 
 /// The space zoo: plain binary, binary+output, and mixed multi-valued shapes
 /// (NOVA's symbolic covers are exactly the latter).
@@ -66,7 +45,7 @@ fn random_cube(rng: &mut SplitMix64, space: &CubeSpace) -> Cube {
     let mut c = Cube::full(space);
     for v in space.vars() {
         let parts = space.parts(v);
-        match rng.below(8) {
+        match rng.below_u64(8) {
             0 | 1 => {} // keep full
             2 if parts > 1 => {
                 // empty field (degenerate cube)
@@ -78,14 +57,14 @@ fn random_cube(rng: &mut SplitMix64, space: &CubeSpace) -> Cube {
                 // random proper subset, biased toward keeping parts
                 let mut kept = 0;
                 for p in 0..parts {
-                    if rng.below(3) == 0 {
+                    if rng.below_u64(3) == 0 {
                         c.clear_part(space, v, p);
                     } else {
                         kept += 1;
                     }
                 }
                 if kept == 0 {
-                    c.set_part(space, v, (rng.below(parts as u64)) as u32);
+                    c.set_part(space, v, (rng.below_u64(parts as u64)) as u32);
                 }
             }
         }
@@ -94,7 +73,7 @@ fn random_cube(rng: &mut SplitMix64, space: &CubeSpace) -> Cube {
 }
 
 fn random_cover(rng: &mut SplitMix64, space: &CubeSpace, max_cubes: u64) -> Cover {
-    let n = rng.below(max_cubes + 1);
+    let n = rng.below_u64(max_cubes + 1);
     let cubes = (0..n).map(|_| random_cube(rng, space)).collect();
     Cover::from_cubes(space.clone(), cubes)
 }
@@ -214,9 +193,9 @@ fn full_minimize_matches_legacy_cover_and_cost() {
 /// reference complement intractable at hundreds of variables.
 fn mostly_full_cube(rng: &mut SplitMix64, space: &CubeSpace, loose: u64) -> Cube {
     let mut c = Cube::full(space);
-    for _ in 0..rng.below(loose + 1) {
-        let v = rng.below(space.num_vars() as u64) as usize;
-        c.clear_part(space, v, rng.below(space.parts(v) as u64) as u32);
+    for _ in 0..rng.below_u64(loose + 1) {
+        let v = rng.below_u64(space.num_vars() as u64) as usize;
+        c.clear_part(space, v, rng.below_u64(space.parts(v) as u64) as u32);
     }
     c
 }
@@ -242,7 +221,7 @@ fn kernels_match_legacy_across_chunk_boundary_widths() {
         assert_eq!(space.words(), w, "stride setup for width {w}");
         let mut rng = SplitMix64::new(0x51_3d00 + w as u64);
         for round in 0..10 {
-            let n = 2 + rng.below(8) as usize;
+            let n = 2 + rng.below_u64(8) as usize;
             let mut cubes: Vec<Cube> = (0..n)
                 .map(|_| mostly_full_cube(&mut rng, &space, 5))
                 .collect();
@@ -250,7 +229,7 @@ fn kernels_match_legacy_across_chunk_boundary_widths() {
                 // Make the true-tautology path reachable at every width.
                 cubes.extend(universe_split(
                     &space,
-                    rng.below(space.num_vars() as u64) as usize,
+                    rng.below_u64(space.num_vars() as u64) as usize,
                 ));
             }
             let f = Cover::from_cubes(space.clone(), cubes);
@@ -291,7 +270,7 @@ fn saturated_signature_window_stays_exact_beyond_127_vars() {
     assert!(space.num_vars() > espresso::SIG_EXACT_VARS);
     let mut rng = SplitMix64::new(0x5a7_0b17);
     for round in 0..8 {
-        let mut cubes: Vec<Cube> = (0..(2 + rng.below(6)))
+        let mut cubes: Vec<Cube> = (0..(2 + rng.below_u64(6)))
             .map(|_| mostly_full_cube(&mut rng, &space, 4))
             .collect();
         if round % 2 == 0 {

@@ -11,8 +11,12 @@
 //! * the paper's **PLA area model** ([`area`]),
 //! * behavioural **simulation** of both the symbolic machine and encoded
 //!   implementations for equivalence checking ([`simulate`]),
-//! * the embedded **benchmark suite** of Tables I–V ([`benchmarks`]) and the
-//!   seeded synthetic generator backing its stand-ins ([`generator`]),
+//! * the embedded **benchmark suite** of Tables I–V ([`benchmarks`]), the
+//!   seeded synthetic generator backing its stand-ins, and the
+//!   shape-controlled **scale corpus** generator ([`generator::ScaleSpec`])
+//!   behind `nova bench --synthetic`,
+//! * the canonical seeded PRNG shared by every deterministic component
+//!   ([`rng`]),
 //! * content-addressed machine **fingerprints** for result caching
 //!   ([`fingerprint`]).
 //!
@@ -38,10 +42,13 @@ pub mod fingerprint;
 pub mod generator;
 pub mod machine;
 pub mod minimize_states;
+pub mod rng;
 pub mod simulate;
 pub mod symbolic;
 
 pub use encode::{EncodedPla, Encoding};
 pub use fingerprint::fingerprint;
+pub use generator::ScaleSpec;
 pub use machine::{Fsm, FsmError, ParseKissError, StateId, Transition, Trit};
+pub use rng::SplitMix64;
 pub use symbolic::{symbolic_cover, SymbolicCover};

@@ -1,0 +1,93 @@
+//! The repo's one deterministic PRNG: SplitMix64 (Steele et al.).
+//!
+//! Every seeded component — the synthetic FSM generators, the randomized
+//! differential tests, the benchmark harnesses, `nova-serve`'s request-id
+//! minting — draws from this single implementation, so a seed means the same
+//! byte stream everywhere and no external crate version can ever shift a
+//! committed baseline. Tiny, fast, and statistically good enough to drive
+//! structural test-case generation; not cryptographic.
+
+/// SplitMix64: a 64-bit golden-ratio counter pushed through a bijective
+/// finalizer. One `u64` of state, period 2^64.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+/// The golden-ratio increment of the SplitMix64 counter.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output function: a bijective mix of one 64-bit word.
+#[inline]
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `n`-th value of the SplitMix64 stream seeded with `seed`, without
+/// materializing a generator — random access into the stream. Used for
+/// deterministic id minting (`nova-serve` request ids) and for deriving
+/// per-index child seeds in the scale generator.
+#[inline]
+pub fn mix(seed: u64, n: u64) -> u64 {
+    finalize(seed.wrapping_add(n.wrapping_add(1).wrapping_mul(GAMMA)))
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(GAMMA);
+        finalize(self.0)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `u64` in `0..bound` (`bound > 0`).
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Bernoulli draw with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_stream_is_stable() {
+        // First outputs of seed 1234567, per the published SplitMix64
+        // reference — pins the implementation against accidental edits,
+        // which would silently shift every committed baseline.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn mix_is_random_access_into_the_stream() {
+        let mut rng = SplitMix64::new(0xfeed);
+        for n in 0..16 {
+            assert_eq!(mix(0xfeed, n), rng.next_u64(), "index {n}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            assert!(rng.below_u64(3) < 3);
+        }
+    }
+}

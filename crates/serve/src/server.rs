@@ -305,15 +305,12 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     shared.queue.close();
 }
 
-/// Mints the request id for admission `n` under `seed`: the SplitMix64
-/// output function over a golden-ratio stream, so ids are deterministic
-/// per server instance yet well-mixed. `0` is reserved for "no id".
+/// Mints the request id for admission `n` under `seed`: random access into
+/// the canonical SplitMix64 stream ([`fsm::rng::mix`]), so ids are
+/// deterministic per server instance yet well-mixed. `0` is reserved for
+/// "no id".
 fn mint_request_id(seed: u64, n: u64) -> u64 {
-    let mut z = seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    let id = z ^ (z >> 31);
-    id.max(1)
+    fsm::rng::mix(seed, n).max(1)
 }
 
 fn admit(stream: TcpStream, shared: &Shared) {
