@@ -6,7 +6,7 @@
 //! nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE] [FILE.kiss2 | -]
 //! nova --portfolio [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--trace FILE] [FILE.kiss2 | -]
 //! nova --portfolio --batch [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--bench-out FILE]
-//! nova bench [--synthetic SPEC | --filter A,B] [--batch-jobs N] [--stream FILE|-] [--bench-out FILE] [--scale-out FILE] [--timeout-ms N] [--budget N] [--fault-plan SPEC]
+//! nova bench [--synthetic SPEC | --filter A,B] [--batch-jobs N] [--stream FILE|-] [--journal FILE [--resume]] [--retries N] [--watchdog-ms N] [--bench-out FILE] [--scale-out FILE] [--timeout-ms N] [--budget N] [--fault-plan SPEC]
 //! nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]
 //! nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]
 //! nova --remote HOST:PORT [-e ALG | --portfolio] [-b BITS] [--budget N] [--timeout-ms N] [FILE.kiss2 | -]
@@ -55,6 +55,23 @@
 //!                  for large corpora
 //!   --scale-out F  write a small nova-bench-scale/1 throughput baseline
 //!                  (machines/sec) to F — what CI gates BENCH_SCALE.json on
+//!   --journal F    append a crash-safe completion journal (nova-journal/1,
+//!                  fsync'd in batches) alongside --stream; implies the
+//!                  deterministic stream form (no wall-clock fields) so a
+//!                  killed sweep can be resumed byte-identically. Must be a
+//!                  real file distinct from the stream path.
+//!   --resume       replay an existing --journal: already-completed
+//!                  machines are skipped and their recorded lines merged
+//!                  into the stream at their original positions; the merged
+//!                  output is byte-identical to an uninterrupted run. The
+//!                  journal must match this invocation's corpus and options.
+//!   --retries N    supervised retry budget per machine before quarantine
+//!                  (default 2); retries use deterministic seeded backoff
+//!   --watchdog-ms N  wall-clock watchdog per machine attempt: at N ms the
+//!                  run is cooperatively cancelled (keeping its degraded
+//!                  best-so-far), at 2N ms it is quarantined. A sweep with
+//!                  quarantined machines still completes and exits 0; they
+//!                  are listed in the stream summary's quarantine section.
 //!   (--bench-out, --filter, --timeout-ms, --budget, --jobs, --embed-jobs,
 //!    --espresso-jobs, --fault-plan as in --portfolio --batch; --bench-out
 //!    accumulates nova-bench/1 in memory, so prefer --stream at scale.
@@ -117,7 +134,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: nova [-e ALG] [-b BITS] [-m] [-p] [-s] [--json] [--trace FILE [--trace-format chrome|jsonl]] [--bench NAME] [--fault-plan SPEC] [--remote ADDR] [FILE.kiss2 | -]\n\
          \u{20}      nova --portfolio [--batch [--filter A,B] [--bench-out FILE] [--batch-jobs N]] [--timeout-ms N] [--budget N] [--jobs N] [--embed-jobs N] [--espresso-jobs N] [--json] [--trace FILE] [--fault-plan SPEC] [FILE.kiss2 | -]\n\
-         \u{20}      nova bench [--synthetic SPEC | --filter A,B] [--batch-jobs N] [--stream FILE|-] [--bench-out FILE] [--scale-out FILE] [--timeout-ms N] [--budget N] [--fault-plan SPEC]\n\
+         \u{20}      nova bench [--synthetic SPEC | --filter A,B] [--batch-jobs N] [--stream FILE|-] [--journal FILE [--resume]] [--retries N] [--watchdog-ms N] [--bench-out FILE] [--scale-out FILE] [--timeout-ms N] [--budget N] [--fault-plan SPEC]\n\
          \u{20}      nova serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-bytes N] [--queue-depth N] [--trace-dir DIR]\n\
          \u{20}      nova trace-report FILE.jsonl [--diff FILE2] [--threshold PCT]\n\
          ALG: {} (or onehot)",
@@ -418,6 +435,10 @@ fn bench_main(argv: &[String]) -> ExitCode {
     let mut embed_jobs = 0usize;
     let mut espresso_jobs = 0usize;
     let mut fault_plan: Option<FaultPlan> = None;
+    let mut journal: Option<String> = None;
+    let mut resume = false;
+    let mut retries: Option<usize> = None;
+    let mut watchdog_ms: Option<u64> = None;
     let mut it = argv.iter();
     let num =
         |v: Option<&String>| -> u64 { v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
@@ -439,6 +460,10 @@ fn bench_main(argv: &[String]) -> ExitCode {
             }
             "--batch-jobs" => batch_jobs = num(it.next()) as usize,
             "--stream" => stream = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--journal" => journal = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--resume" => resume = true,
+            "--retries" => retries = Some(num(it.next()) as usize),
+            "--watchdog-ms" => watchdog_ms = Some(num(it.next())),
             "--bench-out" => bench_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--scale-out" => scale_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--timeout-ms" => timeout_ms = Some(num(it.next())),
@@ -461,6 +486,43 @@ fn bench_main(argv: &[String]) -> ExitCode {
     }
     if synthetic.is_some() && !filter.is_empty() {
         eprintln!("nova: --synthetic and --filter are mutually exclusive");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if let Some(jpath) = &journal {
+        // The journal is fsync'd and replayed on resume; stdout can be
+        // neither. And journal records interleaved into the stream file
+        // would corrupt both — fail fast instead of writing garbage.
+        if jpath == "-" || jpath == "/dev/stdout" {
+            eprintln!("nova: --journal cannot write to stdout; give it its own file");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let Some(spath) = &stream else {
+            eprintln!("nova: --journal requires --stream (the journal records stream lines)");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        let canon = |p: &str| {
+            if p == "-" {
+                "/dev/stdout".to_string()
+            } else {
+                std::fs::canonicalize(p)
+                    .map(|c| c.to_string_lossy().into_owned())
+                    .unwrap_or_else(|_| p.to_string())
+            }
+        };
+        if canon(jpath) == canon(spath) {
+            eprintln!(
+                "nova: --journal and --stream point at the same file; \
+                 interleaving them would corrupt both"
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+    if resume && journal.is_none() {
+        eprintln!("nova: --resume requires --journal FILE");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if resume && bench_out.is_some() {
+        eprintln!("nova: --resume cannot rebuild a full --bench-out document (replayed machines keep only their stream lines)");
         return ExitCode::from(EXIT_USAGE);
     }
     for name in &filter {
@@ -517,12 +579,133 @@ fn bench_main(argv: &[String]) -> ExitCode {
     };
     let bcfg = nova_engine::BatchConfig {
         batch_jobs,
+        retries: retries.unwrap_or(nova_engine::BatchConfig::default().retries),
+        watchdog: watchdog_ms.map(Duration::from_millis),
         ..nova_engine::BatchConfig::default()
     };
 
+    // The journal binds to (corpus, every option that can change a report
+    // line): resuming under different options would merge streams that were
+    // never byte-compatible.
+    let canonical_opts = format!(
+        "budget={:?} timeout_ms={:?} fault_plan={} retries={}",
+        budget,
+        timeout_ms,
+        cfg.fault_plan
+            .as_ref()
+            .map(|p| p.to_spec())
+            .unwrap_or_else(|| "-".into()),
+        bcfg.retries
+    );
+    let jkey = nova_engine::journal::journal_key(&src.describe(), &canonical_opts);
+
+    // Resume: load the journal, validate its identity against this
+    // invocation, and split the corpus into replayed and still-to-run.
+    let mut pending_replay: std::collections::VecDeque<nova_engine::journal::ReplayedMachine> =
+        std::collections::VecDeque::new();
+    let mut replayed_quarantine: Vec<nova_engine::QuarantineRecord> = Vec::new();
+    let mut completed: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    if resume {
+        let jpath = journal.as_deref().unwrap_or_default();
+        let replay = match nova_engine::JournalReplay::load(std::path::Path::new(jpath)) {
+            Ok(r) => r,
+            Err(nova_engine::journal::JournalError::Io(e)) => {
+                eprintln!("nova: cannot read journal {jpath}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+            Err(e) => {
+                eprintln!("nova: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        if replay.corpus != src.describe() || replay.machines != src.len() {
+            eprintln!(
+                "nova: journal {jpath} was written for corpus {:?} ({} machines), \
+                 not {:?} ({} machines)",
+                replay.corpus,
+                replay.machines,
+                src.describe(),
+                src.len()
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+        if replay.key != jkey {
+            eprintln!(
+                "nova: journal {jpath} was written under different encoding options; \
+                 resuming would merge incompatible streams"
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+        for m in replay.completed.values() {
+            if fsm::fingerprint(&src.machine(m.index)) != m.machine_fp {
+                eprintln!(
+                    "nova: journal {jpath} machine {} ({}) no longer matches the corpus",
+                    m.index,
+                    src.name(m.index)
+                );
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+        if replay.dropped > 0 {
+            eprintln!(
+                "nova: journal {jpath}: dropped {} torn/corrupt trailing record(s)",
+                replay.dropped
+            );
+        }
+        completed = replay.completed.keys().copied().collect();
+        for m in replay.completed.into_values() {
+            if let Some(mut q) = m.quarantine.clone() {
+                q.machine = src.name(q.index);
+                replayed_quarantine.push(q);
+            }
+            pending_replay.push_back(m);
+        }
+        eprintln!(
+            "nova: resuming: {} of {} machines already complete",
+            completed.len(),
+            src.len()
+        );
+    }
+    let mut jw = match (&journal, resume) {
+        (Some(p), true) => match nova_engine::JournalWriter::append(std::path::Path::new(p)) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("nova: cannot append to journal {p}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        },
+        (Some(p), false) => {
+            match nova_engine::JournalWriter::create(
+                std::path::Path::new(p),
+                jkey,
+                src.len(),
+                &src.describe(),
+            ) {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    eprintln!("nova: cannot write journal {p}: {e}");
+                    return ExitCode::from(EXIT_IO);
+                }
+            }
+        }
+        (None, _) => None,
+    };
+
+    // Journaled streams drop every wall-clock field so an interrupted and
+    // resumed sweep merges byte-identically with an uninterrupted one.
+    let deterministic = journal.is_some();
     let mut sw = match stream_writer
         .map(|w| {
-            nova_engine::StreamWriter::new(w, &src.describe(), src.len(), bcfg.effective_jobs())
+            if deterministic {
+                nova_engine::StreamWriter::deterministic(
+                    w,
+                    &src.describe(),
+                    src.len(),
+                    bcfg.effective_jobs(),
+                )
+            } else {
+                nova_engine::StreamWriter::new(w, &src.describe(), src.len(), bcfg.effective_jobs())
+            }
         })
         .transpose()
     {
@@ -538,16 +721,46 @@ fn bench_main(argv: &[String]) -> ExitCode {
     let keep = bench_out_file.is_some();
     let mut tally = nova_engine::StreamTally::default();
     let mut stream_err: Option<std::io::Error> = None;
+    let mut journal_err: Option<std::io::Error> = None;
     let started = std::time::Instant::now();
-    nova_engine::run_batch(src, &cfg, &bcfg, &mut |_, rep| {
-        if rep.best().is_some() {
-            tally.solved += 1;
-        } else if rep.best_degraded().is_some() {
-            tally.degraded += 1;
-        } else {
-            tally.unresolved += 1;
+    let bump = |tally: &mut nova_engine::StreamTally, class: nova_engine::MachineClass| match class
+    {
+        nova_engine::MachineClass::Solved => tally.solved += 1,
+        nova_engine::MachineClass::Degraded => tally.degraded += 1,
+        nova_engine::MachineClass::Unresolved => tally.unresolved += 1,
+    };
+    let report = nova_engine::run_batch_resumable(src, &cfg, &bcfg, &completed, &mut |i,
+                                                                                     rep,
+                                                                                     q| {
+        // Interleave replayed lines: everything the journal completed below
+        // this fresh index goes out first, keeping machine-index order.
+        while pending_replay.front().is_some_and(|m| m.index < i) {
+            let m = pending_replay.pop_front().expect("front checked");
+            bump(&mut tally, m.class);
+            if let Some(w) = &mut sw {
+                if let Err(e) = w.write_raw(&m.line, m.class) {
+                    stream_err.get_or_insert(e);
+                }
+            }
         }
-        if let Some(w) = &mut sw {
+        let class = nova_engine::MachineClass::of(&rep);
+        bump(&mut tally, class);
+        if deterministic {
+            // Journal first, then stream: a kill between the two replays
+            // the machine as complete and rewrites the same line.
+            let line = nova_engine::StreamWriter::<std::io::Sink>::render_line(&rep, false);
+            if let Some(j) = &mut jw {
+                let fp = fsm::fingerprint(&src.machine(i));
+                if let Err(e) = j.record(i, &fp, class, &line, q) {
+                    journal_err.get_or_insert(e);
+                }
+            }
+            if let Some(w) = &mut sw {
+                if let Err(e) = w.write_raw(&line, class) {
+                    stream_err.get_or_insert(e);
+                }
+            }
+        } else if let Some(w) = &mut sw {
             if let Err(e) = w.report(&rep) {
                 stream_err.get_or_insert(e);
             }
@@ -556,11 +769,32 @@ fn bench_main(argv: &[String]) -> ExitCode {
             kept.push(rep);
         }
     });
+    // Replayed machines above the last fresh index.
+    while let Some(m) = pending_replay.pop_front() {
+        bump(&mut tally, m.class);
+        if let Some(w) = &mut sw {
+            if let Err(e) = w.write_raw(&m.line, m.class) {
+                stream_err.get_or_insert(e);
+            }
+        }
+    }
     let wall = started.elapsed();
     let per_sec = nova_engine::throughput(src.len(), wall);
+    let mut quarantine = replayed_quarantine;
+    quarantine.extend(report.quarantined.iter().cloned());
+    quarantine.sort_by_key(|q| q.index);
     if let Some(w) = sw {
-        if let Some(e) = w.finish().err().or(stream_err) {
+        if let Some(e) = w.finish_with(&quarantine).err().or(stream_err) {
             eprintln!("nova: cannot write stream: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    if let Some(j) = jw {
+        if let Some(e) = j.finish().err().or(journal_err) {
+            eprintln!(
+                "nova: cannot write journal {}: {e}",
+                journal.as_deref().unwrap_or("?")
+            );
             return ExitCode::from(EXIT_IO);
         }
     }
@@ -608,6 +842,16 @@ fn bench_main(argv: &[String]) -> ExitCode {
         tally.degraded,
         tally.unresolved
     );
+    // A quarantined machine is a completed sweep, not a failed one: the
+    // stream carries the details, stderr just flags it, and the exit code
+    // stays 0 so long sweeps don't lose their output to one bad machine.
+    if !quarantine.is_empty() {
+        eprintln!(
+            "nova: quarantined {} machine(s) after {} retry attempt(s); see the stream's quarantine section",
+            quarantine.len(),
+            report.retries
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -747,7 +991,15 @@ fn remote_main(addr: &str, machine: &Fsm, args: &Args) -> ExitCode {
         espresso_jobs: args.espresso_jobs,
         fault_plan: args.fault_plan.clone(),
     };
-    let resp = match nova_serve::client::post_kiss(addr, &machine.to_kiss(), &options.to_query()) {
+    // Transient 503 pushback (full queue, tripped breaker, memory
+    // pressure) is retried with deterministic jitter, honoring the
+    // server's Retry-After hint; an unreachable server still fails fast.
+    let resp = match nova_serve::client::post_kiss_retry(
+        addr,
+        &machine.to_kiss(),
+        &options.to_query(),
+        &nova_serve::RetryPolicy::default(),
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("nova: --remote {addr}: {e}");

@@ -851,3 +851,189 @@ fn nova_bench_scale_out_writes_throughput_baseline() {
     assert!(doc.get("machines_per_sec").is_some());
     assert!(doc.get("corpus").is_some());
 }
+
+#[test]
+fn nova_bench_journaled_resume_merges_byte_identically() {
+    let spec = "machines=6,states=5,inputs=2,outputs=2,seed=11";
+    let run = |stream: &std::path::Path, journal: &std::path::Path, resume: bool| {
+        let (stream_s, journal_s) = (stream.to_str().unwrap(), journal.to_str().unwrap());
+        let mut args = vec![
+            "bench",
+            "--synthetic",
+            spec,
+            "--budget",
+            "5000",
+            "--batch-jobs",
+            "2",
+            "--stream",
+            stream_s,
+            "--journal",
+            journal_s,
+        ];
+        if resume {
+            args.push("--resume");
+        }
+        run_with_code(env!("CARGO_BIN_EXE_nova"), &args, "")
+    };
+
+    // Uninterrupted baseline.
+    let base_stream = temp_path("resume-base.jsonl");
+    let base_journal = temp_path("resume-base.journal");
+    let (_, stderr, code) = run(&base_stream, &base_journal, false);
+    assert_eq!(code, 0, "{stderr}");
+    let journal_text = std::fs::read_to_string(&base_journal).expect("journal written");
+    assert!(
+        journal_text.starts_with("nova-journal/1 "),
+        "{journal_text}"
+    );
+    assert_eq!(
+        journal_text.lines().filter(|l| l.starts_with("C ")).count(),
+        6,
+        "one completion record per machine: {journal_text}"
+    );
+
+    // Simulate a mid-sweep kill: keep the header and the first three
+    // completion records, as if the process died before the fsync of the
+    // rest. Resume must replay those three and run only the other three.
+    let cut_journal = temp_path("resume-cut.journal");
+    let kept: Vec<&str> = journal_text.lines().take(4).collect();
+    std::fs::write(&cut_journal, format!("{}\n", kept.join("\n"))).unwrap();
+    let cut_stream = temp_path("resume-cut.jsonl");
+    let (_, stderr, code) = run(&cut_stream, &cut_journal, true);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        stderr.contains("resuming: 3 of 6 machines already complete"),
+        "{stderr}"
+    );
+
+    let base = std::fs::read(&base_stream).expect("baseline stream");
+    let merged = std::fs::read(&cut_stream).expect("merged stream");
+    assert_eq!(base, merged, "resumed stream is byte-identical");
+
+    // A second resume over the now-complete journal runs nothing and
+    // still reproduces the same bytes.
+    let again_stream = temp_path("resume-again.jsonl");
+    let (_, stderr, code) = run(&again_stream, &cut_journal, true);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("resuming: 6 of 6"), "{stderr}");
+    assert_eq!(base, std::fs::read(&again_stream).expect("stream"));
+
+    for p in [
+        &base_stream,
+        &base_journal,
+        &cut_journal,
+        &cut_stream,
+        &again_stream,
+    ] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn nova_bench_quarantines_always_crashing_machines_and_exits_zero() {
+    // An injected always-panic fault plan (satellite of the supervision
+    // ladder): every machine exhausts its retries, lands in quarantine,
+    // and the sweep still completes with exit 0.
+    let (stdout, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &[
+            "bench",
+            "--synthetic",
+            "machines=3,states=6,inputs=2,outputs=2,seed=9",
+            "--fault-plan",
+            "*:1:panic",
+            "--retries",
+            "1",
+            "--batch-jobs",
+            "2",
+            "--stream",
+            "-",
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "quarantine is not a failure: {stderr}");
+    assert!(stderr.contains("quarantined 3 machine(s)"), "{stderr}");
+
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1 + 3 + 1, "header + machines + summary");
+    let summary = json::parse(lines.last().unwrap()).expect("summary parses");
+    let s = summary.get("summary").expect("summary object");
+    assert_eq!(s.get("quarantined"), Some(&json::Json::uint(3)));
+    let Some(json::Json::Arr(q)) = s.get("quarantine") else {
+        panic!("quarantine section missing: {stdout}");
+    };
+    assert_eq!(q.len(), 3);
+    for (i, entry) in q.iter().enumerate() {
+        assert_eq!(entry.get("index"), Some(&json::Json::uint(i as u64)));
+        assert_eq!(
+            entry.get("attempts"),
+            Some(&json::Json::uint(2)),
+            "first try + one retry"
+        );
+        assert!(
+            matches!(entry.get("reason"), Some(json::Json::Str(r)) if r.contains("injected panic")),
+            "{entry:?}"
+        );
+    }
+}
+
+#[test]
+fn nova_bench_journal_misuse_fails_fast_with_usage_exit() {
+    let spec = "machines=2,states=5,inputs=2,outputs=2,seed=1";
+    // The journal cannot share stdout with the stream.
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &[
+            "bench", "--synthetic", spec, "--stream", "-", "--journal", "-",
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("cannot write to stdout"), "{stderr}");
+
+    // Nor the stream's own file: interleaved records would corrupt both.
+    let shared = temp_path("journal-shared.jsonl");
+    let shared_s = shared.to_str().unwrap();
+    std::fs::write(&shared, "").unwrap();
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &[
+            "bench",
+            "--synthetic",
+            spec,
+            "--stream",
+            shared_s,
+            "--journal",
+            shared_s,
+        ],
+        "",
+    );
+    std::fs::remove_file(&shared).ok();
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("same file"), "{stderr}");
+
+    // --journal is meaningless without a stream to record.
+    let journal_only = temp_path("journal-only.journal");
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &[
+            "bench",
+            "--synthetic",
+            spec,
+            "--journal",
+            journal_only.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("requires --stream"), "{stderr}");
+
+    // --resume without a journal to replay.
+    let (_, stderr, code) = run_with_code(
+        env!("CARGO_BIN_EXE_nova"),
+        &["bench", "--synthetic", spec, "--stream", "-", "--resume"],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--resume requires --journal"), "{stderr}");
+}

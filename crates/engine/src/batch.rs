@@ -31,19 +31,43 @@
 //!   summary, so the accumulated `nova-bench/1` document is only needed for
 //!   the small committed baselines.
 //!
+//! * **Supervision** (`nova-sentinel`): a machine whose portfolio crashes
+//!   (panics, or fails every run with nothing usable) is retried a bounded
+//!   number of times with deterministic seeded backoff; a machine that
+//!   exhausts its retries is *quarantined* — recorded in the returned
+//!   [`BatchReport`] and the stream summary's `quarantine` section — instead
+//!   of aborting the sweep. An optional wall-clock watchdog escalates stuck
+//!   runs through the [`RunCtl`](espresso::RunCtl) ladder: cooperative
+//!   cancel at the limit (the run unwinds to its `Degraded` best-so-far),
+//!   quarantine at twice the limit.
+//! * **Crash-safe resume** ([`run_batch_resumable`]): a journal-driven
+//!   caller passes the set of machine indices already completed by a prior
+//!   interrupted sweep; they are skipped entirely (never generated, never
+//!   run) while emission order and the reorder-window memory bound are
+//!   preserved.
+//!
 //! Telemetry: `engine.batch.machines` / `.shards` / `.steals` /
-//! `.backpressure` counters and the `engine.batch.queue.depth` gauge on the
-//! session tracer.
+//! `.backpressure` / `.retry` / `.quarantine` / `.watchdog.cancel` /
+//! `.watchdog.quarantine` counters and the `engine.batch.queue.depth` gauge
+//! on the session tracer.
 
-use crate::{machine_summary_json, report_fingerprint, EngineConfig, PortfolioReport};
+use crate::{machine_summary_json_with, report_fingerprint, EngineConfig, PortfolioReport};
 use fsm::{Fsm, ScaleSpec};
 use nova_trace::json::Json;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard from a poisoned lock instead of
+/// cascading the panic. Every batch-layer mutex holds plain data (queues,
+/// reorder buffers, watchdog slots) whose invariants hold between
+/// statements, so a panic elsewhere never leaves them half-updated.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A corpus the batch engine can sweep: machines addressed by index,
 /// materialized on demand. Implementations must be cheap to query for
@@ -59,8 +83,11 @@ pub trait MachineSource: Sync {
     }
     /// Name of machine `i` (report key; stable across calls).
     fn name(&self, i: usize) -> String;
-    /// Materializes machine `i`. Called exactly once per sweep by whichever
-    /// worker claimed the index; the machine is dropped after its portfolio.
+    /// Materializes machine `i`. Usually called once per sweep by whichever
+    /// worker claimed the index (the machine is dropped after its
+    /// portfolio), but supervision may call it again — once per retry of a
+    /// crashed machine, and once per completed machine when a resume
+    /// validates journal fingerprints.
     fn machine(&self, i: usize) -> Fsm;
     /// One-line corpus description for stream headers and scale baselines.
     fn describe(&self) -> String;
@@ -146,6 +173,23 @@ pub struct BatchConfig {
     /// never runs a machine `window` or more indices ahead of the emission
     /// cursor.
     pub window: usize,
+    /// Extra attempts granted to a *crashed* machine (one that panicked, or
+    /// failed every run with no usable result) before it is quarantined.
+    /// The default of 2 gives every machine up to three attempts; `0`
+    /// quarantines on the first crash.
+    pub retries: usize,
+    /// Seed of the deterministic retry-backoff stream ([`fsm::rng::mix`]):
+    /// attempt `a` of machine `i` sleeps `mix(seed, 8·i + a) mod 16` ms
+    /// before re-running. Fixed by default so replays are reproducible.
+    pub retry_seed: u64,
+    /// Wall-clock watchdog limit per machine attempt. `None` (the default)
+    /// spawns no watchdog. With `Some(limit)`, a supervisor thread
+    /// escalates a stuck attempt through the ladder: cooperative
+    /// [`RunCtl`](espresso::RunCtl) cancel at `limit` (the run unwinds to
+    /// its `Degraded` best-so-far), quarantine at `2 × limit`. A run that
+    /// never charges its ctl cannot be killed — only flagged — so the
+    /// ladder is cooperative by design.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for BatchConfig {
@@ -154,6 +198,9 @@ impl Default for BatchConfig {
             batch_jobs: 1,
             shard: 0,
             window: 0,
+            retries: 2,
+            retry_seed: 0x6e6f_7661_2d73_7631, // "nova-sv1" — any fixed value
+            watchdog: None,
         }
     }
 }
@@ -187,14 +234,54 @@ impl BatchConfig {
     }
 }
 
+/// One machine that exhausted its supervision ladder: the sweep completed
+/// without it ever producing a usable result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Machine index in the corpus.
+    pub index: usize,
+    /// Machine name (report key).
+    pub machine: String,
+    /// Attempts consumed (first run + retries).
+    pub attempts: usize,
+    /// Why it was quarantined: the crash message of the last attempt, or
+    /// the watchdog's escalation note.
+    pub reason: String,
+}
+
+/// What a batch sweep did beyond the per-machine reports: supervision
+/// telemetry for the caller (the CLI folds `quarantined` into the stream
+/// summary and the journal).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Machines actually run this sweep (excludes resumed skips).
+    pub machines: usize,
+    /// Retry attempts taken across the sweep.
+    pub retries: u64,
+    /// Machines that exhausted the ladder, in index order.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+/// One machine attempt being watched by the watchdog thread.
+struct RunningSlot {
+    started: Instant,
+    /// The attempt's shared stop flag (wired into every per-algorithm
+    /// `RunCtl` via [`EngineConfig::stop`]).
+    stop: Arc<AtomicBool>,
+    /// Escalation ladder position: 0 running, 1 cancelled at the limit,
+    /// 2 marked for quarantine at twice the limit.
+    phase: u8,
+}
+
 /// Shared in-order emission state: the reorder buffer plus the sink.
 struct Emit<'s> {
     /// Next machine index to hand to the sink.
     next: usize,
-    /// Completed reports waiting for their prefix.
-    pending: BTreeMap<usize, PortfolioReport>,
-    /// Receives `(index, report)` strictly in index order.
-    sink: &'s mut (dyn FnMut(usize, PortfolioReport) + Send),
+    /// Completed reports waiting for their prefix, with the quarantine
+    /// record of machines that exhausted supervision.
+    pending: BTreeMap<usize, (PortfolioReport, Option<QuarantineRecord>)>,
+    /// Receives `(index, report, quarantine)` strictly in index order.
+    sink: &'s mut (dyn FnMut(usize, PortfolioReport, Option<&QuarantineRecord>) + Send),
 }
 
 /// Sweeps every machine of `src` through [`crate::run_portfolio`] under
@@ -203,18 +290,55 @@ struct Emit<'s> {
 /// corpus; report content is identical at any worker count (wall-clock
 /// deadlines excepted, as everywhere in the engine).
 ///
-/// A machine whose generation or portfolio panics contributes an empty
-/// report (no runs, `best: null`) rather than poisoning the sweep — the
-/// engine's panic-free guarantee extends to the batch layer.
+/// A machine whose generation or portfolio crashes is retried and — when
+/// retries run out — quarantined (its last report, possibly empty, is still
+/// emitted so the stream stays complete); see [`BatchConfig::retries`] and
+/// [`BatchConfig::watchdog`]. The engine's panic-free guarantee extends to
+/// the batch layer: the sweep always completes and reports what happened in
+/// the returned [`BatchReport`].
 pub fn run_batch(
     src: &dyn MachineSource,
     cfg: &EngineConfig,
     bcfg: &BatchConfig,
     sink: &mut (dyn FnMut(usize, PortfolioReport) + Send),
-) {
+) -> BatchReport {
+    run_batch_resumable(src, cfg, bcfg, &BTreeSet::new(), &mut |i, rep, _| {
+        sink(i, rep)
+    })
+}
+
+/// The crash reason of a report that produced nothing usable: the first
+/// failed run's message when neither a completed nor a degraded result
+/// exists. (Fault-injected panics are contained *inside* the portfolio as
+/// `Failed` runs, so this — not a batch-level unwind — is how a poisoned
+/// machine surfaces.)
+fn crash_reason(rep: &PortfolioReport) -> Option<String> {
+    if rep.best().is_some() || rep.best_degraded().is_some() {
+        return None;
+    }
+    rep.runs.iter().find_map(|r| match &r.outcome {
+        crate::Outcome::Failed(msg) => Some(msg.clone()),
+        _ => None,
+    })
+}
+
+/// [`run_batch`] minus the machines a prior interrupted sweep already
+/// completed: indices in `completed` are never generated or run, and the
+/// sink only sees the remainder — still strictly in machine-index order.
+/// The journal-driven CLI resume interleaves the replayed lines itself.
+///
+/// `completed` is typically a prefix (journals record completions in
+/// emission order), but any set is handled.
+pub fn run_batch_resumable(
+    src: &dyn MachineSource,
+    cfg: &EngineConfig,
+    bcfg: &BatchConfig,
+    completed: &BTreeSet<usize>,
+    sink: &mut (dyn FnMut(usize, PortfolioReport, Option<&QuarantineRecord>) + Send),
+) -> BatchReport {
     let len = src.len();
     if len == 0 {
-        return;
+        return BatchReport::default();
     }
     let workers = bcfg.effective_jobs().min(len);
     let shard = bcfg.effective_shard(len, workers);
@@ -241,103 +365,257 @@ pub fn run_batch(
     let cursor = AtomicUsize::new(0);
     let deques: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    // The emission cursor starts past any already-completed prefix.
+    let mut first = 0usize;
+    while completed.contains(&first) {
+        first += 1;
+    }
     let emit = Mutex::new(Emit {
-        next: 0,
+        next: first,
         pending: BTreeMap::new(),
         sink,
     });
     let emitted = Condvar::new();
 
-    // Blocks until `i` is inside the reorder window, then runs machine `i`
-    // and pushes its report through the in-order emitter.
-    let run_one = |i: usize| {
-        {
-            let mut g = emit.lock().unwrap();
-            while i >= g.next + window {
-                tracer.incr("engine.batch.backpressure", 1);
-                g = emitted.wait(g).unwrap();
+    // Supervision bookkeeping shared across workers and the watchdog.
+    let ran = AtomicUsize::new(0);
+    let retries_taken = AtomicU64::new(0);
+    let quarantined: Mutex<Vec<QuarantineRecord>> = Mutex::new(Vec::new());
+    let watch_slots: Option<Vec<Mutex<Option<RunningSlot>>>> = bcfg
+        .watchdog
+        .map(|_| (0..workers).map(|_| Mutex::new(None)).collect());
+    let workers_done = AtomicBool::new(false);
+
+    // Runs machine `i` on worker `w` under supervision: bounded retries on
+    // crash, watchdog registration, quarantine on exhaustion. Always
+    // returns a report (possibly empty) so the stream stays complete.
+    let supervise = |w: usize, i: usize| -> (PortfolioReport, Option<QuarantineRecord>) {
+        let name = src.name(i);
+        let max_attempts = 1 + bcfg.retries;
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            let stop = Arc::new(AtomicBool::new(false));
+            let attempt_cfg = EngineConfig {
+                stop: Some(Arc::clone(&stop)),
+                ..inner.clone()
+            };
+            if let Some(slots) = &watch_slots {
+                *lock(&slots[w]) = Some(RunningSlot {
+                    started: Instant::now(),
+                    stop,
+                    phase: 0,
+                });
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let machine = src.machine(i);
+                crate::run_portfolio(&machine, &name, &attempt_cfg)
+            }));
+            let wd_phase = watch_slots
+                .as_ref()
+                .and_then(|slots| lock(&slots[w]).take().map(|s| s.phase))
+                .unwrap_or(0);
+            let (report, crash) = match outcome {
+                Ok(rep) => {
+                    let crash = crash_reason(&rep);
+                    (rep, crash)
+                }
+                // The whole portfolio (or machine generation) unwound:
+                // containment failed below us, treat as a crash.
+                Err(e) => (
+                    PortfolioReport {
+                        machine: name.clone(),
+                        runs: Vec::new(),
+                        wall: Duration::default(),
+                    },
+                    Some(crate::panic_message(e)),
+                ),
+            };
+            if wd_phase >= 2 {
+                // The attempt blew through twice the wall limit even after
+                // a cooperative cancel: quarantine without retrying (a
+                // machine this stuck would eat the retry budget in wall
+                // time, and the cancelled report may still hold a usable
+                // degraded result).
+                tracer.incr("engine.batch.quarantine", 1);
+                let limit = bcfg.watchdog.unwrap_or_default();
+                return (
+                    report,
+                    Some(QuarantineRecord {
+                        index: i,
+                        machine: name,
+                        attempts: attempt,
+                        reason: format!(
+                            "watchdog: still running at 2x the {}ms wall limit",
+                            limit.as_millis()
+                        ),
+                    }),
+                );
+            }
+            let Some(reason) = crash else {
+                return (report, None);
+            };
+            if attempt >= max_attempts {
+                tracer.incr("engine.batch.quarantine", 1);
+                return (
+                    report,
+                    Some(QuarantineRecord {
+                        index: i,
+                        machine: name,
+                        attempts: attempt,
+                        reason,
+                    }),
+                );
+            }
+            retries_taken.fetch_add(1, Ordering::Relaxed);
+            tracer.incr("engine.batch.retry", 1);
+            // Deterministic seeded backoff: cheap jitter that de-clusters
+            // retries without making replays timing-dependent.
+            let ms = fsm::rng::mix(bcfg.retry_seed, 8 * i as u64 + attempt as u64) % 16;
+            if ms > 0 {
+                std::thread::sleep(Duration::from_millis(ms));
             }
         }
-        let name = src.name(i);
-        let report = catch_unwind(AssertUnwindSafe(|| {
-            let machine = src.machine(i);
-            crate::run_portfolio(&machine, &name, &inner)
-        }))
-        .unwrap_or_else(|_| PortfolioReport {
-            machine: name,
-            runs: Vec::new(),
-            wall: Duration::default(),
-        });
+    };
+
+    // Blocks until `i` is inside the reorder window, then runs machine `i`
+    // under supervision and pushes its report through the in-order emitter.
+    let run_one = |w: usize, i: usize| {
+        {
+            let mut g = lock(&emit);
+            while i >= g.next + window {
+                tracer.incr("engine.batch.backpressure", 1);
+                g = emitted.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let (report, quarantine) = supervise(w, i);
+        if let Some(q) = &quarantine {
+            lock(&quarantined).push(q.clone());
+        }
+        ran.fetch_add(1, Ordering::Relaxed);
         tracer.incr("engine.batch.machines", 1);
-        let mut g = emit.lock().unwrap();
-        g.pending.insert(i, report);
+        let mut g = lock(&emit);
+        g.pending.insert(i, (report, quarantine));
         tracer.gauge("engine.batch.queue.depth", g.pending.len() as i64);
         loop {
+            while completed.contains(&g.next) {
+                g.next += 1;
+            }
             let at = g.next;
-            let Some(r) = g.pending.remove(&at) else {
+            let Some((r, q)) = g.pending.remove(&at) else {
                 break;
             };
-            (g.sink)(at, r);
+            (g.sink)(at, r, q.as_ref());
             g.next += 1;
         }
         drop(g);
         emitted.notify_all();
     };
 
-    std::thread::scope(|s| {
-        for w in 0..workers {
-            let deques = &deques;
-            let cursor = &cursor;
-            let run_one = &run_one;
-            s.spawn(move || loop {
-                // 1. Own deque, front first (ascending indices keep the
-                //    worker close to the emission cursor).
-                if let Some(i) = deques[w].lock().unwrap().pop_front() {
-                    run_one(i);
-                    continue;
-                }
-                // 2. Claim the next shard from the atomic cursor.
-                let sh = cursor.fetch_add(1, Ordering::Relaxed);
-                if sh < num_shards {
-                    tracer.incr("engine.batch.shards", 1);
-                    let start = sh * shard;
-                    let end = ((sh + 1) * shard).min(len);
-                    let mut q = deques[w].lock().unwrap();
-                    q.extend(start..end);
-                    continue;
-                }
-                // 3. Cursor exhausted: steal the back half of the fullest
-                //    sibling deque.
-                let victim = (0..workers)
-                    .filter(|&v| v != w)
-                    .max_by_key(|&v| deques[v].lock().unwrap().len());
-                let stolen: VecDeque<usize> = match victim {
-                    Some(v) => {
-                        let mut q = deques[v].lock().unwrap();
-                        let keep = q.len() - q.len() / 2;
-                        q.split_off(keep)
+    std::thread::scope(|outer| {
+        // The watchdog lives in an outer scope so it can observe the
+        // workers' slots for the whole sweep, then exit once they drain.
+        if let (Some(limit), Some(slots)) = (bcfg.watchdog, &watch_slots) {
+            let workers_done = &workers_done;
+            outer.spawn(move || {
+                let poll = (limit / 4).clamp(Duration::from_millis(1), Duration::from_millis(25));
+                while !workers_done.load(Ordering::Acquire) {
+                    std::thread::sleep(poll);
+                    for slot in slots {
+                        let mut g = lock(slot);
+                        if let Some(r) = g.as_mut() {
+                            let elapsed = r.started.elapsed();
+                            if r.phase == 0 && elapsed >= limit {
+                                // Rung 1: cooperative cancel. The run
+                                // unwinds at its next ctl charge and keeps
+                                // its Degraded best-so-far.
+                                r.stop.store(true, Ordering::Relaxed);
+                                r.phase = 1;
+                                tracer.incr("engine.batch.watchdog.cancel", 1);
+                            } else if r.phase == 1 && elapsed >= limit + limit {
+                                // Rung 2: the cancel was not honored in
+                                // another full limit — mark for quarantine
+                                // when (if) the attempt returns.
+                                r.phase = 2;
+                                tracer.incr("engine.batch.watchdog.quarantine", 1);
+                            }
+                        }
                     }
-                    None => VecDeque::new(),
-                };
-                if stolen.is_empty() {
-                    // Nothing left anywhere reachable: done. (A machine
-                    // still *running* on a sibling is not stealable.)
-                    break;
                 }
-                tracer.incr("engine.batch.steals", 1);
-                *deques[w].lock().unwrap() = stolen;
             });
         }
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let deques = &deques;
+                let cursor = &cursor;
+                let run_one = &run_one;
+                s.spawn(move || loop {
+                    // 1. Own deque, front first (ascending indices keep the
+                    //    worker close to the emission cursor).
+                    if let Some(i) = lock(&deques[w]).pop_front() {
+                        run_one(w, i);
+                        continue;
+                    }
+                    // 2. Claim the next shard from the atomic cursor.
+                    let sh = cursor.fetch_add(1, Ordering::Relaxed);
+                    if sh < num_shards {
+                        tracer.incr("engine.batch.shards", 1);
+                        let start = sh * shard;
+                        let end = ((sh + 1) * shard).min(len);
+                        let mut q = lock(&deques[w]);
+                        q.extend((start..end).filter(|i| !completed.contains(i)));
+                        continue;
+                    }
+                    // 3. Cursor exhausted: steal the back half of the
+                    //    fullest sibling deque.
+                    let victim = (0..workers)
+                        .filter(|&v| v != w)
+                        .max_by_key(|&v| lock(&deques[v]).len());
+                    let stolen: VecDeque<usize> = match victim {
+                        Some(v) => {
+                            let mut q = lock(&deques[v]);
+                            let keep = q.len() - q.len() / 2;
+                            q.split_off(keep)
+                        }
+                        None => VecDeque::new(),
+                    };
+                    if stolen.is_empty() {
+                        // Nothing left anywhere reachable: done. (A machine
+                        // still *running* on a sibling is not stealable.)
+                        break;
+                    }
+                    tracer.incr("engine.batch.steals", 1);
+                    *lock(&deques[w]) = stolen;
+                });
+            }
+        });
+        workers_done.store(true, Ordering::Release);
     });
 
-    // Every machine completed, so the reorder buffer fully drained.
-    debug_assert_eq!(emit.lock().unwrap().next, len);
+    // Every machine completed or was skipped, so the reorder buffer fully
+    // drained once the trailing completed indices are stepped over.
+    {
+        let mut g = lock(&emit);
+        while completed.contains(&g.next) {
+            g.next += 1;
+        }
+        debug_assert_eq!(g.next, len);
+        debug_assert!(g.pending.is_empty());
+    }
+
+    let mut quarantined = std::mem::take(&mut *lock(&quarantined));
+    quarantined.sort_by_key(|q| q.index);
+    BatchReport {
+        machines: ran.load(Ordering::Relaxed),
+        retries: retries_taken.load(Ordering::Relaxed),
+        quarantined,
+    }
 }
 
 /// FNV-1a over a report fingerprint: the short replay key embedded in
 /// stream lines so byte-identity across worker counts is checkable from the
-/// JSONL alone.
-fn fnv64(s: &str) -> u64 {
+/// JSONL alone (the journal reuses it to checksum whole records).
+pub(crate) fn fnv64(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in s.bytes() {
         h ^= b as u64;
@@ -355,6 +633,51 @@ pub struct StreamTally {
     pub degraded: usize,
     /// Machines with neither.
     pub unresolved: usize,
+}
+
+/// The stream-level outcome class of one machine line. Journals persist it
+/// (one character) so a resumed sweep can rebuild its tally without
+/// re-parsing replayed report lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineClass {
+    /// A completed best result exists.
+    Solved,
+    /// Only a degraded (anytime) fallback exists.
+    Degraded,
+    /// Neither.
+    Unresolved,
+}
+
+impl MachineClass {
+    /// The stream class of a report (what [`StreamWriter::report`] tallies).
+    pub fn of(rep: &PortfolioReport) -> MachineClass {
+        if rep.best().is_some() {
+            MachineClass::Solved
+        } else if rep.best_degraded().is_some() {
+            MachineClass::Degraded
+        } else {
+            MachineClass::Unresolved
+        }
+    }
+
+    /// One-character journal tag.
+    pub fn tag(self) -> char {
+        match self {
+            MachineClass::Solved => 's',
+            MachineClass::Degraded => 'd',
+            MachineClass::Unresolved => 'u',
+        }
+    }
+
+    /// Parses a journal tag.
+    pub fn from_tag(c: char) -> Option<MachineClass> {
+        Some(match c {
+            's' => MachineClass::Solved,
+            'd' => MachineClass::Degraded,
+            'u' => MachineClass::Unresolved,
+            _ => return None,
+        })
+    }
 }
 
 /// Incremental `nova-bench-stream/1` JSONL writer: a header line, one
@@ -375,65 +698,141 @@ pub struct StreamWriter<W: Write> {
     start: Instant,
     count: usize,
     tally: StreamTally,
+    /// Whether machine lines and the summary carry wall-clock fields.
+    /// `false` (journaled/deterministic streams) makes every byte of the
+    /// stream a pure function of the corpus and config, which is what lets
+    /// a kill-and-resume merge be byte-identical to an uninterrupted run.
+    timings: bool,
 }
 
 impl<W: Write> StreamWriter<W> {
     /// Writes the header line and starts the throughput clock.
-    pub fn new(mut w: W, corpus: &str, machines: usize, batch_jobs: usize) -> io::Result<Self> {
-        let header = Json::Obj(vec![
+    pub fn new(w: W, corpus: &str, machines: usize, batch_jobs: usize) -> io::Result<Self> {
+        StreamWriter::with_timings(w, corpus, machines, batch_jobs, true)
+    }
+
+    /// [`StreamWriter::new`] in deterministic mode: wall-clock fields
+    /// (`wall_ms`, `stages_ms`, `machines_per_sec`) are omitted from every
+    /// line. Journaled sweeps use this so interrupted-and-resumed output is
+    /// byte-identical to an uninterrupted run.
+    pub fn deterministic(
+        w: W,
+        corpus: &str,
+        machines: usize,
+        batch_jobs: usize,
+    ) -> io::Result<Self> {
+        StreamWriter::with_timings(w, corpus, machines, batch_jobs, false)
+    }
+
+    fn with_timings(
+        mut w: W,
+        corpus: &str,
+        machines: usize,
+        batch_jobs: usize,
+        timings: bool,
+    ) -> io::Result<Self> {
+        let mut pairs = vec![
             ("schema".into(), Json::str("nova-bench-stream/1")),
             ("corpus".into(), Json::str(corpus)),
             ("machines".into(), Json::uint(machines as u64)),
-            ("batch_jobs".into(), Json::uint(batch_jobs as u64)),
-        ]);
+        ];
+        // Worker count is an execution detail, not content: deterministic
+        // (journaled) streams omit it so a resume at a different
+        // `--batch-jobs` still merges byte-identically.
+        if timings {
+            pairs.push(("batch_jobs".into(), Json::uint(batch_jobs as u64)));
+        }
+        let header = Json::Obj(pairs);
         writeln!(w, "{}", header.to_compact())?;
         Ok(StreamWriter {
             w,
             start: Instant::now(),
             count: 0,
             tally: StreamTally::default(),
+            timings,
         })
     }
 
-    /// Writes one machine's report line (the `nova-bench/1` machine object
-    /// plus its timing-stripped fingerprint).
-    pub fn report(&mut self, rep: &PortfolioReport) -> io::Result<()> {
-        let mut line = machine_summary_json(rep);
+    /// Renders one machine line (no trailing newline): the `nova-bench/1`
+    /// machine object plus its timing-stripped fingerprint. Exposed so the
+    /// journaling CLI can persist the exact bytes it streams.
+    pub fn render_line(rep: &PortfolioReport, timings: bool) -> String {
+        let mut line = machine_summary_json_with(rep, timings);
         if let Json::Obj(pairs) = &mut line {
             pairs.push((
                 "fingerprint".into(),
                 Json::str(format!("{:016x}", fnv64(&report_fingerprint(rep)))),
             ));
         }
+        line.to_compact()
+    }
+
+    /// Writes one machine's report line.
+    pub fn report(&mut self, rep: &PortfolioReport) -> io::Result<()> {
+        let line = Self::render_line(rep, self.timings);
+        self.write_raw(&line, MachineClass::of(rep))
+    }
+
+    /// Writes a pre-rendered machine line (journal replay): counts and
+    /// tallies it exactly as [`StreamWriter::report`] would have.
+    pub fn write_raw(&mut self, line: &str, class: MachineClass) -> io::Result<()> {
         self.count += 1;
-        if rep.best().is_some() {
-            self.tally.solved += 1;
-        } else if rep.best_degraded().is_some() {
-            self.tally.degraded += 1;
-        } else {
-            self.tally.unresolved += 1;
+        match class {
+            MachineClass::Solved => self.tally.solved += 1,
+            MachineClass::Degraded => self.tally.degraded += 1,
+            MachineClass::Unresolved => self.tally.unresolved += 1,
         }
-        writeln!(self.w, "{}", line.to_compact())
+        writeln!(self.w, "{line}")
     }
 
     /// Writes the summary line and returns `(tally, machines/sec)`.
-    pub fn finish(mut self) -> io::Result<(StreamTally, f64)> {
+    pub fn finish(self) -> io::Result<(StreamTally, f64)> {
+        self.finish_with(&[])
+    }
+
+    /// [`StreamWriter::finish`] with the sweep's quarantine list folded
+    /// into the summary: `quarantined` is always present, and a non-empty
+    /// list adds a `quarantine` array (index / machine / attempts /
+    /// reason). In deterministic mode the wall-clock fields are omitted.
+    pub fn finish_with(mut self, quarantine: &[QuarantineRecord]) -> io::Result<(StreamTally, f64)> {
         let wall = self.start.elapsed();
         let per_sec = throughput(self.count, wall);
-        let summary = Json::Obj(vec![(
-            "summary".into(),
-            Json::Obj(vec![
-                ("machines".into(), Json::uint(self.count as u64)),
-                ("solved".into(), Json::uint(self.tally.solved as u64)),
-                ("degraded".into(), Json::uint(self.tally.degraded as u64)),
-                (
-                    "unresolved".into(),
-                    Json::uint(self.tally.unresolved as u64),
+        let mut pairs = vec![
+            ("machines".into(), Json::uint(self.count as u64)),
+            ("solved".into(), Json::uint(self.tally.solved as u64)),
+            ("degraded".into(), Json::uint(self.tally.degraded as u64)),
+            (
+                "unresolved".into(),
+                Json::uint(self.tally.unresolved as u64),
+            ),
+            (
+                "quarantined".into(),
+                Json::uint(quarantine.len() as u64),
+            ),
+        ];
+        if !quarantine.is_empty() {
+            pairs.push((
+                "quarantine".into(),
+                Json::Arr(
+                    quarantine
+                        .iter()
+                        .map(|q| {
+                            Json::Obj(vec![
+                                ("index".into(), Json::uint(q.index as u64)),
+                                ("machine".into(), Json::str(&q.machine)),
+                                ("attempts".into(), Json::uint(q.attempts as u64)),
+                                ("reason".into(), Json::str(&q.reason)),
+                            ])
+                        })
+                        .collect(),
                 ),
-                ("wall_ms".into(), Json::Float(wall.as_secs_f64() * 1e3)),
-                ("machines_per_sec".into(), Json::Float(per_sec)),
-            ]),
-        )]);
+            ));
+        }
+        if self.timings {
+            pairs.push(("wall_ms".into(), Json::Float(wall.as_secs_f64() * 1e3)));
+            pairs.push(("machines_per_sec".into(), Json::Float(per_sec)));
+        }
+        let summary = Json::Obj(vec![("summary".into(), Json::Obj(pairs))]);
         writeln!(self.w, "{}", summary.to_compact())?;
         self.w.flush()?;
         Ok((self.tally, per_sec))

@@ -33,10 +33,13 @@
 //! ```
 
 pub mod batch;
+pub mod journal;
 
 pub use batch::{
-    run_batch, throughput, BatchConfig, MachineSource, StreamTally, StreamWriter, SuiteSource,
+    run_batch, run_batch_resumable, throughput, BatchConfig, BatchReport, MachineClass,
+    MachineSource, QuarantineRecord, StreamTally, StreamWriter, SuiteSource,
 };
+pub use journal::{JournalReplay, JournalWriter};
 
 use espresso::{FaultPlan, RunCounters, RunCtl};
 use fsm::Fsm;
@@ -46,8 +49,8 @@ use nova_core::driver::{
 use nova_trace::json::Json;
 use nova_trace::{MetricsSnapshot, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Configuration of a portfolio run.
@@ -85,6 +88,12 @@ pub struct EngineConfig {
     /// charge; `Some` forces sequential embedding so replays are
     /// byte-identical.
     pub fault_plan: Option<FaultPlan>,
+    /// Optional shared stop flag attached to every per-algorithm
+    /// [`RunCtl`]: a supervisor (the batch watchdog) that sets it cancels
+    /// the whole portfolio cooperatively, flowing through the normal
+    /// `Degraded` best-so-far ladder. `None` (the default) costs one
+    /// `Option` branch per charge.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +108,7 @@ impl Default for EngineConfig {
             espresso_jobs: 0,
             tracer: Tracer::disabled(),
             fault_plan: None,
+            stop: None,
         }
     }
 }
@@ -443,7 +453,7 @@ pub fn run_one(fsm: &Fsm, algorithm: Algorithm, cfg: &EngineConfig) -> AlgoRun {
 }
 
 /// Extracts a human-readable message from a caught panic payload.
-fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {
@@ -460,7 +470,15 @@ fn run_one_under(
     deadline: Option<Instant>,
 ) -> AlgoRun {
     let tracer = cfg.tracer.fork();
-    let ctl = RunCtl::with_limits_traced(cfg.node_budget, deadline, tracer.clone());
+    let ctl = match &cfg.stop {
+        Some(stop) => RunCtl::with_limits_traced_stop(
+            cfg.node_budget,
+            deadline,
+            tracer.clone(),
+            Arc::clone(stop),
+        ),
+        None => RunCtl::with_limits_traced(cfg.node_budget, deadline, tracer.clone()),
+    };
     if let Some(plan) = &cfg.fault_plan {
         ctl.arm_faults(plan);
     }
@@ -561,6 +579,14 @@ fn stages_to_json(stages: &StageTimes) -> Json {
 /// area/cubes/bits, and per algorithm the outcome, area and stage wall
 /// times.
 pub fn machine_summary_json(rep: &PortfolioReport) -> Json {
+    machine_summary_json_with(rep, true)
+}
+
+/// [`machine_summary_json`] with the wall-clock fields (`wall_ms`,
+/// `stages_ms`) optional: `timings: false` emits only the deterministic
+/// fields, so two sweeps of the same corpus — interrupted, resumed, or run
+/// end to end — produce byte-identical lines. Journaled streams use this.
+pub fn machine_summary_json_with(rep: &PortfolioReport, timings: bool) -> Json {
     let mut pairs = vec![("machine".into(), Json::str(&rep.machine))];
     match rep.best() {
         Some((i, best)) => {
@@ -580,7 +606,9 @@ pub fn machine_summary_json(rep: &PortfolioReport) -> Json {
             }
         }
     }
-    pairs.push(("wall_ms".into(), Json::Float(millis(rep.wall))));
+    if timings {
+        pairs.push(("wall_ms".into(), Json::Float(millis(rep.wall))));
+    }
     pairs.push((
         "runs".into(),
         Json::Arr(
@@ -599,8 +627,10 @@ pub fn machine_summary_json(rep: &PortfolioReport) -> Json {
                         rp.push(("degraded_reason".into(), Json::str(d.reason.tag())));
                         rp.push(("degraded_bits".into(), Json::uint(d.encoding.bits() as u64)));
                     }
-                    rp.push(("wall_ms".into(), Json::Float(millis(run.wall))));
-                    rp.push(("stages_ms".into(), stages_to_json(&run.stages)));
+                    if timings {
+                        rp.push(("wall_ms".into(), Json::Float(millis(run.wall))));
+                        rp.push(("stages_ms".into(), stages_to_json(&run.stages)));
+                    }
                     rp
                 })
                 .map(Json::Obj)

@@ -4,11 +4,15 @@
 //! fault plan degrades runs mid-corpus — and the stream writer must produce
 //! a well-formed `nova-bench-stream/1` document.
 
+use std::collections::BTreeSet;
+use std::time::Duration;
+
 use espresso::{FaultKind, FaultPlan};
 use fsm::ScaleSpec;
 use nova_core::driver::Algorithm;
 use nova_engine::{
-    report_fingerprint, run_batch, BatchConfig, EngineConfig, StreamWriter, SuiteSource,
+    report_fingerprint, run_batch, run_batch_resumable, BatchConfig, EngineConfig, MachineClass,
+    StreamWriter, SuiteSource,
 };
 use nova_trace::json::{self, Json};
 use nova_trace::Tracer;
@@ -45,6 +49,7 @@ fn batch_emits_in_machine_index_order() {
             batch_jobs: 4,
             shard: 2,
             window: 5,
+            ..BatchConfig::default()
         },
     );
     assert_eq!(got.len(), 16);
@@ -74,6 +79,7 @@ fn batch_reports_are_byte_identical_across_worker_counts() {
             batch_jobs: 4,
             shard: 1,
             window: 1,
+            ..BatchConfig::default()
         },
     );
     assert_eq!(base, tight, "window=1 sweep diverged");
@@ -237,4 +243,165 @@ fn empty_corpus_is_a_clean_no_op() {
         calls += 1
     });
     assert_eq!(calls, 0);
+}
+
+#[test]
+fn always_crashing_machines_are_retried_then_quarantined() {
+    // `*:1:panic` fires on the first ctl charge of every attempt, so every
+    // machine crashes every attempt: the supervisor must burn the retry
+    // budget, quarantine all of them, and still complete the sweep with one
+    // emission per machine, in order.
+    let spec = ScaleSpec::parse("machines=5,states=6,inputs=2,outputs=2,seed=9").unwrap();
+    let tracer = Tracer::enabled();
+    let cfg = EngineConfig {
+        algorithms: vec![Algorithm::IHybrid],
+        fault_plan: Some(FaultPlan::single("*", 1, FaultKind::Panic)),
+        tracer: tracer.clone(),
+        ..EngineConfig::default()
+    };
+    let bcfg = BatchConfig {
+        batch_jobs: 2,
+        retries: 2,
+        ..BatchConfig::default()
+    };
+    let mut emitted = Vec::new();
+    let report = run_batch(&spec, &cfg, &bcfg, &mut |i, rep| {
+        emitted.push((i, MachineClass::of(&rep)));
+    });
+    assert_eq!(emitted.len(), 5, "sweep must complete despite the crashes");
+    for (k, (i, class)) in emitted.iter().enumerate() {
+        assert_eq!(*i, k);
+        assert_eq!(*class, MachineClass::Unresolved);
+    }
+    assert_eq!(report.machines, 5);
+    assert_eq!(report.quarantined.len(), 5, "every machine quarantined");
+    assert_eq!(report.retries, 10, "2 retries per machine");
+    for (k, q) in report.quarantined.iter().enumerate() {
+        assert_eq!(q.index, k, "quarantine list sorted by index");
+        assert_eq!(q.machine, spec.name(k));
+        assert_eq!(q.attempts, 3, "first run + 2 retries");
+        assert!(!q.reason.is_empty(), "quarantine carries a reason");
+    }
+    let snap = tracer.merged_metrics();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    assert_eq!(counter("engine.batch.retry"), Some(10));
+    assert_eq!(counter("engine.batch.quarantine"), Some(5));
+}
+
+#[test]
+fn healthy_machines_never_touch_the_supervision_ladder() {
+    let report = run_batch(&corpus(), &config(), &BatchConfig::default(), &mut |_, _| {});
+    assert_eq!(report.machines, 16);
+    assert_eq!(report.retries, 0);
+    assert!(report.quarantined.is_empty());
+}
+
+#[test]
+fn watchdog_cancels_stuck_runs_into_degraded_results() {
+    // IExact on 12-state machines with no node budget runs far longer than
+    // the 20ms wall limit; the watchdog's cooperative cancel must land and
+    // the sweep complete without wedging, each run keeping whatever
+    // best-so-far it had (possibly nothing — but never still running).
+    let spec = ScaleSpec::parse("machines=2,states=12,inputs=3,outputs=3,seed=33").unwrap();
+    let tracer = Tracer::enabled();
+    let cfg = EngineConfig {
+        algorithms: vec![Algorithm::IExact],
+        tracer: tracer.clone(),
+        ..EngineConfig::default()
+    };
+    let bcfg = BatchConfig {
+        batch_jobs: 2,
+        retries: 0,
+        watchdog: Some(Duration::from_millis(20)),
+        ..BatchConfig::default()
+    };
+    let mut emitted = 0usize;
+    run_batch(&spec, &cfg, &bcfg, &mut |_, _| emitted += 1);
+    assert_eq!(emitted, 2, "watchdog-cancelled sweep still completes");
+    let snap = tracer.merged_metrics();
+    let cancels = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "engine.batch.watchdog.cancel")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(cancels >= 1, "watchdog never fired; counters: {:?}", snap.counters);
+}
+
+#[test]
+fn resumable_sweep_skips_completed_machines_and_keeps_order() {
+    let src = corpus();
+    // Baseline: full sweep fingerprints.
+    let full = sweep(&config(), &BatchConfig::default());
+    // Resume with an arbitrary (non-prefix) completed set.
+    let completed: BTreeSet<usize> = [0usize, 1, 2, 5, 9, 15].into_iter().collect();
+    let mut got = Vec::new();
+    let report = run_batch_resumable(
+        &src,
+        &config(),
+        &BatchConfig {
+            batch_jobs: 4,
+            ..BatchConfig::default()
+        },
+        &completed,
+        &mut |i, rep, q| {
+            assert!(q.is_none());
+            got.push((i, rep.machine.clone(), report_fingerprint(&rep)));
+        },
+    );
+    assert_eq!(report.machines, 16 - completed.len());
+    let expect: Vec<_> = full
+        .iter()
+        .filter(|(i, _, _)| !completed.contains(i))
+        .cloned()
+        .collect();
+    assert_eq!(got, expect, "resumed remainder diverged from the full sweep");
+}
+
+#[test]
+fn fully_completed_resume_runs_nothing() {
+    let src = corpus();
+    let completed: BTreeSet<usize> = (0..16).collect();
+    let mut calls = 0usize;
+    let report = run_batch_resumable(
+        &src,
+        &config(),
+        &BatchConfig::default(),
+        &completed,
+        &mut |_, _, _| calls += 1,
+    );
+    assert_eq!(calls, 0);
+    assert_eq!(report.machines, 0);
+}
+
+#[test]
+fn deterministic_stream_mode_is_free_of_wall_clock_fields() {
+    let src = corpus();
+    let stream = |jobs: usize| -> String {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::deterministic(&mut buf, "c", src.machines, jobs).unwrap();
+        run_batch(
+            &src,
+            &config(),
+            &BatchConfig {
+                batch_jobs: jobs,
+                ..BatchConfig::default()
+            },
+            &mut |_, rep| w.report(&rep).unwrap(),
+        );
+        w.finish().unwrap();
+        String::from_utf8(buf).unwrap()
+    };
+    let a = stream(1);
+    assert_eq!(a, stream(4), "deterministic streams must be byte-identical");
+    assert!(!a.contains("wall_ms"), "no wall_ms in deterministic mode");
+    assert!(!a.contains("machines_per_sec"));
+    let summary = json::parse(a.lines().last().unwrap()).unwrap();
+    let s = summary.get("summary").unwrap();
+    assert_eq!(s.get("quarantined"), Some(&Json::uint(0)));
 }

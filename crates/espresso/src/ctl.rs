@@ -98,6 +98,11 @@ pub struct BestSoFar {
 struct CtlInner {
     /// External / latched stop flag. Once set it never clears.
     stop: AtomicBool,
+    /// Optional *shared* stop flag owned by a supervisor (the batch
+    /// watchdog): setting it from outside cancels the run on its next
+    /// charge. Unlike `stop`, the supervisor may reuse the `Arc` across
+    /// observation points; this handle only ever reads it.
+    external: Option<Arc<AtomicBool>>,
     /// Remaining work units; `u64::MAX` means unlimited.
     fuel: AtomicU64,
     /// Wall-clock deadline, checked every [`DEADLINE_CHECK_PERIOD`] charges.
@@ -147,9 +152,19 @@ pub struct RunCounters {
 
 impl RunCtl {
     fn build(fuel: Option<u64>, deadline: Option<Instant>, tracer: Tracer) -> Self {
+        RunCtl::build_with_stop(fuel, deadline, tracer, None)
+    }
+
+    fn build_with_stop(
+        fuel: Option<u64>,
+        deadline: Option<Instant>,
+        tracer: Tracer,
+        external: Option<Arc<AtomicBool>>,
+    ) -> Self {
         RunCtl {
             inner: Arc::new(CtlInner {
                 stop: AtomicBool::new(false),
+                external,
                 fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
                 deadline,
                 tracer,
@@ -186,6 +201,19 @@ impl RunCtl {
         tracer: Tracer,
     ) -> Self {
         RunCtl::build(fuel, deadline, tracer)
+    }
+
+    /// [`RunCtl::with_limits_traced`] plus a shared external stop flag: a
+    /// supervisor (the batch watchdog) that sets `stop` cancels the run at
+    /// its next charge with [`CancelReason::Stop`], which flows through the
+    /// normal degraded / best-so-far ladder.
+    pub fn with_limits_traced_stop(
+        fuel: Option<u64>,
+        deadline: Option<Instant>,
+        tracer: Tracer,
+        stop: Arc<AtomicBool>,
+    ) -> Self {
+        RunCtl::build_with_stop(fuel, deadline, tracer, Some(stop))
     }
 
     /// The tracer carried by this run (disabled unless the run was built
@@ -228,6 +256,9 @@ impl RunCtl {
         if self.inner.stop.load(Ordering::Relaxed) {
             return true;
         }
+        if self.external_stopped() {
+            return true;
+        }
         if let Some(d) = self.inner.deadline {
             if Instant::now() >= d {
                 self.cancel_with(CancelReason::Deadline);
@@ -235,6 +266,20 @@ impl RunCtl {
             }
         }
         false
+    }
+
+    /// Latches the stop flag if the supervisor's external flag is set. One
+    /// `Option` branch on the fast path (`None` for every non-supervised
+    /// run); the external load itself is a relaxed atomic read.
+    #[inline]
+    fn external_stopped(&self) -> bool {
+        match &self.inner.external {
+            Some(ext) if ext.load(Ordering::Relaxed) => {
+                self.cancel_with(CancelReason::Stop);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// One operation observed by the armed fault plan, if any. Kept to a
@@ -281,6 +326,9 @@ impl RunCtl {
         if self.inner.stop.load(Ordering::Relaxed) {
             return Err(Cancelled);
         }
+        if self.external_stopped() {
+            return Err(Cancelled);
+        }
         let before = self.inner.work.fetch_add(units, Ordering::Relaxed);
         // Deadline: check on the first charge and then periodically.
         if let Some(d) = self.inner.deadline {
@@ -316,11 +364,12 @@ impl RunCtl {
         }
     }
 
-    /// Cheapest possible cancellation probe: one relaxed load of the stop
-    /// flag, no clock read, no fuel traffic. Hot loops that batch their
+    /// Cheapest possible cancellation probe: a relaxed load of the stop
+    /// flag (plus the supervisor's external flag when one is attached), no
+    /// clock read, no fuel traffic. Hot loops that batch their
     /// [`RunCtl::charge`] calls may use this between batches.
     pub fn should_stop(&self) -> bool {
-        self.inner.stop.load(Ordering::Relaxed)
+        self.inner.stop.load(Ordering::Relaxed) || self.external_stopped()
     }
 
     /// Does this handle carry a finite node budget? Deterministic consumers
@@ -510,6 +559,24 @@ mod tests {
             }
         }
         assert!(cancelled);
+    }
+
+    #[test]
+    fn external_stop_cancels_with_stop_reason() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctl =
+            RunCtl::with_limits_traced_stop(None, None, Tracer::disabled(), Arc::clone(&flag));
+        assert!(ctl.charge(1).is_ok());
+        assert!(!ctl.should_stop());
+        flag.store(true, Ordering::Relaxed);
+        assert!(ctl.should_stop());
+        assert_eq!(ctl.charge(1), Err(Cancelled));
+        assert!(ctl.cancelled());
+        assert_eq!(ctl.cancel_reason(), Some(CancelReason::Stop));
+        // The supervisor flag is read-only from the ctl side: clearing it
+        // does not un-cancel the latched run.
+        flag.store(false, Ordering::Relaxed);
+        assert!(ctl.cancelled());
     }
 
     #[test]

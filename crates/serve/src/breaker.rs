@@ -1,0 +1,274 @@
+//! Failure-rate circuit breaker in front of the engine pool.
+//!
+//! Classic three-state breaker over a sliding sample window:
+//!
+//! * **Closed** — requests flow. Every engine run records success or
+//!   failure into a ring of the last [`BreakerConfig::window`] outcomes;
+//!   once at least [`BreakerConfig::min_samples`] are in and the failure
+//!   fraction reaches [`BreakerConfig::threshold`], the breaker opens.
+//! * **Open** — engine work is rejected immediately (`503` +
+//!   `Retry-After`), protecting the pool from a poisoned corpus or a
+//!   resource collapse. After [`BreakerConfig::cooldown`] the next request
+//!   is admitted as a *probe*.
+//! * **Half-open** — exactly one probe runs; success closes the breaker
+//!   (window reset), failure re-opens it for another cooldown.
+//!
+//! Time is injected (`now: Instant`) so unit tests need no sleeping, and
+//! all state lives behind one short mutex — the breaker is consulted once
+//! per engine run, never per byte.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::sync::PoisonError;
+use std::time::{Duration, Instant};
+
+/// Tuning of a [`CircuitBreaker`].
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding window of most-recent engine outcomes considered.
+    pub window: usize,
+    /// Failure fraction (0.0–1.0) at which the breaker opens.
+    pub threshold: f64,
+    /// Outcomes required in the window before the breaker may open — keeps
+    /// one early failure from tripping a cold service.
+    pub min_samples: usize,
+    /// How long an open breaker rejects before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            threshold: 0.5,
+            min_samples: 8,
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What the breaker says about admitting one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: run it.
+    Allow,
+    /// Half-open: run it as the single probe.
+    Probe,
+    /// Open: reject with this `Retry-After` hint.
+    Reject {
+        /// Seconds until the cooldown admits a probe (at least 1).
+        retry_after_secs: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { since: Instant },
+    HalfOpen { probing: bool },
+}
+
+struct Inner {
+    state: State,
+    /// Ring of recent outcomes, `true` = failure.
+    window: VecDeque<bool>,
+}
+
+/// See the module docs. All methods take `now` explicitly: production
+/// passes `Instant::now()`, tests pass a hand-rolled clock.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: State::Closed,
+                window: VecDeque::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Gate one engine run. `Probe` is handed out to exactly one caller per
+    /// half-open period; concurrent requests during the probe are rejected.
+    pub fn admit(&self, now: Instant) -> Admission {
+        let mut g = self.lock();
+        match g.state {
+            State::Closed => Admission::Allow,
+            State::Open { since } => {
+                let elapsed = now.saturating_duration_since(since);
+                if elapsed >= self.cfg.cooldown {
+                    g.state = State::HalfOpen { probing: true };
+                    Admission::Probe
+                } else {
+                    let remaining = self.cfg.cooldown - elapsed;
+                    Admission::Reject {
+                        retry_after_secs: remaining.as_secs().max(1),
+                    }
+                }
+            }
+            State::HalfOpen { probing } => {
+                if probing {
+                    Admission::Reject {
+                        retry_after_secs: self.cfg.cooldown.as_secs().max(1),
+                    }
+                } else {
+                    g.state = State::HalfOpen { probing: true };
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of an admitted run (including probes).
+    pub fn record(&self, success: bool, now: Instant) {
+        let mut g = self.lock();
+        match g.state {
+            State::HalfOpen { .. } => {
+                if success {
+                    g.state = State::Closed;
+                    g.window.clear();
+                } else {
+                    g.state = State::Open { since: now };
+                }
+            }
+            State::Closed => {
+                g.window.push_back(!success);
+                while g.window.len() > self.cfg.window {
+                    g.window.pop_front();
+                }
+                if g.window.len() >= self.cfg.min_samples {
+                    let failures = g.window.iter().filter(|&&f| f).count();
+                    if failures as f64 >= self.cfg.threshold * g.window.len() as f64 {
+                        g.state = State::Open { since: now };
+                    }
+                }
+            }
+            // A late record from a run admitted before the breaker opened:
+            // the window is stale for it, drop it.
+            State::Open { .. } => {}
+        }
+    }
+
+    /// One-word state for `/healthz` and `/counters`.
+    pub fn state_tag(&self) -> &'static str {
+        match self.lock().state {
+            State::Closed => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half-open",
+        }
+    }
+
+    /// Whether engine admission is currently restricted (open or half-open).
+    pub fn tripped(&self) -> bool {
+        !matches!(self.lock().state, State::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            threshold: 0.5,
+            min_samples: 4,
+            cooldown: Duration::from_secs(2),
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for i in 0..20 {
+            assert_eq!(b.admit(t0), Admission::Allow);
+            b.record(i % 4 != 0, t0); // 25% failures < 50% threshold
+        }
+        assert_eq!(b.state_tag(), "closed");
+    }
+
+    #[test]
+    fn opens_at_failure_rate_then_rejects_with_retry_after() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            assert_eq!(b.admit(t0), Admission::Allow);
+            b.record(false, t0);
+        }
+        assert_eq!(b.state_tag(), "open");
+        match b.admit(t0) {
+            Admission::Reject { retry_after_secs } => assert!(retry_after_secs >= 1),
+            other => panic!("expected Reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_samples_prevents_cold_trips() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record(false, t0); // 3 failures < min_samples=4
+        }
+        assert_eq!(b.state_tag(), "closed");
+        assert_eq!(b.admit(t0), Admission::Allow);
+    }
+
+    #[test]
+    fn probe_after_cooldown_success_closes() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.record(false, t0);
+        }
+        let t1 = t0 + Duration::from_secs(3);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        // A second request during the probe is still rejected.
+        assert!(matches!(b.admit(t1), Admission::Reject { .. }));
+        b.record(true, t1);
+        assert_eq!(b.state_tag(), "closed");
+        assert_eq!(b.admit(t1), Admission::Allow);
+        // The window was reset: one failure does not re-trip.
+        b.record(false, t1);
+        assert_eq!(b.state_tag(), "closed");
+    }
+
+    #[test]
+    fn probe_failure_reopens_for_another_cooldown() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.record(false, t0);
+        }
+        let t1 = t0 + Duration::from_secs(3);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        b.record(false, t1);
+        assert_eq!(b.state_tag(), "open");
+        assert!(matches!(b.admit(t1), Admission::Reject { .. }));
+        // Another cooldown later, the next probe can still close it.
+        let t2 = t1 + Duration::from_secs(3);
+        assert_eq!(b.admit(t2), Admission::Probe);
+        b.record(true, t2);
+        assert_eq!(b.state_tag(), "closed");
+    }
+
+    #[test]
+    fn late_record_while_open_is_ignored() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.record(false, t0);
+        }
+        assert_eq!(b.state_tag(), "open");
+        b.record(true, t0); // straggler from a pre-trip run
+        assert_eq!(b.state_tag(), "open");
+    }
+}

@@ -16,6 +16,8 @@
 //!   exposition via [`nova_trace::prom`]), and an opt-in
 //!   [`ServerConfig::trace_dir`] writes one `nova-trace/1` JSONL per
 //!   `/encode` request for `nova trace-report`.
+//! * [`breaker`] — the failure-rate circuit breaker in front of the
+//!   engine pool (open/half-open/closed; `/healthz` reports the state).
 //! * [`cache`] — the LRU byte/entry-bounded result cache.
 //! * [`wire`] — query-string options, the machine JSON shape, and the
 //!   cache-key construction over [`fsm::fingerprint`].
@@ -33,6 +35,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod http;
@@ -40,7 +43,8 @@ pub mod server;
 pub mod shutdown;
 pub mod wire;
 
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{CacheConfig, CacheStats, ResultCache};
-pub use client::{ClientError, RemoteResponse};
+pub use client::{ClientError, RemoteResponse, RetryPolicy};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use wire::EncodeOptions;

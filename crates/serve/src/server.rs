@@ -26,6 +26,7 @@
 //! already-admitted connection before exiting; [`ServerHandle::join`]
 //! returns once the last in-flight run has been answered.
 
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::{CacheConfig, ResultCache};
 use crate::http::{parse_query, Request, RequestError, Response};
 use crate::shutdown;
@@ -40,9 +41,17 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning: a panicking worker must not
+/// take the queue, cache, or counters down with it (the guarded state is
+/// always left consistent — pushes/pops and cache ops are atomic under the
+/// lock).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of a [`serve`] instance.
 #[derive(Debug, Clone)]
@@ -70,6 +79,15 @@ pub struct ServerConfig {
     /// and writes one `nova-trace/1` JSONL file
     /// (`req-<request id>.jsonl`) into this directory.
     pub trace_dir: Option<PathBuf>,
+    /// Circuit breaker in front of the engine pool: a run of engine
+    /// failures trips it open and `/encode` sheds with `503` until a probe
+    /// succeeds. `/healthz` reports the `tripped` state.
+    pub breaker: BreakerConfig,
+    /// Memory-pressure admission bound: total request-body bytes in flight
+    /// across workers. Beyond it `/encode` sheds with `503` *before*
+    /// parsing — cheaper than letting the cache LRU thrash under a burst
+    /// of giant machines. `0` disables the bound.
+    pub max_inflight_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +100,8 @@ impl Default for ServerConfig {
             tracer: Tracer::disabled(),
             seed: 0x6e6f_7661_2d37_0001, // "nova-7" — any fixed value works
             trace_dir: None,
+            breaker: BreakerConfig::default(),
+            max_inflight_bytes: 32 << 20,
         }
     }
 }
@@ -107,6 +127,13 @@ struct ServeStats {
     rejected: AtomicU64,
     bad_requests: AtomicU64,
     degraded: AtomicU64,
+    /// Engine runs that produced a `Failed` outcome (what feeds the
+    /// breaker's failure window).
+    engine_failures: AtomicU64,
+    /// `/encode` requests shed by the open breaker.
+    breaker_rejected: AtomicU64,
+    /// `/encode` requests shed by the in-flight byte budget.
+    shed_bytes: AtomicU64,
 }
 
 /// One admitted connection: the stream plus the request id minted at the
@@ -137,7 +164,7 @@ impl Queue {
 
     /// Admits a connection, or returns it back when the queue is full.
     fn push(&self, adm: Admitted) -> Result<usize, Admitted> {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = lock(&self.inner);
         if q.len() >= self.depth {
             return Err(adm);
         }
@@ -151,7 +178,7 @@ impl Queue {
     /// Pops the next connection; `None` once the queue is closing *and*
     /// drained — the worker-exit condition.
     fn pop(&self) -> Option<Admitted> {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = lock(&self.inner);
         loop {
             if let Some(s) = q.pop_front() {
                 return Some(s);
@@ -162,7 +189,7 @@ impl Queue {
             let (guard, _) = self
                 .ready
                 .wait_timeout(q, Duration::from_millis(50))
-                .expect("queue lock");
+                .unwrap_or_else(PoisonError::into_inner);
             q = guard;
         }
     }
@@ -173,7 +200,7 @@ impl Queue {
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").len()
+        lock(&self.inner).len()
     }
 }
 
@@ -193,6 +220,11 @@ struct Shared {
     /// disabled by default). No spans are ever recorded on it, so its cost
     /// is one short mutex lock per observation.
     expo: Tracer,
+    /// Circuit breaker gating engine runs (not cache hits).
+    breaker: CircuitBreaker,
+    /// Request-body bytes currently held by workers, for the
+    /// memory-pressure admission tier.
+    inflight_bytes: AtomicU64,
 }
 
 impl Shared {
@@ -254,6 +286,8 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         started: Instant::now(),
         admissions: AtomicU64::new(0),
         expo: Tracer::enabled(),
+        breaker: CircuitBreaker::new(cfg.breaker.clone()),
+        inflight_bytes: AtomicU64::new(0),
         cfg,
     });
     let mut threads = Vec::with_capacity(workers + 1);
@@ -424,9 +458,27 @@ fn route(req: &Request, shared: &Shared, id: u64) -> Response {
     }
 }
 
+/// Readiness state, most-urgent first: a draining server is going away
+/// regardless of the breaker, a tripped breaker matters more than a full
+/// queue (the queue recovers by itself), and everything else is `ok`.
+fn health_state(shared: &Shared) -> &'static str {
+    if shared.stopping() {
+        "draining"
+    } else if shared.breaker.tripped() {
+        "tripped"
+    } else if shared.queue.len() >= shared.cfg.queue_depth {
+        "overloaded"
+    } else {
+        "ok"
+    }
+}
+
 fn healthz_json(shared: &Shared) -> Json {
+    let state = health_state(shared);
     Json::Obj(vec![
-        ("ok".into(), Json::Bool(true)),
+        ("ok".into(), Json::Bool(state == "ok")),
+        ("state".into(), Json::str(state)),
+        ("breaker".into(), Json::str(shared.breaker.state_tag())),
         ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
         (
             "uptime_ms".into(),
@@ -453,8 +505,41 @@ fn parse_machine(req: &Request) -> Result<Fsm, String> {
     }
 }
 
+/// RAII release of one request's in-flight byte reservation: taken before
+/// any early return can happen, released on every path out.
+struct InflightReservation<'a> {
+    shared: &'a Shared,
+    bytes: u64,
+}
+
+impl Drop for InflightReservation<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .inflight_bytes
+            .fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
 fn handle_encode(req: &Request, shared: &Shared, id: u64) -> Response {
     let tracer = &shared.cfg.tracer;
+
+    // Memory-pressure tier: reserve this request's body bytes against the
+    // global in-flight budget and shed *before* parsing when a burst of
+    // large machines would otherwise force the cache LRU to thrash.
+    let body_bytes = req.body.len() as u64;
+    let budget = shared.cfg.max_inflight_bytes;
+    let reserved = shared.inflight_bytes.fetch_add(body_bytes, Ordering::Relaxed) + body_bytes;
+    let _inflight = InflightReservation {
+        shared,
+        bytes: body_bytes,
+    };
+    if budget > 0 && reserved > budget {
+        shared.stats.shed_bytes.fetch_add(1, Ordering::Relaxed);
+        tracer.incr("serve.shed.bytes", 1);
+        return error_response(503, "memory pressure: too many request bytes in flight")
+            .with_header("Retry-After", "1");
+    }
+
     let options = match EncodeOptions::from_query(&parse_query(&req.query)) {
         Ok(o) => o,
         Err(e) => {
@@ -474,7 +559,7 @@ fn handle_encode(req: &Request, shared: &Shared, id: u64) -> Response {
 
     if options.cacheable() {
         let lookup = Instant::now();
-        let hit = shared.cache.lock().expect("cache lock").get(&key);
+        let hit = lock(&shared.cache).get(&key);
         shared
             .expo
             .observe("serve.cache.lookup_us", lookup.elapsed().as_micros() as u64);
@@ -487,7 +572,19 @@ fn handle_encode(req: &Request, shared: &Shared, id: u64) -> Response {
         tracer.incr("serve.cache.miss", 1);
     }
 
-    // Miss (or uncacheable): run the engine under this request's limits.
+    // Miss (or uncacheable): this request needs an engine run, so it goes
+    // through the circuit breaker. Cache hits above bypass it — serving
+    // frozen bytes is safe even with a poisoned engine pool.
+    match shared.breaker.admit(Instant::now()) {
+        Admission::Reject { retry_after_secs } => {
+            shared.stats.breaker_rejected.fetch_add(1, Ordering::Relaxed);
+            tracer.incr("serve.breaker.reject", 1);
+            return error_response(503, "engine circuit breaker is open")
+                .with_header("Retry-After", retry_after_secs.to_string());
+        }
+        Admission::Allow | Admission::Probe => {}
+    }
+
     // With a trace dir configured, the run gets its own request-scoped
     // session tracer — every span in the emitted JSONL carries this
     // request's id — otherwise it forks off the (usually disabled)
@@ -509,6 +606,17 @@ fn handle_encode(req: &Request, shared: &Shared, id: u64) -> Response {
     if let (Some(dir), Some(rt)) = (&shared.cfg.trace_dir, &request_tracer) {
         write_request_trace(dir, id, rt);
     }
+    // Feed the breaker: a `Failed` run means the engine itself broke (a
+    // panic contained by the portfolio, not a timeout or degradation).
+    let failed = report
+        .runs
+        .iter()
+        .any(|r| matches!(r.outcome, Outcome::Failed(_)));
+    if failed {
+        shared.stats.engine_failures.fetch_add(1, Ordering::Relaxed);
+        tracer.incr("serve.engine.failure", 1);
+    }
+    shared.breaker.record(!failed, Instant::now());
     let deterministic = report
         .runs
         .iter()
@@ -526,11 +634,7 @@ fn handle_encode(req: &Request, shared: &Shared, id: u64) -> Response {
     // Only fully deterministic reports are admissible: a run that saw a
     // deadline, degradation, or failure is not a replayable artifact.
     if options.cacheable() && deterministic {
-        shared
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(&key, Arc::clone(&body));
+        lock(&shared.cache).insert(&key, Arc::clone(&body));
     }
 
     Response::json(200, body.as_slice().to_vec())
@@ -558,7 +662,7 @@ fn write_request_trace(dir: &std::path::Path, id: u64, tracer: &Tracer) {
 fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
     let mut snap = shared.expo.metrics_snapshot();
     let (cache_stats, entries, bytes) = {
-        let cache = shared.cache.lock().expect("cache lock");
+        let cache = lock(&shared.cache);
         (cache.stats(), cache.len(), cache.bytes())
     };
     let s = &shared.stats;
@@ -583,6 +687,18 @@ fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
             "serve.queue.rejected".to_string(),
             s.rejected.load(Ordering::Relaxed),
         ),
+        (
+            "serve.engine.failures".to_string(),
+            s.engine_failures.load(Ordering::Relaxed),
+        ),
+        (
+            "serve.breaker.rejected".to_string(),
+            s.breaker_rejected.load(Ordering::Relaxed),
+        ),
+        (
+            "serve.shed.bytes".to_string(),
+            s.shed_bytes.load(Ordering::Relaxed),
+        ),
         ("serve.cache.hits".to_string(), cache_stats.hits),
         ("serve.cache.misses".to_string(), cache_stats.misses),
         ("serve.cache.insertions".to_string(), cache_stats.insertions),
@@ -604,13 +720,21 @@ fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
             "serve.uptime_ms".to_string(),
             shared.started.elapsed().as_millis() as i64,
         ),
+        (
+            "serve.breaker.tripped".to_string(),
+            shared.breaker.tripped() as i64,
+        ),
+        (
+            "serve.inflight.bytes".to_string(),
+            shared.inflight_bytes.load(Ordering::Relaxed) as i64,
+        ),
     ]);
     snap
 }
 
 fn counters_json(shared: &Shared) -> Json {
     let (cache_stats, entries, bytes) = {
-        let cache = shared.cache.lock().expect("cache lock");
+        let cache = lock(&shared.cache);
         (cache.stats(), cache.len(), cache.bytes())
     };
     let s = &shared.stats;
@@ -644,10 +768,40 @@ fn counters_json(shared: &Shared) -> Json {
         ),
         (
             "engine".into(),
-            Json::Obj(vec![(
-                "runs".into(),
-                Json::uint(s.engine_runs.load(Ordering::Relaxed)),
-            )]),
+            Json::Obj(vec![
+                ("runs".into(), Json::uint(s.engine_runs.load(Ordering::Relaxed))),
+                (
+                    "failures".into(),
+                    Json::uint(s.engine_failures.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "breaker".into(),
+            Json::Obj(vec![
+                ("state".into(), Json::str(shared.breaker.state_tag())),
+                (
+                    "rejected".into(),
+                    Json::uint(s.breaker_rejected.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "shed".into(),
+            Json::Obj(vec![
+                (
+                    "bytes_rejected".into(),
+                    Json::uint(s.shed_bytes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "inflight_bytes".into(),
+                    Json::uint(shared.inflight_bytes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "max_inflight_bytes".into(),
+                    Json::uint(shared.cfg.max_inflight_bytes),
+                ),
+            ]),
         ),
         (
             "requests".into(),

@@ -155,6 +155,7 @@ impl EncodeOptions {
             espresso_jobs: self.espresso_jobs,
             tracer: tracer.clone(),
             fault_plan: self.fault_plan.clone(),
+            stop: None,
         }
     }
 

@@ -390,6 +390,8 @@ fn healthz_reports_version_and_uptime() {
     assert_eq!(resp.status, 200);
     let doc = json::parse(&resp.body).expect("healthz JSON");
     assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("state"), Some(&Json::str("ok")));
+    assert_eq!(doc.get("breaker"), Some(&Json::str("closed")));
     assert_eq!(
         doc.get("version"),
         Some(&Json::str(env!("CARGO_PKG_VERSION")))
@@ -401,6 +403,216 @@ fn healthz_reports_version_and_uptime() {
     handle.shutdown();
     handle.join();
 }
+
+#[test]
+fn engine_failures_trip_the_breaker_and_healthz_reports_it() {
+    use nova_serve::BreakerConfig;
+    use std::time::Duration;
+    let (handle, addr) = start(ServerConfig {
+        breaker: BreakerConfig {
+            window: 4,
+            threshold: 0.5,
+            min_samples: 2,
+            cooldown: Duration::from_secs(60),
+        },
+        ..ServerConfig::default()
+    });
+    // Injected panics are contained by the portfolio as Failed outcomes;
+    // each lands in the breaker's failure window as one failed engine run.
+    let q = "algorithms=ihybrid&jobs=1&fault_plan=*%3A1%3Apanic";
+    for _ in 0..2 {
+        let resp = client::post_kiss(&addr, &kiss("lion"), q).expect("post");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+
+    // The breaker is now open: even a healthy request is shed with 503.
+    let shed = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid").expect("post");
+    assert_eq!(shed.status, 503, "{}", shed.body);
+    assert!(shed.body.contains("circuit breaker"), "{}", shed.body);
+    let hint: u64 = shed
+        .header("retry-after")
+        .expect("503 carries Retry-After")
+        .parse()
+        .expect("seconds");
+    assert!(hint >= 1, "{hint}");
+
+    // /healthz stays reachable (HTTP 200) but reports the tripped state.
+    let health = client::request(&addr, "GET", "/healthz", None, &[]).expect("healthz");
+    assert_eq!(health.status, 200);
+    let doc = json::parse(&health.body).expect("healthz JSON");
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(doc.get("state"), Some(&Json::str("tripped")));
+    assert_eq!(doc.get("breaker"), Some(&Json::str("open")));
+
+    let counters = json::parse(&client::get_counters(&addr).unwrap().body).unwrap();
+    assert_eq!(counter(&counters, "engine", "failures"), 2);
+    assert_eq!(counter(&counters, "breaker", "rejected"), 1);
+    assert_eq!(
+        counters.get("breaker").and_then(|b| b.get("state")),
+        Some(&Json::str("open"))
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn tripped_breaker_recovers_through_a_successful_probe() {
+    use nova_serve::BreakerConfig;
+    use std::time::Duration;
+    let (handle, addr) = start(ServerConfig {
+        breaker: BreakerConfig {
+            window: 4,
+            threshold: 0.5,
+            min_samples: 2,
+            cooldown: Duration::from_millis(100),
+        },
+        ..ServerConfig::default()
+    });
+    let q = "algorithms=ihybrid&jobs=1&fault_plan=*%3A1%3Apanic";
+    for _ in 0..2 {
+        assert_eq!(client::post_kiss(&addr, &kiss("lion"), q).unwrap().status, 200);
+    }
+    // After the cooldown the next request runs as the probe; a healthy
+    // engine run closes the breaker again — the service self-heals.
+    std::thread::sleep(Duration::from_millis(150));
+    let probe = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid").expect("post");
+    assert_bench_schema(&probe);
+    let health = client::request(&addr, "GET", "/healthz", None, &[]).expect("healthz");
+    let doc = json::parse(&health.body).expect("healthz JSON");
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("breaker"), Some(&Json::str("closed")));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn byte_budget_sheds_before_parsing_and_releases_its_reservation() {
+    let (handle, addr) = start(ServerConfig {
+        max_inflight_bytes: 1,
+        ..ServerConfig::default()
+    });
+    let resp = client::post_kiss(&addr, &kiss("lion"), "algorithms=ihybrid").expect("post");
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("memory pressure"), "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    let counters = json::parse(&client::get_counters(&addr).unwrap().body).unwrap();
+    assert_eq!(counter(&counters, "shed", "bytes_rejected"), 1);
+    assert_eq!(counter(&counters, "shed", "max_inflight_bytes"), 1);
+    assert_eq!(
+        counter(&counters, "shed", "inflight_bytes"),
+        0,
+        "the reservation is released when the request is shed"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+/// Reads one full HTTP request (headers + declared body) off `stream`.
+fn read_http_request(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    use std::io::Read as _;
+    let mut data = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf).expect("read request");
+        if n == 0 {
+            break;
+        }
+        data.extend_from_slice(&buf[..n]);
+        if let Some(head_end) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&data[..head_end]);
+            let len = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    if name.eq_ignore_ascii_case("content-length") {
+                        value.trim().parse::<usize>().ok()
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or(0);
+            if data.len() >= head_end + 4 + len {
+                break;
+            }
+        }
+    }
+    data
+}
+
+#[test]
+fn client_retries_503_pushback_until_the_service_recovers() {
+    use nova_serve::RetryPolicy;
+    use std::io::Write as _;
+    use std::time::Duration;
+
+    // A hand-rolled one-thread "service" that answers 503 + Retry-After
+    // twice, then 200 — the shape of a briefly tripped breaker.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let mut served = 0u32;
+        for status in [503u16, 503, 200] {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let _ = read_http_request(&mut stream);
+            served += 1;
+            let body = if status == 503 { "busy" } else { "done" };
+            write!(
+                stream,
+                "HTTP/1.1 {status} X\r\nRetry-After: 0\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .expect("respond");
+        }
+        served
+    });
+
+    let policy = RetryPolicy {
+        attempts: 3,
+        base: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    };
+    let resp = client::post_kiss_retry(&addr, TOYISH_KISS, "", &policy).expect("retried post");
+    assert_eq!(resp.status, 200, "third attempt lands on the 200");
+    assert_eq!(resp.body, "done");
+    assert_eq!(server.join().unwrap(), 3, "client made exactly 3 attempts");
+}
+
+#[test]
+fn client_returns_the_final_503_when_attempts_exhaust() {
+    use nova_serve::RetryPolicy;
+    use std::io::Write as _;
+    use std::time::Duration;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let mut served = 0u32;
+        for _ in 0..2 {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let _ = read_http_request(&mut stream);
+            served += 1;
+            write!(
+                stream,
+                "HTTP/1.1 503 X\r\nRetry-After: 0\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy"
+            )
+            .expect("respond");
+        }
+        served
+    });
+
+    let policy = RetryPolicy {
+        attempts: 2,
+        base: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    };
+    let resp = client::post_kiss_retry(&addr, TOYISH_KISS, "", &policy).expect("post");
+    assert_eq!(resp.status, 503, "the final 503 is returned as-is");
+    assert_eq!(server.join().unwrap(), 2, "no attempts beyond the policy");
+}
+
+/// A tiny KISS body for the fake-service client tests (never parsed there).
+const TOYISH_KISS: &str = ".i 1\n.o 1\n.s 2\n0 a a 0\n1 a b 1\n";
 
 #[test]
 fn shutdown_drains_admitted_work() {
